@@ -1,0 +1,221 @@
+//! Dominant Resource Fairness over time-sliced gangs.
+//!
+//! DRF (Ghodsi et al., NSDI'11) picks, at each allocation opportunity, the
+//! user with the smallest *dominant share* — their largest per-resource
+//! share. We treat each GPU generation as a resource and rebuild the
+//! allocation every quantum: repeatedly select the lowest-dominant-share
+//! user that still has a resident, unscheduled job that fits its server's
+//! remaining GPUs.
+//!
+//! DRF is user-fair per round but heterogeneity-blind (a V100 counts the
+//! same for a VAE as for a ResNeXt) and does not migrate, so its efficiency
+//! trails Gandiva_fair on heterogeneous clusters — which is exactly the
+//! comparison the paper draws against quota-style fair schedulers.
+
+use crate::util::least_loaded_fitting;
+use gfair_sim::{Action, ClusterScheduler, RoundPlan, SimView};
+use gfair_types::{GenId, JobId, ServerId, UserId};
+use std::collections::BTreeMap;
+
+/// Per-round DRF allocation over resident gangs.
+#[derive(Debug, Default)]
+pub struct Drf {
+    inflight: BTreeMap<ServerId, u32>,
+}
+
+impl Drf {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ClusterScheduler for Drf {
+    fn name(&self) -> &'static str {
+        "drf"
+    }
+
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        let gang = view.job(job).expect("known job").gang;
+        match least_loaded_fitting(view, &self.inflight, gang) {
+            Some(server) => {
+                *self.inflight.entry(server).or_insert(0) += gang;
+                vec![Action::Place { job, server }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.inflight.clear();
+        // Retry jobs whose placement failed earlier (e.g. during an outage).
+        let mut retry_actions = Vec::new();
+        let pending: Vec<JobId> = view.pending_jobs().map(|j| j.id).collect();
+        for job in pending {
+            retry_actions.extend(self.on_job_arrival(view, job));
+        }
+        let cluster = view.cluster();
+        let gen_totals: BTreeMap<GenId, u32> = cluster.gpus_per_gen();
+        // Remaining free GPUs per server for this round's allocation.
+        let mut free: BTreeMap<ServerId, u32> =
+            cluster.servers.iter().map(|s| (s.id, s.num_gpus)).collect();
+        // Per-user allocation this round, per generation.
+        let mut alloc: BTreeMap<UserId, BTreeMap<GenId, f64>> = BTreeMap::new();
+        // Candidate jobs per user, in id order (stable priority).
+        let mut candidates: BTreeMap<UserId, Vec<JobId>> = BTreeMap::new();
+        for server in &cluster.servers {
+            for job in view.resident(server.id) {
+                let user = view.job(job).expect("resident job").user;
+                candidates.entry(user).or_default().push(job);
+            }
+        }
+        let dominant = |alloc: &BTreeMap<GenId, f64>| -> f64 {
+            alloc
+                .iter()
+                .map(|(g, a)| a / gen_totals[g] as f64)
+                .fold(0.0, f64::max)
+        };
+        let mut plan = RoundPlan::empty();
+        plan.actions = retry_actions;
+        loop {
+            // Lowest dominant share first (ties: smaller user id).
+            let mut order: Vec<UserId> = candidates
+                .iter()
+                .filter(|(_, jobs)| !jobs.is_empty())
+                .map(|(&u, _)| u)
+                .collect();
+            if order.is_empty() {
+                break;
+            }
+            order.sort_by(|a, b| {
+                let da = alloc.get(a).map(&dominant).unwrap_or(0.0);
+                let db = alloc.get(b).map(&dominant).unwrap_or(0.0);
+                da.total_cmp(&db).then(a.cmp(b))
+            });
+            let mut scheduled_any = false;
+            'users: for user in order {
+                let jobs = candidates.get_mut(&user).expect("listed user");
+                for idx in 0..jobs.len() {
+                    let job = jobs[idx];
+                    let info = view.job(job).expect("resident job");
+                    let server = info.server.expect("resident job has a server");
+                    let f = free.get_mut(&server).expect("known server");
+                    if info.gang <= *f {
+                        *f -= info.gang;
+                        jobs.remove(idx);
+                        plan.run_on(server, job);
+                        let gen = cluster.server(server).gen;
+                        *alloc.entry(user).or_default().entry(gen).or_insert(0.0) +=
+                            info.gang as f64;
+                        scheduled_any = true;
+                        // Re-rank after every grant, as DRF prescribes.
+                        break 'users;
+                    }
+                }
+                // No job of this user fits; remove them from contention so
+                // lower-priority users can backfill.
+                jobs.clear();
+            }
+            if !scheduled_any {
+                break;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::Simulation;
+    use gfair_types::{ClusterSpec, JobSpec, ModelProfile, SimConfig, SimTime, UserSpec};
+    use std::sync::Arc;
+
+    fn model() -> Arc<ModelProfile> {
+        Arc::new(ModelProfile::with_default_overheads("m", vec![1.0]))
+    }
+
+    fn job(id: u32, user: u32, gang: u32, service: f64) -> JobSpec {
+        JobSpec::new(
+            gfair_types::JobId::new(id),
+            UserId::new(user),
+            model(),
+            gang,
+            service,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn equal_users_get_equal_rounds() {
+        // 2 users x 4 single-GPU jobs on 4 GPUs: DRF alternates grants,
+        // giving each user ~2 GPUs per round.
+        let mut trace = Vec::new();
+        for u in 0..2u32 {
+            for k in 0..4u32 {
+                trace.push(job(u * 4 + k, u, 1, 50_000.0));
+            }
+        }
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut Drf::new(), SimTime::from_secs(3600))
+            .unwrap();
+        let a = report.gpu_secs_of(UserId::new(0));
+        let b = report.gpu_secs_of(UserId::new(1));
+        assert!((a - b).abs() / a.max(b) < 0.05, "unequal: {a} vs {b}");
+        assert!(report.utilization() > 0.99);
+    }
+
+    #[test]
+    fn user_with_fewer_jobs_still_gets_share() {
+        // User 0 floods with 6 jobs; user 1 has 2. DRF equalizes dominant
+        // shares, so user 1 still gets ~2 GPUs per round (their cap).
+        let mut trace: Vec<JobSpec> = (0..6).map(|i| job(i, 0, 1, 50_000.0)).collect();
+        trace.push(job(10, 1, 1, 50_000.0));
+        trace.push(job(11, 1, 1, 50_000.0));
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut Drf::new(), SimTime::from_secs(3600))
+            .unwrap();
+        let a = report.gpu_secs_of(UserId::new(0));
+        let b = report.gpu_secs_of(UserId::new(1));
+        assert!(
+            (a - b).abs() / a.max(b) < 0.1,
+            "DRF should equalize despite job counts: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn backfills_when_fair_pick_does_not_fit() {
+        // User 0's only job is a gang of 3 resident on a server with 4 free;
+        // user 1 has singles. Everything should pack: no idle GPUs.
+        let trace = vec![
+            job(0, 0, 3, 50_000.0),
+            job(1, 1, 1, 50_000.0),
+            job(2, 1, 1, 50_000.0),
+        ];
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut Drf::new(), SimTime::from_secs(1800))
+            .unwrap();
+        assert!(report.utilization() > 0.99, "util {}", report.utilization());
+    }
+}

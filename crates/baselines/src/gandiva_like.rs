@@ -1,0 +1,184 @@
+//! A Gandiva-style efficiency-only scheduler.
+//!
+//! Models the predecessor system the paper builds on: jobs are packed onto
+//! the least-loaded server and time-sliced with suspend/resume, maximizing
+//! utilization — but the time slicing is a plain per-server round-robin over
+//! *jobs*, with no notion of users or tickets. A user who submits ten jobs
+//! gets ten slots; single-job users are crowded out. This is the
+//! "efficiency without fairness" pole of the comparison experiments.
+
+use crate::util::least_loaded_fitting;
+use gfair_sim::{Action, ClusterScheduler, RoundPlan, SimView};
+use gfair_types::{JobId, ServerId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Efficiency-only packing + per-server round-robin time slicing.
+#[derive(Debug, Default)]
+pub struct GandivaLike {
+    /// Rotation order per server. Jobs are appended on placement and the
+    /// head rotates each round, giving every *job* (not user) an equal turn.
+    rotation: BTreeMap<ServerId, VecDeque<JobId>>,
+    inflight: BTreeMap<ServerId, u32>,
+}
+
+impl GandivaLike {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ClusterScheduler for GandivaLike {
+    fn name(&self) -> &'static str {
+        "gandiva-like"
+    }
+
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        let gang = view.job(job).expect("known job").gang;
+        match least_loaded_fitting(view, &self.inflight, gang) {
+            Some(server) => {
+                *self.inflight.entry(server).or_insert(0) += gang;
+                self.rotation.entry(server).or_default().push_back(job);
+                vec![Action::Place { job, server }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.inflight.clear();
+        let mut plan = RoundPlan::empty();
+        // Retry jobs whose placement failed earlier (e.g. during an outage).
+        let pending: Vec<gfair_types::JobId> = view.pending_jobs().map(|j| j.id).collect();
+        for job in pending {
+            plan.actions.extend(self.on_job_arrival(view, job));
+        }
+        for server in &view.cluster().servers {
+            let resident: BTreeSet<JobId> = view.resident(server.id).collect();
+            let rotation = self.rotation.entry(server.id).or_default();
+            // Drop departed jobs from the rotation.
+            rotation.retain(|j| resident.contains(j));
+            if rotation.is_empty() {
+                continue;
+            }
+            // Pack in rotation order, then advance the rotation so the head
+            // changes every round (round-robin over jobs).
+            let mut free = server.num_gpus;
+            let mut selected = Vec::new();
+            for &job in rotation.iter() {
+                let gang = view.job(job).expect("resident job").gang;
+                if gang <= free {
+                    selected.push(job);
+                    free -= gang;
+                    if free == 0 {
+                        break;
+                    }
+                }
+            }
+            if let Some(head) = rotation.pop_front() {
+                rotation.push_back(head);
+            }
+            for job in selected {
+                plan.run_on(server.id, job);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::Simulation;
+    use gfair_types::{ClusterSpec, JobSpec, ModelProfile, SimConfig, SimTime, UserId, UserSpec};
+    use std::sync::Arc;
+
+    fn model() -> Arc<ModelProfile> {
+        Arc::new(ModelProfile::with_default_overheads("m", vec![1.0]))
+    }
+
+    fn job(id: u32, user: u32, gang: u32, service: f64) -> JobSpec {
+        JobSpec::new(
+            gfair_types::JobId::new(id),
+            UserId::new(user),
+            model(),
+            gang,
+            service,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn keeps_the_cluster_busy() {
+        let trace: Vec<JobSpec> = (0..8).map(|i| job(i, 0, 1, 40_000.0)).collect();
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 4),
+            UserSpec::equal_users(1, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut GandivaLike::new(), SimTime::from_secs(3600))
+            .unwrap();
+        assert!(report.utilization() > 0.99, "util {}", report.utilization());
+    }
+
+    #[test]
+    fn job_count_buys_share_no_user_fairness() {
+        // User 0 submits 3 jobs, user 1 submits 1: job-level round-robin
+        // gives user 0 ~3x the GPU time — exactly the unfairness the paper
+        // fixes.
+        let mut trace: Vec<JobSpec> = (0..3).map(|i| job(i, 0, 1, 40_000.0)).collect();
+        trace.push(job(9, 1, 1, 40_000.0));
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 2),
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut GandivaLike::new(), SimTime::from_secs(2 * 3600))
+            .unwrap();
+        let r = report.gpu_secs_of(UserId::new(0)) / report.gpu_secs_of(UserId::new(1));
+        assert!(r > 2.0, "expected job-count bias toward user 0, ratio {r}");
+    }
+
+    #[test]
+    fn rotation_gives_each_job_turns() {
+        // Three 1-GPU jobs on a 1-GPU server: every job gets ~1/3.
+        let trace: Vec<JobSpec> = (0..3).map(|i| job(i, i, 1, 100_000.0)).collect();
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 1),
+            UserSpec::equal_users(3, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut GandivaLike::new(), SimTime::from_secs(3600))
+            .unwrap();
+        for u in 0..3u32 {
+            let share = report.gpu_secs_of(UserId::new(u)) / report.gpu_secs_used;
+            assert!((share - 1.0 / 3.0).abs() < 0.05, "job {u} share {share}");
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_spread_over_servers() {
+        let trace: Vec<JobSpec> = (0..2).map(|i| job(i, 0, 4, 10_000.0)).collect();
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 4),
+            UserSpec::equal_users(1, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut GandivaLike::new(), SimTime::from_secs(600))
+            .unwrap();
+        // Both 4-GPU gangs run from the start: full utilization.
+        assert!(report.utilization() > 0.99, "util {}", report.utilization());
+    }
+}

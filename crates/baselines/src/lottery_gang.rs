@@ -1,0 +1,192 @@
+//! User-fair gang *lottery* scheduling — the randomized alternative.
+//!
+//! Same placement and user-level ticket currency as Gandiva_fair's local
+//! schedulers, but each server holds a per-quantum ticket lottery instead of
+//! stride scheduling. Proportional in expectation, but short-window shares
+//! fluctuate with O(1/sqrt(n)) noise — the reason the paper builds on
+//! stride. Used by ablation A3 to quantify the variance gap.
+
+use crate::util::least_loaded_fitting;
+use gfair_sim::{Action, ClusterScheduler, RoundPlan, SimView};
+use gfair_stride::LotteryScheduler;
+use gfair_types::{JobId, ServerId, UserId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Gang lottery with user-level tickets, per server.
+#[derive(Debug)]
+pub struct LotteryGang {
+    rng: ChaCha8Rng,
+    locals: BTreeMap<ServerId, LotteryScheduler<JobId>>,
+    inflight: BTreeMap<ServerId, u32>,
+}
+
+impl LotteryGang {
+    /// Creates the scheduler; `seed` drives all lottery draws.
+    pub fn new(seed: u64) -> Self {
+        LotteryGang {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            locals: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds one server's lottery entrants from the residency view with
+    /// user-level ticket exchange (user tickets split over the user's jobs
+    /// on this server).
+    fn sync_server(&mut self, view: &SimView<'_>, server: ServerId) {
+        let tickets: BTreeMap<UserId, u64> =
+            view.users().iter().map(|u| (u.id, u.tickets)).collect();
+        let resident: BTreeSet<JobId> = view.resident(server).collect();
+        let mut per_user_count: BTreeMap<UserId, usize> = BTreeMap::new();
+        for &j in &resident {
+            let user = view.job(j).expect("resident job").user;
+            *per_user_count.entry(user).or_insert(0) += 1;
+        }
+        let capacity = view.cluster().server(server).num_gpus;
+        let local = self
+            .locals
+            .entry(server)
+            .or_insert_with(|| LotteryScheduler::new(capacity));
+        // Rebuild from scratch: lottery is memoryless, so this is cheap and
+        // exact.
+        let mut fresh = LotteryScheduler::new(capacity);
+        for &j in &resident {
+            let info = view.job(j).expect("resident job");
+            let user_tickets = tickets.get(&info.user).copied().unwrap_or(1) as f64;
+            let share = user_tickets / per_user_count[&info.user] as f64;
+            fresh.join(j, share, info.gang);
+        }
+        *local = fresh;
+    }
+}
+
+impl ClusterScheduler for LotteryGang {
+    fn name(&self) -> &'static str {
+        "lottery-gang"
+    }
+
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        let gang = view.job(job).expect("known job").gang;
+        match least_loaded_fitting(view, &self.inflight, gang) {
+            Some(server) => {
+                *self.inflight.entry(server).or_insert(0) += gang;
+                vec![Action::Place { job, server }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.inflight.clear();
+        let mut plan = RoundPlan::empty();
+        // Retry jobs whose placement failed earlier (e.g. during an outage).
+        let pending: Vec<JobId> = view.pending_jobs().map(|j| j.id).collect();
+        for job in pending {
+            plan.actions.extend(self.on_job_arrival(view, job));
+        }
+        let servers: Vec<ServerId> = view.cluster().servers.iter().map(|s| s.id).collect();
+        for server in servers {
+            self.sync_server(view, server);
+            let local = self.locals.get_mut(&server).expect("synced");
+            for job in local.draw_round(&mut self.rng) {
+                plan.run_on(server, job);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::Simulation;
+    use gfair_types::{ClusterSpec, JobSpec, ModelProfile, SimConfig, SimTime, UserSpec};
+    use std::sync::Arc;
+
+    fn model() -> Arc<ModelProfile> {
+        Arc::new(ModelProfile::with_default_overheads("m", vec![1.0]))
+    }
+
+    fn job(id: u32, user: u32, service: f64) -> JobSpec {
+        JobSpec::new(
+            gfair_types::JobId::new(id),
+            UserId::new(user),
+            model(),
+            1,
+            service,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn long_run_shares_are_ticket_proportional() {
+        let users = vec![
+            UserSpec::new(UserId::new(0), "big", 300),
+            UserSpec::new(UserId::new(1), "small", 100),
+        ];
+        // Services far beyond the horizon so nobody finishes and the ratio
+        // reflects steady-state contention only.
+        let trace = vec![job(0, 0, 1_000_000.0), job(1, 1, 1_000_000.0)];
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 1),
+            users,
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut LotteryGang::new(1), SimTime::from_secs(40 * 3600))
+            .unwrap();
+        let ratio = report.gpu_secs_of(UserId::new(0)) / report.gpu_secs_of(UserId::new(1));
+        assert!(
+            (ratio - 3.0).abs() < 0.4,
+            "expected ~3x in expectation, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn job_flooding_does_not_buy_share_in_expectation() {
+        // One GPU, so every round is a single user-proportional draw: the
+        // flooder's six jobs share the user's 100 tickets and win exactly
+        // half the rounds in expectation.
+        let users = UserSpec::equal_users(2, 100);
+        let mut trace: Vec<JobSpec> = (0..6).map(|i| job(i, 0, 1_000_000.0)).collect();
+        trace.push(job(10, 1, 1_000_000.0));
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 1),
+            users,
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_until(&mut LotteryGang::new(2), SimTime::from_secs(40 * 3600))
+            .unwrap();
+        let a = report.gpu_secs_of(UserId::new(0));
+        let b = report.gpu_secs_of(UserId::new(1));
+        assert!(
+            (a - b).abs() / a.max(b) < 0.1,
+            "user-level lottery shares diverged: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let users = UserSpec::equal_users(2, 100);
+        let mk = || {
+            let trace = vec![job(0, 0, 5_000.0), job(1, 1, 5_000.0)];
+            Simulation::new(
+                ClusterSpec::homogeneous(1, 1),
+                users.clone(),
+                trace,
+                SimConfig::default(),
+            )
+            .unwrap()
+            .run(&mut LotteryGang::new(9))
+            .unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

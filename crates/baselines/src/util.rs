@@ -1,0 +1,48 @@
+//! Shared placement helpers for the baseline schedulers.
+
+use gfair_sim::SimView;
+use gfair_types::ServerId;
+use std::collections::BTreeMap;
+
+/// Least-loaded server that can host a gang of `gang` GPUs, accounting for
+/// placements issued this round but not yet applied (`inflight`).
+pub(crate) fn least_loaded_fitting(
+    view: &SimView<'_>,
+    inflight: &BTreeMap<ServerId, u32>,
+    gang: u32,
+) -> Option<ServerId> {
+    view.up_servers()
+        .filter(|s| s.num_gpus >= gang)
+        .min_by(|a, b| {
+            let la = projected_load(view, inflight, a.id);
+            let lb = projected_load(view, inflight, b.id);
+            la.total_cmp(&lb).then(a.id.cmp(&b.id))
+        })
+        .map(|s| s.id)
+}
+
+/// Server load including in-flight placements.
+pub(crate) fn projected_load(
+    view: &SimView<'_>,
+    inflight: &BTreeMap<ServerId, u32>,
+    server: ServerId,
+) -> f64 {
+    let gpus = view.cluster().server(server).num_gpus;
+    let pending = inflight.get(&server).copied().unwrap_or(0);
+    (view.resident_demand(server) + pending) as f64 / gpus as f64
+}
+
+/// Free GPUs on a server under run-to-completion semantics (capacity minus
+/// resident demand minus in-flight placements), clamped at zero.
+pub(crate) fn free_gpus(
+    view: &SimView<'_>,
+    inflight: &BTreeMap<ServerId, u32>,
+    server: ServerId,
+) -> u32 {
+    if !view.is_up(server) {
+        return 0;
+    }
+    let gpus = view.cluster().server(server).num_gpus;
+    let used = view.resident_demand(server) + inflight.get(&server).copied().unwrap_or(0);
+    gpus.saturating_sub(used)
+}

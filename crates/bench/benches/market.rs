@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark for the trading market: matching cost as the
+//! user population grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfair_core::{run_market, Entitlements};
+use gfair_types::{GenId, PriceStrategy, UserId};
+use std::collections::BTreeMap;
+
+fn market_inputs(
+    users: usize,
+) -> (
+    Entitlements,
+    BTreeMap<UserId, Vec<Option<f64>>>,
+    BTreeMap<UserId, f64>,
+) {
+    let gpus = BTreeMap::from([
+        (GenId::new(0), 1024u32),
+        (GenId::new(1), 256),
+        (GenId::new(2), 128),
+    ]);
+    let active: Vec<(UserId, u64)> = (0..users as u32).map(|u| (UserId::new(u), 100)).collect();
+    let ent = Entitlements::base(&gpus, &active);
+    let speedups: BTreeMap<UserId, Vec<Option<f64>>> = (0..users as u32)
+        .map(|u| {
+            // Spread speedups across the 1.1-5.0 range deterministically.
+            let s = 1.1 + 3.9 * (u as f64 / users.max(2) as f64);
+            (
+                UserId::new(u),
+                vec![Some(1.0), Some(1.0 + s * 0.4), Some(s)],
+            )
+        })
+        .collect();
+    let demand: BTreeMap<UserId, f64> = (0..users as u32).map(|u| (UserId::new(u), 64.0)).collect();
+    (ent, speedups, demand)
+}
+
+fn bench_market(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_market");
+    for users in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            let (ent, speedups, demand) = market_inputs(users);
+            b.iter(|| {
+                let mut e = ent.clone();
+                run_market(&mut e, &speedups, &demand, PriceStrategy::MaxSpeedup, 0.2)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_market);
+criterion_main!(benches);

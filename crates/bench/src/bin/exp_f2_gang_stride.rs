@@ -1,0 +1,71 @@
+//! Experiment F2 `gang_stride` — gang-aware stride on one server.
+//!
+//! One 8-GPU server, five jobs with gangs {8, 4, 4, 2, 2} and equal
+//! tickets, under three policies:
+//!
+//! * gang-aware stride (the paper's algorithm): ticket-proportional
+//!   GPU-time *and* high utilization;
+//! * job-level stride (naive): wide gangs hoard GPU-time;
+//! * strict no-backfill stride: fair ordering but idle GPUs.
+//!
+//! Run: `cargo run -p gfair-bench --bin exp_f2_gang_stride`
+
+use gfair_bench::banner;
+use gfair_metrics::{jain_index, Table};
+use gfair_stride::{GangPolicy, GangScheduler};
+use std::collections::BTreeMap;
+
+const GANGS: [(u32, u32); 5] = [(0, 8), (1, 4), (2, 4), (3, 2), (4, 2)];
+const ROUNDS: usize = 5_000;
+const CAPACITY: u32 = 8;
+
+fn run(policy: GangPolicy) -> (BTreeMap<u32, f64>, f64) {
+    let mut g = GangScheduler::new(CAPACITY, policy);
+    for (id, width) in GANGS {
+        g.join(id, 100.0, width);
+    }
+    let mut gpu_time: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut used = 0u64;
+    for _ in 0..ROUNDS {
+        let out = g.plan_round();
+        used += out.gpus_used as u64;
+        for k in out.selected {
+            *gpu_time.entry(k).or_insert(0.0) += g.width_of(k).unwrap() as f64;
+        }
+    }
+    let util = used as f64 / (ROUNDS as f64 * CAPACITY as f64);
+    (gpu_time, util)
+}
+
+fn main() {
+    banner(
+        "F2 gang_stride",
+        "gang-aware stride gives ticket-proportional GPU-time to mixed-width gangs while staying work-conserving; naive variants fail one way or the other",
+    );
+    println!(
+        "1 server x {CAPACITY} GPUs; jobs (id, gang): {GANGS:?}; equal tickets; {ROUNDS} rounds\n"
+    );
+
+    let policies = [
+        ("gang-aware", GangPolicy::GangAware),
+        ("job-level", GangPolicy::JobLevelStride),
+        ("strict", GangPolicy::StrictNoBackfill),
+    ];
+    let mut table = Table::new(vec![
+        "policy", "J0(g8)", "J1(g4)", "J2(g4)", "J3(g2)", "J4(g2)", "jain", "util",
+    ]);
+    for (name, policy) in policies {
+        let (gpu_time, util) = run(policy);
+        let total: f64 = gpu_time.values().sum();
+        let shares: Vec<f64> = (0..5)
+            .map(|i| gpu_time.get(&i).copied().unwrap_or(0.0) / total)
+            .collect();
+        let mut row = vec![name.to_string()];
+        row.extend(shares.iter().map(|s| format!("{s:.3}")));
+        row.push(format!("{:.3}", jain_index(&shares)));
+        row.push(format!("{:.1}%", util * 100.0));
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("(shares are fractions of dispensed GPU-time; ideal fair = 0.200 each)");
+}

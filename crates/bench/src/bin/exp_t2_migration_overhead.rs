@@ -1,0 +1,124 @@
+//! Experiment T2 `migration_overhead` — cost of suspend/checkpoint/restore.
+//!
+//! Part 1: the per-model migration outage table (checkpoint + restore).
+//! Part 2: throughput impact — a single long job is force-migrated every K
+//! rounds; the figure is the fraction of ideal progress retained as
+//! migration frequency rises. The paper's claim in shape: sub-minute
+//! migration costs are negligible at realistic (many-minute) migration
+//! intervals.
+//!
+//! Run: `cargo run -p gfair-bench --bin exp_t2_migration_overhead`
+
+use gfair_bench::{banner, sim_config};
+use gfair_metrics::Table;
+use gfair_sim::{Action, ClusterScheduler, RoundPlan, SimView, Simulation};
+use gfair_types::{ClusterSpec, JobId, JobSpec, JobState, ServerId, SimTime, UserId, UserSpec};
+use gfair_workloads::zoo;
+use std::sync::Arc;
+
+/// Ping-pongs job 0 between servers 0 and 1 every `every` rounds.
+struct PingPong {
+    every: u64,
+    rounds: u64,
+    at: ServerId,
+}
+
+impl ClusterScheduler for PingPong {
+    fn name(&self) -> &'static str {
+        "ping-pong"
+    }
+    fn on_job_arrival(&mut self, _v: &SimView<'_>, job: JobId) -> Vec<Action> {
+        vec![Action::Place {
+            job,
+            server: ServerId::new(0),
+        }]
+    }
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.rounds += 1;
+        let mut plan = RoundPlan::empty();
+        if self.every > 0 && self.rounds.is_multiple_of(self.every) {
+            let to = ServerId::new(1 - self.at.raw());
+            if view
+                .job(JobId::new(0))
+                .map(|j| j.state == JobState::Resident)
+                .unwrap_or(false)
+            {
+                self.at = to;
+                plan.actions.push(Action::Migrate {
+                    job: JobId::new(0),
+                    to,
+                });
+                return plan;
+            }
+        }
+        for server in &view.cluster().servers {
+            for job in view.resident(server.id) {
+                plan.run_on(server.id, job);
+            }
+        }
+        plan
+    }
+}
+
+fn main() {
+    banner(
+        "T2 migration_overhead",
+        "checkpoint/restore outages are sub-minute per model and negligible at realistic migration intervals",
+    );
+
+    // Part 1: the per-model outage table.
+    let mut table = Table::new(vec!["model", "checkpoint(s)", "restore(s)", "outage(s)"]);
+    for e in zoo() {
+        table.row(vec![
+            e.model.name.clone(),
+            format!("{:.0}", e.model.checkpoint.as_secs_f64()),
+            format!("{:.0}", e.model.restore.as_secs_f64()),
+            format!("{:.0}", e.model.migration_cost().as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Part 2: throughput retained vs forced migration interval.
+    let model = Arc::new(gfair_types::ModelProfile::with_default_overheads(
+        "probe",
+        vec![1.0],
+    )); // 60 s outage per move
+    let horizon = SimTime::from_secs(4 * 3600);
+    let mut sweep = Table::new(vec!["migrate every", "migrations", "progress vs ideal"]);
+    for every in [0u64, 60, 30, 15, 10, 5] {
+        let trace = vec![JobSpec::new(
+            JobId::new(0),
+            UserId::new(0),
+            Arc::clone(&model),
+            1,
+            1_000_000.0,
+            SimTime::ZERO,
+        )];
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 1),
+            UserSpec::equal_users(1, 100),
+            trace,
+            sim_config(1),
+        )
+        .expect("valid setup");
+        let mut sched = PingPong {
+            every,
+            rounds: 0,
+            at: ServerId::new(0),
+        };
+        let report = sim.run_until(&mut sched, horizon).expect("valid run");
+        let ideal = horizon.as_secs_f64();
+        let label = if every == 0 {
+            "never".to_string()
+        } else {
+            format!("{every} min")
+        };
+        sweep.row(vec![
+            label,
+            report.migrations.to_string(),
+            format!("{:.1}%", 100.0 * report.gpu_secs_used / ideal),
+        ]);
+    }
+    println!("{}", sweep.render());
+    println!("(60 s quantum; each migration costs the probe model 60 s of outage)");
+}

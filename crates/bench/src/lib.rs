@@ -1,0 +1,80 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of the
+//! reconstructed evaluation (see DESIGN.md for the index and EXPERIMENTS.md
+//! for recorded outputs). All binaries accept `--seed <n>` and print
+//! deterministic ASCII tables.
+
+use gfair_types::{ClusterSpec, GenCatalog, SimConfig, SimTime};
+
+/// Parses `--seed <n>` from argv; defaults to 42.
+pub fn seed_arg() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Parses a `--horizon-hours <n>` override; defaults to `default_hours`.
+pub fn horizon_arg(default_hours: u64) -> SimTime {
+    let args: Vec<String> = std::env::args().collect();
+    let hours = args
+        .iter()
+        .position(|a| a == "--horizon-hours")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_hours);
+    SimTime::from_secs(hours * 3600)
+}
+
+/// The paper-scale 200-GPU heterogeneous testbed.
+pub fn testbed() -> ClusterSpec {
+    ClusterSpec::paper_testbed()
+}
+
+/// A K80-heavy two-generation cluster where V100s are scarce — the trading
+/// experiments' setting.
+pub fn trading_cluster() -> ClusterSpec {
+    ClusterSpec::build(
+        GenCatalog::k80_p100_v100(),
+        &[("K80", 10, 8), ("V100", 3, 4)],
+    )
+}
+
+/// Default simulator config for experiments (the paper's minute quantum).
+pub fn sim_config(seed: u64) -> SimConfig {
+    SimConfig::default().with_seed(seed)
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, claim: &str) {
+    println!("== {id} ==");
+    println!("claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_is_paper_scale() {
+        assert_eq!(testbed().total_gpus(), 200);
+    }
+
+    #[test]
+    fn default_seed_is_42() {
+        assert_eq!(seed_arg(), 42);
+    }
+
+    #[test]
+    fn trading_cluster_has_scarce_fast_gpus() {
+        let c = trading_cluster();
+        let per_gen = c.gpus_per_gen();
+        let k80 = per_gen[&gfair_types::GenId::new(0)];
+        let v100 = per_gen[&gfair_types::GenId::new(2)];
+        assert!(k80 > 5 * v100, "V100s must be scarce: {k80} vs {v100}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Migration-based load balancing.
+//!
+//! Time slicing is enforced per server, so cluster-wide fairness needs
+//! servers to carry comparable load — and trading only changes *numbers*
+//! until jobs actually move to the generations their owners now own. The
+//! balancer runs periodically and plans up to
+//! [`gfair_types::SimConfig::max_migrations_per_tick`] migrations, in three
+//! passes:
+//!
+//! 1. **Profiling migrations** — move one job of a model that lacks rate
+//!    estimates on some generation to a server of that generation, so the
+//!    profiler can learn the speedups trading needs. (Transparent
+//!    profiling-by-migration, as in the paper.)
+//! 2. **Entitlement realization** — users consuming more of a generation
+//!    than their (post-trade) entitlement have jobs moved toward the
+//!    generations where they hold unused entitlement, biggest jobs first.
+//! 3. **Fairness spreading** — within a generation, a user whose jobs are
+//!    concentrated on few servers cannot consume their share there (local
+//!    stride divides each server among the users *present* on it); their
+//!    surplus jobs move toward servers where they are under-represented.
+//! 4. **Load spreading** — within each generation, move the biggest
+//!    eligible job from the most- to the least-loaded server while the
+//!    spread exceeds the threshold and the move strictly helps.
+//!
+//! Every pass honors the per-job migration cooldown and never plans two
+//! moves for the same job in one tick.
+
+use crate::config::GfairConfig;
+use crate::entitlement::Entitlements;
+use crate::profiler::Profiler;
+use gfair_sim::{Action, JobInfo, SimView};
+use gfair_types::{GenId, JobId, ServerId, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Plans this tick's migrations. Pure with respect to the view: the caller
+/// applies the returned actions through the simulator.
+pub fn plan_migrations(
+    view: &SimView<'_>,
+    ent: &Entitlements,
+    profiler: &Profiler,
+    cfg: &GfairConfig,
+) -> Vec<Action> {
+    let mut planner = Planner::new(view, cfg);
+    if cfg.profiling_migrations {
+        planner.profiling_pass(profiler);
+    }
+    planner.realization_pass(ent);
+    planner.fairness_pass(ent);
+    planner.spreading_pass();
+    planner.actions
+}
+
+/// Working state for one balancing tick.
+struct Planner<'a, 'v> {
+    view: &'a SimView<'v>,
+    cfg: &'a GfairConfig,
+    now: SimTime,
+    budget: u32,
+    /// Jobs already scheduled to move this tick.
+    moved: BTreeSet<JobId>,
+    /// Projected per-server GPU demand after the moves planned so far.
+    demand: BTreeMap<ServerId, u32>,
+    actions: Vec<Action>,
+}
+
+impl<'a, 'v> Planner<'a, 'v> {
+    fn new(view: &'a SimView<'v>, cfg: &'a GfairConfig) -> Self {
+        let demand = view
+            .cluster()
+            .servers
+            .iter()
+            .map(|s| (s.id, view.resident_demand(s.id)))
+            .collect();
+        Planner {
+            view,
+            cfg,
+            now: view.now(),
+            budget: view.config().max_migrations_per_tick,
+            moved: BTreeSet::new(),
+            demand,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Projected load of a server (demand after planned moves / GPUs).
+    fn load(&self, server: ServerId) -> f64 {
+        let gpus = self.view.cluster().server(server).num_gpus;
+        self.demand[&server] as f64 / gpus as f64
+    }
+
+    /// Whether a job may move this tick.
+    fn eligible(&self, job: &JobInfo) -> bool {
+        if self.moved.contains(&job.id) || !job.state.is_schedulable() {
+            return false;
+        }
+        match job.last_migration {
+            Some(t) => t + self.view.config().migration_cooldown <= self.now,
+            None => true,
+        }
+    }
+
+    /// Least-loaded online server of `gen` that can host `gang`, by
+    /// projected load.
+    fn target_in_gen(&self, gen: GenId, gang: u32) -> Option<ServerId> {
+        self.view
+            .up_servers_of_gen(gen)
+            .filter(|s| s.num_gpus >= gang)
+            .min_by(|a, b| {
+                self.load(a.id)
+                    .total_cmp(&self.load(b.id))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+
+    /// Commits a planned move, updating projections.
+    fn push_move(&mut self, job: &JobInfo, to: ServerId) {
+        let from = job.server.expect("resident job has a server");
+        *self.demand.get_mut(&from).expect("known server") -= job.gang;
+        *self.demand.get_mut(&to).expect("known server") += job.gang;
+        self.moved.insert(job.id);
+        self.budget -= 1;
+        self.actions.push(Action::Migrate { job: job.id, to });
+    }
+
+    /// Pass 1: send jobs of unprofiled models to the generations the
+    /// profiler is missing (at most two per tick — profiling is background
+    /// work, not the main event).
+    fn profiling_pass(&mut self, profiler: &Profiler) {
+        let mut sent_models: BTreeSet<std::sync::Arc<str>> = BTreeSet::new();
+        let mut sent = 0u32;
+        let jobs: Vec<&JobInfo> = self.view.active_jobs().collect();
+        for job in jobs {
+            if self.budget == 0 || sent >= 2 {
+                return;
+            }
+            if !self.eligible(job) || sent_models.contains(&job.model) {
+                continue;
+            }
+            let Some(cur_server) = job.server else {
+                continue;
+            };
+            let cur_gen = self.view.cluster().server(cur_server).gen;
+            // Only consider gens this job could actually run on, and prefer
+            // the fastest unprofiled one (most valuable information).
+            let missing: Vec<GenId> = profiler
+                .unprofiled_gens(&job.model)
+                .into_iter()
+                .filter(|&g| g != cur_gen)
+                .collect();
+            let Some(&gen) = missing.last() else {
+                continue;
+            };
+            if let Some(to) = self.target_in_gen(gen, job.gang) {
+                sent_models.insert(std::sync::Arc::clone(&job.model));
+                self.push_move(job, to);
+                sent += 1;
+            }
+        }
+    }
+
+    /// Pass 2: realize entitlements — move jobs of over-consuming users
+    /// from generations where they exceed their allocation toward
+    /// generations where they have slack, biggest jobs first.
+    fn realization_pass(&mut self, ent: &Entitlements) {
+        // Per (user, gen): GPUs currently consumed by resident jobs.
+        let mut used: BTreeMap<(gfair_types::UserId, GenId), f64> = BTreeMap::new();
+        for job in self.view.active_jobs() {
+            if let Some(server) = job.server {
+                let gen = self.view.cluster().server(server).gen;
+                *used.entry((job.user, gen)).or_insert(0.0) += job.gang as f64;
+            }
+        }
+        let num_gens = ent.num_gens();
+        let users: Vec<gfair_types::UserId> = ent.users().collect();
+        for user in users {
+            if self.budget == 0 {
+                return;
+            }
+            // Find this user's most-overused and most-underused generation.
+            let mut over: Option<(GenId, f64)> = None;
+            let mut under: Option<(GenId, f64)> = None;
+            for g in 0..num_gens {
+                let gen = GenId::new(g as u32);
+                let u = used.get(&(user, gen)).copied().unwrap_or(0.0);
+                let a = ent.get(user, gen);
+                let excess = u - a;
+                if excess > 1.0 && over.map(|(_, e)| excess > e).unwrap_or(true) {
+                    over = Some((gen, excess));
+                }
+                let slack = a - u;
+                if slack > 1.0 && under.map(|(_, s)| slack > s).unwrap_or(true) {
+                    under = Some((gen, slack));
+                }
+            }
+            let (Some((over_gen, excess)), Some((under_gen, slack))) = (over, under) else {
+                continue;
+            };
+            // Biggest eligible job that fits the imbalance on both sides.
+            let limit = excess.min(slack) + 1.0;
+            let candidate = self
+                .view
+                .jobs_of_user(user)
+                .filter(|j| self.eligible(j))
+                .filter(|j| {
+                    j.server
+                        .map(|s| self.view.cluster().server(s).gen == over_gen)
+                        .unwrap_or(false)
+                })
+                .filter(|j| (j.gang as f64) <= limit)
+                .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
+            if let Some(job) = candidate {
+                if let Some(to) = self.target_in_gen(under_gen, job.gang) {
+                    self.push_move(job, to);
+                }
+            }
+        }
+    }
+
+    /// Pass 3: spread each user's jobs across the servers of a generation
+    /// in proportion to server size, so every user can actually consume
+    /// their per-server stride share. Without this, a user whose jobs are
+    /// piled on one server (e.g. after a failure re-placement burst) is
+    /// capped at that server's split even though they own cluster-wide
+    /// share.
+    fn fairness_pass(&mut self, ent: &Entitlements) {
+        let gens: Vec<GenId> = self.view.cluster().catalog.ids().collect();
+        let users: Vec<gfair_types::UserId> = ent.users().collect();
+        for gen in gens {
+            if self.budget == 0 {
+                return;
+            }
+            let servers: Vec<(ServerId, u32)> = self
+                .view
+                .up_servers_of_gen(gen)
+                .map(|s| (s.id, s.num_gpus))
+                .collect();
+            if servers.len() < 2 {
+                continue;
+            }
+            let gen_gpus: u32 = servers.iter().map(|&(_, g)| g).sum();
+            for &user in &users {
+                if self.budget == 0 {
+                    return;
+                }
+                // The user's entitlement on this generation, spread over its
+                // servers in proportion to server size.
+                let alloc = ent.get(user, gen);
+                if alloc <= 0.0 {
+                    continue;
+                }
+                // Per-server demand of this user.
+                let mut demand: BTreeMap<ServerId, f64> = BTreeMap::new();
+                let mut total = 0.0f64;
+                for j in self.view.jobs_of_user(user) {
+                    if let Some(srv) = j.server {
+                        if self.view.cluster().server(srv).gen == gen {
+                            *demand.entry(srv).or_insert(0.0) += j.gang as f64;
+                            total += j.gang as f64;
+                        }
+                    }
+                }
+                if total <= 0.0 {
+                    continue;
+                }
+                // A user cannot spread more demand than they have; target
+                // per-server presence proportional to server size, capped by
+                // total demand.
+                let spreadable = total.min(alloc);
+                let mut over: Option<(ServerId, f64)> = None;
+                let mut under: Option<(ServerId, f64)> = None;
+                for &(srv, gpus) in &servers {
+                    let target = spreadable * gpus as f64 / gen_gpus as f64;
+                    let have = demand.get(&srv).copied().unwrap_or(0.0);
+                    let excess = have - target;
+                    if excess > 0.5 && over.map(|(_, e)| excess > e).unwrap_or(true) {
+                        over = Some((srv, excess));
+                    }
+                    let deficit = target - have;
+                    if deficit > 0.5 && under.map(|(_, d)| deficit > d).unwrap_or(true) {
+                        under = Some((srv, deficit));
+                    }
+                }
+                let (Some((src, excess)), Some((dst, deficit))) = (over, under) else {
+                    continue;
+                };
+                let limit = excess.min(deficit) + 0.5;
+                let dst_gpus = self.view.cluster().server(dst).num_gpus;
+                let candidate = self
+                    .view
+                    .resident(src)
+                    .filter_map(|id| self.view.job(id))
+                    .filter(|j| j.user == user && self.eligible(j))
+                    .filter(|j| (j.gang as f64) <= limit && j.gang <= dst_gpus)
+                    .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
+                if let Some(job) = candidate {
+                    self.push_move(job, dst);
+                }
+            }
+        }
+    }
+
+    /// Pass 4: flatten load within each generation, big jobs first.
+    fn spreading_pass(&mut self) {
+        let gens: Vec<GenId> = self.view.cluster().catalog.ids().collect();
+        for gen in gens {
+            loop {
+                if self.budget == 0 {
+                    return;
+                }
+                let servers: Vec<ServerId> =
+                    self.view.up_servers_of_gen(gen).map(|s| s.id).collect();
+                if servers.len() < 2 {
+                    break;
+                }
+                let hi = *servers
+                    .iter()
+                    .max_by(|a, b| self.load(**a).total_cmp(&self.load(**b)).then(a.cmp(b)))
+                    .expect("non-empty");
+                let lo = *servers
+                    .iter()
+                    .min_by(|a, b| self.load(**a).total_cmp(&self.load(**b)).then(a.cmp(b)))
+                    .expect("non-empty");
+                if self.load(hi) - self.load(lo) <= self.cfg.load_spread {
+                    break;
+                }
+                // Biggest eligible job on `hi` whose move strictly helps:
+                // the destination must not end up more loaded than the
+                // source was.
+                let hi_gpus = self.view.cluster().server(hi).num_gpus as f64;
+                let lo_gpus = self.view.cluster().server(lo).num_gpus as f64;
+                let candidate = self
+                    .view
+                    .resident(hi)
+                    .filter_map(|id| self.view.job(id))
+                    .filter(|j| self.eligible(j))
+                    .filter(|j| j.gang as f64 <= lo_gpus)
+                    .filter(|j| {
+                        let new_lo = (self.demand[&lo] + j.gang) as f64 / lo_gpus;
+                        let old_hi = self.demand[&hi] as f64 / hi_gpus;
+                        new_lo < old_hi
+                    })
+                    .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
+                match candidate {
+                    Some(job) => self.push_move(job, lo),
+                    None => break,
+                }
+            }
+        }
+    }
+}

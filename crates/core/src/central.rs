@@ -1,0 +1,600 @@
+//! The central Gandiva_fair scheduler.
+//!
+//! Orchestrates everything: placement of arriving jobs, per-round gang
+//! scheduling through the per-server [`LocalScheduler`]s, periodic
+//! entitlement refresh + trading, and periodic migration-based balancing.
+//!
+//! ## Decision flow per round
+//!
+//! 1. Refresh entitlements if the active user set changed or the trade
+//!    interval elapsed; re-run the trading market on refresh.
+//! 2. If the balance interval elapsed, plan migrations (profiling /
+//!    realization / spreading passes).
+//! 3. Sync every local scheduler with residency (excluding jobs that are
+//!    about to migrate) and with user weights = the user's post-trade
+//!    entitlement on that server's generation.
+//! 4. Collect each server's gang-aware stride selection into the round plan.
+
+use crate::balance::plan_migrations;
+use crate::config::GfairConfig;
+use crate::entitlement::Entitlements;
+use crate::local::LocalScheduler;
+use crate::profiler::Profiler;
+use crate::trade::{run_market, Trade};
+use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
+use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Gandiva_fair cluster scheduler.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gfair_core::{GandivaFair, GfairConfig};
+/// use gfair_sim::Simulation;
+/// use gfair_types::{ClusterSpec, SimConfig, UserSpec};
+///
+/// let cluster = ClusterSpec::paper_testbed();
+/// let users = UserSpec::equal_users(4, 100);
+/// let trace = vec![]; // build with gfair-workloads
+/// let sim = Simulation::new(cluster, users, trace, SimConfig::default()).unwrap();
+/// let mut sched = GandivaFair::new(GfairConfig::default());
+/// let report = sim.run(&mut sched).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct GandivaFair {
+    cfg: GfairConfig,
+    name: &'static str,
+    profiler: Option<Profiler>,
+    ent: Option<Entitlements>,
+    locals: BTreeMap<ServerId, LocalScheduler>,
+    /// Active-user signature the current entitlements were computed from.
+    active_sig: Vec<(UserId, u64)>,
+    next_trade: SimTime,
+    next_balance: SimTime,
+    /// Executed trades with their timestamps, for experiment reporting.
+    trade_log: Vec<(SimTime, Trade)>,
+    /// GPU demand of placements issued this round but not yet applied by the
+    /// engine (placement callbacks run before the round boundary), so that
+    /// simultaneous arrivals do not pile onto one server.
+    inflight: BTreeMap<ServerId, u32>,
+}
+
+impl GandivaFair {
+    /// Creates the scheduler with the given policy configuration.
+    pub fn new(cfg: GfairConfig) -> Self {
+        GandivaFair {
+            cfg,
+            name: "gandiva-fair",
+            profiler: None,
+            ent: None,
+            locals: BTreeMap::new(),
+            active_sig: Vec::new(),
+            next_trade: SimTime::ZERO,
+            next_balance: SimTime::ZERO,
+            trade_log: Vec::new(),
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the report name (used by ablation variants).
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Trades executed so far, with timestamps.
+    pub fn trades(&self) -> &[(SimTime, Trade)] {
+        &self.trade_log
+    }
+
+    /// The profiler's current state (None before the first round).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The current entitlements (None before the first round).
+    pub fn entitlements(&self) -> Option<&Entitlements> {
+        self.ent.as_ref()
+    }
+
+    /// Lazily builds the profiler and local schedulers from the cluster.
+    fn ensure_init(&mut self, view: &SimView<'_>) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::new(
+                view.cluster().catalog.len(),
+                self.cfg.min_profile_samples,
+            ));
+        }
+        if self.locals.is_empty() {
+            for s in &view.cluster().servers {
+                self.locals.insert(
+                    s.id,
+                    LocalScheduler::new(s.id, s.num_gpus, self.cfg.gang_policy),
+                );
+            }
+        }
+    }
+
+    /// The active-user signature: (user, tickets) for users with active jobs.
+    fn active_signature(view: &SimView<'_>) -> Vec<(UserId, u64)> {
+        let tickets: BTreeMap<UserId, u64> =
+            view.users().iter().map(|u| (u.id, u.tickets)).collect();
+        view.active_users()
+            .into_iter()
+            .map(|u| (u, tickets.get(&u).copied().unwrap_or(1)))
+            .collect()
+    }
+
+    /// Per-user total GPU demand (sum of active gang sizes).
+    fn demands(view: &SimView<'_>) -> BTreeMap<UserId, f64> {
+        let mut d = BTreeMap::new();
+        for j in view.active_jobs() {
+            *d.entry(j.user).or_insert(0.0) += j.gang as f64;
+        }
+        d
+    }
+
+    /// Per-user, per-generation speedup estimates: the demand-weighted mean
+    /// of the profiled speedups of the user's active jobs' models. `None`
+    /// where no job of the user is profiled on that generation.
+    fn user_speedups(&self, view: &SimView<'_>) -> BTreeMap<UserId, Vec<Option<f64>>> {
+        let profiler = self.profiler.as_ref().expect("initialized");
+        let base = GenId::new(0);
+        let num_gens = view.cluster().catalog.len();
+        let mut out: BTreeMap<UserId, Vec<Option<f64>>> = BTreeMap::new();
+        let mut weights: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
+        let mut sums: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
+        for j in view.active_jobs() {
+            for g in 0..num_gens {
+                let gen = GenId::new(g as u32);
+                if let Some(s) = profiler.speedup(&j.model, gen, base) {
+                    *weights.entry((j.user, g)).or_insert(0.0) += j.gang as f64;
+                    *sums.entry((j.user, g)).or_insert(0.0) += s * j.gang as f64;
+                }
+            }
+        }
+        for u in view.active_users() {
+            let mut row = vec![None; num_gens];
+            row[0] = Some(1.0);
+            for (g, slot) in row.iter_mut().enumerate().skip(1) {
+                if let (Some(&w), Some(&s)) = (weights.get(&(u, g)), sums.get(&(u, g))) {
+                    if w > 0.0 {
+                        *slot = Some(s / w);
+                    }
+                }
+            }
+            out.insert(u, row);
+        }
+        out
+    }
+
+    /// Recomputes base entitlements and re-runs the market.
+    fn refresh_entitlements(&mut self, view: &SimView<'_>, active: Vec<(UserId, u64)>) {
+        let gpus = view.cluster().gpus_per_gen();
+        let mut ent = Entitlements::base(&gpus, &active);
+        if self.cfg.trading && !active.is_empty() {
+            let speedups = self.user_speedups(view);
+            let demand = Self::demands(view);
+            let trades = run_market(
+                &mut ent,
+                &speedups,
+                &demand,
+                view.config().price_strategy,
+                self.cfg.trade_margin,
+            );
+            let now = view.now();
+            self.trade_log.extend(trades.into_iter().map(|t| (now, t)));
+        }
+        self.ent = Some(ent);
+        self.active_sig = active;
+    }
+
+    /// Server load including placements issued this round but not yet
+    /// applied by the engine.
+    fn projected_load(&self, view: &SimView<'_>, server: ServerId) -> f64 {
+        let gpus = view.cluster().server(server).num_gpus;
+        let pending = self.inflight.get(&server).copied().unwrap_or(0);
+        (view.resident_demand(server) + pending) as f64 / gpus as f64
+    }
+
+    /// Picks a server for an arriving job: prefer the generation where the
+    /// user has the most entitlement slack, then the least-loaded server of
+    /// that generation that fits; fall back to least-loaded overall.
+    fn choose_server(&self, view: &SimView<'_>, user: UserId, gang: u32) -> Option<ServerId> {
+        // Current per-gen usage of this user.
+        let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
+        for j in view.jobs_of_user(user) {
+            if let Some(s) = j.server {
+                *used.entry(view.cluster().server(s).gen).or_insert(0.0) += j.gang as f64;
+            }
+        }
+        if let Some(ent) = &self.ent {
+            let mut best_gen: Option<(GenId, f64)> = None;
+            for gen in view.cluster().catalog.ids() {
+                let slack = ent.get(user, gen) - used.get(&gen).copied().unwrap_or(0.0);
+                if slack > 0.0 && best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
+                    // Only generations with an online server wide enough
+                    // for the gang.
+                    if view.up_servers_of_gen(gen).any(|s| s.num_gpus >= gang) {
+                        best_gen = Some((gen, slack));
+                    }
+                }
+            }
+            if let Some((gen, _)) = best_gen {
+                let target = view
+                    .up_servers_of_gen(gen)
+                    .filter(|s| s.num_gpus >= gang)
+                    .min_by(|a, b| {
+                        self.projected_load(view, a.id)
+                            .total_cmp(&self.projected_load(view, b.id))
+                            .then(a.id.cmp(&b.id))
+                    })
+                    .map(|s| s.id);
+                if target.is_some() {
+                    return target;
+                }
+            }
+        }
+        // Work conservation fallback: least-loaded fitting server anywhere.
+        view.up_servers()
+            .filter(|s| s.num_gpus >= gang)
+            .min_by(|a, b| {
+                self.projected_load(view, a.id)
+                    .total_cmp(&self.projected_load(view, b.id))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|s| s.id)
+    }
+}
+
+impl ClusterScheduler for GandivaFair {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        self.ensure_init(view);
+        let info = view.job(job).expect("arriving job is known");
+        match self.choose_server(view, info.user, info.gang) {
+            Some(server) => {
+                *self.inflight.entry(server).or_insert(0) += info.gang;
+                vec![Action::Place { job, server }]
+            }
+            // Unplaceable gangs are rejected at simulation construction, so
+            // this only happens for an empty cluster.
+            None => Vec::new(),
+        }
+    }
+
+    fn on_profile_report(&mut self, view: &SimView<'_>, report: &ProfileReport) -> Vec<Action> {
+        self.ensure_init(view);
+        if let Some(info) = view.job(report.job) {
+            self.profiler.as_mut().expect("initialized").record(
+                &info.model,
+                report.gen,
+                report.rate,
+            );
+        }
+        Vec::new()
+    }
+
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.ensure_init(view);
+        // Queued placements were applied before this callback.
+        self.inflight.clear();
+        let now = view.now();
+
+        // 1. Entitlements: refresh on churn or on the trade timer.
+        let active = Self::active_signature(view);
+        let trade_due = now >= self.next_trade;
+        if trade_due || active != self.active_sig || self.ent.is_none() {
+            self.refresh_entitlements(view, active);
+            if trade_due {
+                self.next_trade = now + view.config().trade_interval;
+            }
+        }
+
+        // 2. Balancing.
+        let mut actions = Vec::new();
+        if self.cfg.balancing && now >= self.next_balance {
+            let ent = self.ent.as_ref().expect("refreshed above");
+            let profiler = self.profiler.as_ref().expect("initialized");
+            actions = plan_migrations(view, ent, profiler, &self.cfg);
+            self.next_balance = now + view.config().balance_interval;
+        }
+        // 3. Retry jobs whose placement failed earlier (e.g. every fitting
+        // server was down at arrival time).
+        let retries: Vec<(JobId, UserId, u32)> = view
+            .pending_jobs()
+            .map(|j| (j.id, j.user, j.gang))
+            .collect();
+        for (job, user, gang) in retries {
+            if let Some(server) = self.choose_server(view, user, gang) {
+                actions.push(Action::Place { job, server });
+            }
+        }
+
+        // 4. Sync locals and collect per-server selections. Jobs involved
+        // in this round's actions (migrating away or just being placed) are
+        // excluded from the run sets.
+        let departing: BTreeSet<JobId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
+            })
+            .collect();
+        let ent = self.ent.as_ref().expect("refreshed above");
+        let min_weight = self.cfg.min_weight;
+        let mut plan = RoundPlan {
+            run: BTreeMap::new(),
+            actions,
+        };
+        for (&server, local) in &mut self.locals {
+            let gen = view.cluster().server(server).gen;
+            local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
+            let selected = local.plan();
+            if !selected.is_empty() {
+                plan.run.insert(server, selected);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::Simulation;
+    use gfair_types::{ClusterSpec, JobSpec, ModelProfile, SimConfig, UserSpec};
+    use std::sync::Arc;
+
+    fn mono_model() -> Arc<ModelProfile> {
+        Arc::new(ModelProfile::with_default_overheads("uni", vec![1.0]))
+    }
+
+    fn job(id: u32, user: u32, gang: u32, service: f64, at: u64) -> JobSpec {
+        JobSpec::new(
+            JobId::new(id),
+            UserId::new(user),
+            mono_model(),
+            gang,
+            service,
+            SimTime::from_secs(at),
+        )
+    }
+
+    #[test]
+    fn single_job_completes_promptly() {
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 4),
+            UserSpec::equal_users(1, 100),
+            vec![job(0, 0, 2, 600.0, 0)],
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim.run(&mut sched).unwrap();
+        assert_eq!(report.finished_jobs(), 1);
+        assert_eq!(
+            report.jobs[&JobId::new(0)].finish,
+            Some(SimTime::from_secs(600))
+        );
+    }
+
+    #[test]
+    fn equal_users_get_equal_gpu_time_under_contention() {
+        // 1 server x 4 GPUs, 2 users x 4 single-GPU long jobs each.
+        let mut trace = Vec::new();
+        for u in 0..2u32 {
+            for k in 0..4u32 {
+                trace.push(job(u * 4 + k, u, 1, 50_000.0, 0));
+            }
+        }
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim
+            .run_until(&mut sched, SimTime::from_secs(4 * 3600))
+            .unwrap();
+        let a = report.gpu_secs_of(UserId::new(0));
+        let b = report.gpu_secs_of(UserId::new(1));
+        assert!(
+            (a - b).abs() / a.max(b) < 0.02,
+            "unequal GPU time: {a} vs {b}"
+        );
+        // Work conservation: the server never idles.
+        assert!(report.utilization() > 0.99, "util {}", report.utilization());
+    }
+
+    #[test]
+    fn ticket_ratio_is_respected() {
+        let users = vec![
+            UserSpec::new(UserId::new(0), "big", 300),
+            UserSpec::new(UserId::new(1), "small", 100),
+        ];
+        let mut trace = Vec::new();
+        for u in 0..2u32 {
+            for k in 0..4u32 {
+                trace.push(job(u * 4 + k, u, 1, 50_000.0, 0));
+            }
+        }
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            users,
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim
+            .run_until(&mut sched, SimTime::from_secs(4 * 3600))
+            .unwrap();
+        let ratio = report.gpu_secs_of(UserId::new(0)) / report.gpu_secs_of(UserId::new(1));
+        assert!(
+            (ratio - 3.0).abs() < 0.25,
+            "expected 3x GPU time for 3x tickets, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn idle_user_capacity_goes_to_active_users() {
+        // User 1 has tickets but no jobs; user 0 must get the whole cluster.
+        let users = UserSpec::equal_users(2, 100);
+        let trace = vec![job(0, 0, 4, 10_000.0, 0)];
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(1, 4),
+            users,
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim.run_until(&mut sched, SimTime::from_secs(3600)).unwrap();
+        assert!(report.utilization() > 0.99);
+        assert!((report.gpu_secs_of(UserId::new(0)) - 4.0 * 3600.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn gangs_are_packed_across_servers() {
+        // Two 4-GPU servers; four 2-GPU jobs must spread and all run.
+        let trace: Vec<JobSpec> = (0..4).map(|i| job(i, 0, 2, 100_000.0, 0)).collect();
+        let sim = Simulation::new(
+            ClusterSpec::homogeneous(2, 4),
+            UserSpec::equal_users(1, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim.run_until(&mut sched, SimTime::from_secs(1800)).unwrap();
+        assert!(report.utilization() > 0.99, "util {}", report.utilization());
+    }
+
+    #[test]
+    fn profiling_migrations_learn_cross_generation_rates() {
+        let model = Arc::new(ModelProfile::new(
+            "learnme",
+            vec![1.0, 2.0, 4.0],
+            gfair_types::SimDuration::from_secs(10),
+            gfair_types::SimDuration::from_secs(10),
+        ));
+        let cluster = ClusterSpec::build(
+            gfair_types::GenCatalog::k80_p100_v100(),
+            &[("K80", 2, 4), ("P100", 1, 4), ("V100", 1, 4)],
+        );
+        let trace = vec![JobSpec::new(
+            JobId::new(0),
+            UserId::new(0),
+            model,
+            1,
+            1_000_000.0,
+            SimTime::ZERO,
+        )];
+        let sim = Simulation::new(
+            cluster,
+            UserSpec::equal_users(1, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let _ = sim
+            .run_until(&mut sched, SimTime::from_secs(4 * 3600))
+            .unwrap();
+        let profiler = sched.profiler().unwrap();
+        // The job was migrated around until every generation was profiled.
+        for g in 0..3u32 {
+            assert!(
+                profiler.is_profiled("learnme", GenId::new(g)),
+                "generation {g} never profiled"
+            );
+        }
+        let s = profiler
+            .speedup("learnme", GenId::new(2), GenId::new(0))
+            .unwrap();
+        assert!((s - 4.0).abs() < 0.5, "V100 speedup estimate {s}");
+    }
+
+    #[test]
+    fn trading_moves_fast_gpus_to_high_speedup_user() {
+        // User 0 runs low-speedup jobs, user 1 high-speedup jobs, cluster
+        // has scarce V100s: after profiling, trades must fire and user 1
+        // must end up consuming more V100 time than user 0.
+        let low = Arc::new(ModelProfile::new(
+            "low",
+            vec![1.0, 1.1, 1.2],
+            gfair_types::SimDuration::from_secs(5),
+            gfair_types::SimDuration::from_secs(5),
+        ));
+        let high = Arc::new(ModelProfile::new(
+            "high",
+            vec![1.0, 2.5, 5.0],
+            gfair_types::SimDuration::from_secs(5),
+            gfair_types::SimDuration::from_secs(5),
+        ));
+        let cluster = ClusterSpec::build(
+            gfair_types::GenCatalog::k80_p100_v100(),
+            &[("K80", 4, 4), ("V100", 1, 4)],
+        );
+        // Oversubscribed: each user's demand (16 GPUs) exceeds their fair
+        // share (10 GPUs) — the regime where trading fires. Under-demanded
+        // users correctly refuse to sell (tested in trade.rs).
+        let mut trace = Vec::new();
+        for k in 0..16u32 {
+            trace.push(JobSpec::new(
+                JobId::new(k),
+                UserId::new(0),
+                Arc::clone(&low),
+                1,
+                1_000_000.0,
+                SimTime::ZERO,
+            ));
+            trace.push(JobSpec::new(
+                JobId::new(100 + k),
+                UserId::new(1),
+                Arc::clone(&high),
+                1,
+                1_000_000.0,
+                SimTime::ZERO,
+            ));
+        }
+        let sim = Simulation::new(
+            cluster,
+            UserSpec::equal_users(2, 100),
+            trace,
+            SimConfig::default(),
+        )
+        .unwrap();
+        let mut sched = GandivaFair::new(GfairConfig::default());
+        let report = sim
+            .run_until(&mut sched, SimTime::from_secs(6 * 3600))
+            .unwrap();
+        assert!(
+            !sched.trades().is_empty(),
+            "no trades fired despite profiled speedup gap"
+        );
+        // The catalog has three generations; this cluster populates K80
+        // (gen 0) and V100 (gen 2).
+        let v100 = GenId::new(2);
+        let low_v100 = report
+            .user_gen_gpu_secs
+            .get(&(UserId::new(0), v100))
+            .copied()
+            .unwrap_or(0.0);
+        let high_v100 = report
+            .user_gen_gpu_secs
+            .get(&(UserId::new(1), v100))
+            .copied()
+            .unwrap_or(0.0);
+        assert!(
+            high_v100 > low_v100 * 1.5,
+            "V100 time did not shift to the high-speedup user: low {low_v100}, high {high_v100}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Configuration knobs specific to the Gandiva_fair policy.
+//!
+//! Intervals, the quantum, the trade price strategy and the RNG seed live in
+//! the shared [`gfair_types::SimConfig`]; this struct holds the policy
+//! toggles (used by the ablation experiments) and tuning constants.
+
+use gfair_stride::GangPolicy;
+
+/// Policy toggles and tuning constants for [`crate::GandivaFair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GfairConfig {
+    /// Run the trading market (ablation: off reproduces "fairness without
+    /// heterogeneity awareness").
+    pub trading: bool,
+    /// Run migration-based load balancing.
+    pub balancing: bool,
+    /// Migrate jobs to unprofiled generations so the profiler can learn
+    /// cross-generation rates (requires `balancing`).
+    pub profiling_migrations: bool,
+    /// Gang scheduling policy used by the per-server local schedulers.
+    /// The ablations swap in the naive variants.
+    pub gang_policy: GangPolicy,
+    /// Load-spread threshold: migrate only when a server's load exceeds the
+    /// generation mean by more than this.
+    pub load_spread: f64,
+    /// Minimum speedup gap between buyer and seller before a trade fires
+    /// (filters profiling noise).
+    pub trade_margin: f64,
+    /// Floor for a user's per-server stride weight. A user who traded away
+    /// an entire generation still gets a vanishing — but nonzero — weight so
+    /// stranded jobs cannot deadlock.
+    pub min_weight: f64,
+    /// Minimum profile samples per (model, generation) before the estimate
+    /// is considered trustworthy for trading.
+    pub min_profile_samples: u64,
+}
+
+impl Default for GfairConfig {
+    fn default() -> Self {
+        GfairConfig {
+            trading: true,
+            balancing: true,
+            profiling_migrations: true,
+            gang_policy: GangPolicy::GangAware,
+            load_spread: 0.25,
+            trade_margin: 0.2,
+            min_weight: 1e-3,
+            min_profile_samples: 2,
+        }
+    }
+}
+
+impl GfairConfig {
+    /// Disables trading (builder-style).
+    pub fn without_trading(mut self) -> Self {
+        self.trading = false;
+        self
+    }
+
+    /// Disables load balancing and profiling migrations (builder-style).
+    pub fn without_balancing(mut self) -> Self {
+        self.balancing = false;
+        self.profiling_migrations = false;
+        self
+    }
+
+    /// Overrides the gang policy (builder-style, used by ablations).
+    pub fn with_gang_policy(mut self, policy: GangPolicy) -> Self {
+        self.gang_policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_mechanisms() {
+        let c = GfairConfig::default();
+        assert!(c.trading && c.balancing && c.profiling_migrations);
+        assert_eq!(c.gang_policy, GangPolicy::GangAware);
+    }
+
+    #[test]
+    fn builders_toggle_mechanisms() {
+        let c = GfairConfig::default().without_trading();
+        assert!(!c.trading);
+        assert!(c.balancing);
+        let c = GfairConfig::default().without_balancing();
+        assert!(!c.balancing);
+        assert!(!c.profiling_migrations);
+        let c = GfairConfig::default().with_gang_policy(GangPolicy::StrictNoBackfill);
+        assert_eq!(c.gang_policy, GangPolicy::StrictNoBackfill);
+    }
+}

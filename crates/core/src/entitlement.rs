@@ -1,0 +1,198 @@
+//! Per-user, per-generation GPU entitlements.
+//!
+//! The fairness contract: at any instant, each *active* user (one with at
+//! least one unfinished job) is entitled to a ticket-proportional slice of
+//! every GPU generation. [`Entitlements::base`] computes that baseline;
+//! the trading market then rearranges slices *between* generations while
+//! preserving each generation's total (physical GPUs are conserved) and
+//! never pushing a user's valuation below baseline.
+
+use gfair_types::{GenId, UserId};
+use std::collections::BTreeMap;
+
+/// A per-(user, generation) allocation of GPU capacity, in GPU units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entitlements {
+    num_gens: usize,
+    alloc: BTreeMap<UserId, Vec<f64>>,
+}
+
+impl Entitlements {
+    /// Ticket-proportional baseline: user `u` receives
+    /// `gpus[g] * tickets(u) / total_tickets` of every generation `g`.
+    ///
+    /// `active` lists the active users and their tickets; inactive users get
+    /// no entitlement (work conservation: their capacity is implicitly
+    /// redistributed by the proportional split over active tickets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_gen` is empty or any ticket count is zero.
+    pub fn base(gpus_per_gen: &BTreeMap<GenId, u32>, active: &[(UserId, u64)]) -> Self {
+        assert!(!gpus_per_gen.is_empty(), "need at least one generation");
+        let num_gens = gpus_per_gen
+            .keys()
+            .map(|g| g.index() + 1)
+            .max()
+            .expect("non-empty");
+        let total: u64 = active.iter().map(|&(_, t)| t).sum();
+        let mut alloc = BTreeMap::new();
+        for &(user, tickets) in active {
+            assert!(tickets > 0, "active user {user} has zero tickets");
+            let mut row = vec![0.0; num_gens];
+            for (&gen, &gpus) in gpus_per_gen {
+                row[gen.index()] = gpus as f64 * tickets as f64 / total as f64;
+            }
+            alloc.insert(user, row);
+        }
+        Entitlements { num_gens, alloc }
+    }
+
+    /// Number of generations covered.
+    pub fn num_gens(&self) -> usize {
+        self.num_gens
+    }
+
+    /// Allocation of `user` on `gen` in GPU units (0.0 for unknown users).
+    pub fn get(&self, user: UserId, gen: GenId) -> f64 {
+        self.alloc
+            .get(&user)
+            .and_then(|row| row.get(gen.index()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Mutably adjusts `user`'s allocation on `gen` by `delta` (may be
+    /// negative), clamping at zero to absorb floating-point dust.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown or the generation is out of range.
+    pub fn adjust(&mut self, user: UserId, gen: GenId, delta: f64) {
+        let row = self.alloc.get_mut(&user).expect("unknown user");
+        let slot = &mut row[gen.index()];
+        *slot = (*slot + delta).max(0.0);
+    }
+
+    /// Total allocation across users for `gen` — invariant under trading:
+    /// always equals the generation's physical GPU count (when any user is
+    /// active).
+    pub fn total_of_gen(&self, gen: GenId) -> f64 {
+        self.alloc.values().map(|row| row[gen.index()]).sum()
+    }
+
+    /// Total GPUs (across generations) allocated to `user`.
+    pub fn gpus_of(&self, user: UserId) -> f64 {
+        self.alloc
+            .get(&user)
+            .map(|row| row.iter().sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Users holding an allocation, in id order.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.alloc.keys().copied()
+    }
+
+    /// The user's valuation of an allocation under the given per-generation
+    /// speedups: `sum_g alloc[g] * speedup[g]` (base-GPU equivalents).
+    ///
+    /// `speedups` is indexed by generation; missing entries count as the
+    /// base rate 1.0 (conservative).
+    pub fn valuation(&self, user: UserId, speedups: &[Option<f64>]) -> f64 {
+        let Some(row) = self.alloc.get(&user) else {
+            return 0.0;
+        };
+        row.iter()
+            .enumerate()
+            .map(|(g, &a)| a * speedups.get(g).copied().flatten().unwrap_or(1.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus() -> BTreeMap<GenId, u32> {
+        BTreeMap::from([
+            (GenId::new(0), 128),
+            (GenId::new(1), 48),
+            (GenId::new(2), 24),
+        ])
+    }
+
+    #[test]
+    fn base_is_ticket_proportional_per_gen() {
+        let e = Entitlements::base(&gpus(), &[(UserId::new(0), 100), (UserId::new(1), 300)]);
+        assert!((e.get(UserId::new(0), GenId::new(0)) - 32.0).abs() < 1e-9);
+        assert!((e.get(UserId::new(1), GenId::new(0)) - 96.0).abs() < 1e-9);
+        assert!((e.get(UserId::new(0), GenId::new(2)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_equal_physical_gpus() {
+        let e = Entitlements::base(
+            &gpus(),
+            &[
+                (UserId::new(0), 7),
+                (UserId::new(1), 11),
+                (UserId::new(2), 13),
+            ],
+        );
+        assert!((e.total_of_gen(GenId::new(0)) - 128.0).abs() < 1e-9);
+        assert!((e.total_of_gen(GenId::new(1)) - 48.0).abs() < 1e-9);
+        assert!((e.total_of_gen(GenId::new(2)) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_users_get_nothing() {
+        let e = Entitlements::base(&gpus(), &[(UserId::new(0), 100)]);
+        assert_eq!(e.get(UserId::new(9), GenId::new(0)), 0.0);
+        assert_eq!(e.gpus_of(UserId::new(9)), 0.0);
+        // The sole active user gets everything.
+        assert!((e.gpus_of(UserId::new(0)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjust_moves_allocation() {
+        let mut e = Entitlements::base(&gpus(), &[(UserId::new(0), 100), (UserId::new(1), 100)]);
+        let before = e.get(UserId::new(0), GenId::new(2));
+        e.adjust(UserId::new(0), GenId::new(2), -3.0);
+        e.adjust(UserId::new(1), GenId::new(2), 3.0);
+        assert!((e.get(UserId::new(0), GenId::new(2)) - (before - 3.0)).abs() < 1e-9);
+        // Physical conservation.
+        assert!((e.total_of_gen(GenId::new(2)) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjust_clamps_at_zero() {
+        let mut e = Entitlements::base(&gpus(), &[(UserId::new(0), 100)]);
+        e.adjust(UserId::new(0), GenId::new(2), -1e9);
+        assert_eq!(e.get(UserId::new(0), GenId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn valuation_weights_by_speedups() {
+        let e = Entitlements::base(&gpus(), &[(UserId::new(0), 100)]);
+        // All 200 GPUs; V100s (24) at 5x, P100s (48) at 3x, K80s at 1x.
+        let v = e.valuation(UserId::new(0), &[Some(1.0), Some(3.0), Some(5.0)]);
+        assert!((v - (128.0 + 144.0 + 120.0)).abs() < 1e-9);
+        // Missing speedups default to 1.0.
+        let v = e.valuation(UserId::new(0), &[Some(1.0), None, None]);
+        assert!((v - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn users_iterates_in_id_order() {
+        let e = Entitlements::base(&gpus(), &[(UserId::new(5), 1), (UserId::new(2), 1)]);
+        let ids: Vec<UserId> = e.users().collect();
+        assert_eq!(ids, vec![UserId::new(2), UserId::new(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tickets")]
+    fn zero_ticket_active_user_panics() {
+        let _ = Entitlements::base(&gpus(), &[(UserId::new(0), 0)]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Transparent throughput profiling.
+//!
+//! Gandiva_fair never asks users how fast their jobs are: it observes
+//! minibatch throughput while jobs run and, when a job has run on more than
+//! one GPU generation, derives its speedup. The simulator feeds this module
+//! with noisy [`gfair_sim::ProfileReport`]s; estimates are aggregated **per
+//! model name** — throughput is a property of the model/config, so sharing
+//! estimates across a model's jobs converges much faster than per-job
+//! profiling and matches how production schedulers cache profiles.
+
+use gfair_types::GenId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Running mean of rate observations for one (model, generation) pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateEstimate {
+    sum: f64,
+    count: u64,
+}
+
+impl RateEstimate {
+    fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// Aggregates rate observations into per-model speedup estimates.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    num_gens: usize,
+    min_samples: u64,
+    estimates: BTreeMap<Arc<str>, Vec<RateEstimate>>,
+}
+
+impl Profiler {
+    /// Creates a profiler for a catalog with `num_gens` generations,
+    /// treating an estimate as trustworthy after `min_samples` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gens` is zero or `min_samples` is zero.
+    pub fn new(num_gens: usize, min_samples: u64) -> Self {
+        assert!(num_gens > 0, "need at least one generation");
+        assert!(min_samples > 0, "need at least one sample");
+        Profiler {
+            num_gens,
+            min_samples,
+            estimates: BTreeMap::new(),
+        }
+    }
+
+    /// Records one rate observation for `model` on `gen`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` is out of range or `rate` is not positive and finite.
+    pub fn record(&mut self, model: &Arc<str>, gen: GenId, rate: f64) {
+        assert!(gen.index() < self.num_gens, "generation out of range");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "observed rate must be positive and finite, got {rate}"
+        );
+        let slots = self
+            .estimates
+            .entry(Arc::clone(model))
+            .or_insert_with(|| vec![RateEstimate::default(); self.num_gens]);
+        let e = &mut slots[gen.index()];
+        e.sum += rate;
+        e.count += 1;
+    }
+
+    /// Mean observed rate of `model` on `gen`, if any observation exists.
+    pub fn rate(&self, model: &str, gen: GenId) -> Option<f64> {
+        self.estimates.get(model)?.get(gen.index())?.mean()
+    }
+
+    /// Number of observations for `model` on `gen`.
+    pub fn samples(&self, model: &str, gen: GenId) -> u64 {
+        self.estimates
+            .get(model)
+            .and_then(|s| s.get(gen.index()))
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+
+    /// True when the (model, generation) estimate has reached the sample
+    /// threshold.
+    pub fn is_profiled(&self, model: &str, gen: GenId) -> bool {
+        self.samples(model, gen) >= self.min_samples
+    }
+
+    /// Estimated speedup of `model` on `gen` relative to `base`.
+    ///
+    /// Returns `None` unless both generations are profiled — the trading
+    /// engine never trades on guesses.
+    pub fn speedup(&self, model: &str, gen: GenId, base: GenId) -> Option<f64> {
+        if !self.is_profiled(model, gen) || !self.is_profiled(model, base) {
+            return None;
+        }
+        Some(self.rate(model, gen)? / self.rate(model, base)?)
+    }
+
+    /// Generations on which `model` has not yet reached the sample
+    /// threshold, in id order.
+    pub fn unprofiled_gens(&self, model: &str) -> Vec<GenId> {
+        (0..self.num_gens as u32)
+            .map(GenId::new)
+            .filter(|&g| !self.is_profiled(model, g))
+            .collect()
+    }
+
+    /// Number of models with at least one observation.
+    pub fn num_models(&self) -> usize {
+        self.estimates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn estimates_average_observations() {
+        let mut p = Profiler::new(3, 1);
+        let m = name("ResNet-50");
+        p.record(&m, GenId::new(0), 0.9);
+        p.record(&m, GenId::new(0), 1.1);
+        assert!((p.rate("ResNet-50", GenId::new(0)).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(p.samples("ResNet-50", GenId::new(0)), 2);
+    }
+
+    #[test]
+    fn speedup_requires_both_gens_profiled() {
+        let mut p = Profiler::new(3, 1);
+        let m = name("GRU");
+        p.record(&m, GenId::new(2), 2.0);
+        assert_eq!(p.speedup("GRU", GenId::new(2), GenId::new(0)), None);
+        p.record(&m, GenId::new(0), 1.0);
+        let s = p.speedup("GRU", GenId::new(2), GenId::new(0)).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_gate() {
+        let mut p = Profiler::new(2, 3);
+        let m = name("VAE");
+        p.record(&m, GenId::new(0), 1.0);
+        p.record(&m, GenId::new(0), 1.0);
+        assert!(!p.is_profiled("VAE", GenId::new(0)));
+        p.record(&m, GenId::new(0), 1.0);
+        assert!(p.is_profiled("VAE", GenId::new(0)));
+    }
+
+    #[test]
+    fn unprofiled_gens_shrink_as_data_arrives() {
+        let mut p = Profiler::new(3, 1);
+        let m = name("LSTM");
+        assert_eq!(
+            p.unprofiled_gens("LSTM"),
+            vec![GenId::new(0), GenId::new(1), GenId::new(2)]
+        );
+        p.record(&m, GenId::new(1), 1.4);
+        assert_eq!(
+            p.unprofiled_gens("LSTM"),
+            vec![GenId::new(0), GenId::new(2)]
+        );
+    }
+
+    #[test]
+    fn unknown_model_has_no_estimates() {
+        let p = Profiler::new(2, 1);
+        assert_eq!(p.rate("nope", GenId::new(0)), None);
+        assert_eq!(p.samples("nope", GenId::new(1)), 0);
+        assert!(!p.is_profiled("nope", GenId::new(0)));
+        assert_eq!(p.num_models(), 0);
+    }
+
+    #[test]
+    fn estimates_are_shared_across_jobs_of_a_model() {
+        // Two jobs of the same model contribute to one estimate.
+        let mut p = Profiler::new(2, 2);
+        let m1 = name("BERT-Base");
+        let m2 = name("BERT-Base");
+        p.record(&m1, GenId::new(0), 1.0);
+        p.record(&m2, GenId::new(0), 1.0);
+        assert!(p.is_profiled("BERT-Base", GenId::new(0)));
+        assert_eq!(p.num_models(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "generation out of range")]
+    fn out_of_range_gen_panics() {
+        let mut p = Profiler::new(2, 1);
+        p.record(&name("m"), GenId::new(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_rate_panics() {
+        let mut p = Profiler::new(2, 1);
+        p.record(&name("m"), GenId::new(0), 0.0);
+    }
+
+    #[test]
+    fn noisy_observations_converge_to_truth() {
+        let mut p = Profiler::new(2, 1);
+        let m = name("DCGAN");
+        // Symmetric noise around 2.1.
+        for i in 0..100 {
+            let eps = ((i % 11) as f64 - 5.0) / 100.0;
+            p.record(&m, GenId::new(1), 2.1 * (1.0 + eps));
+            p.record(&m, GenId::new(0), 1.0 * (1.0 - eps));
+        }
+        let s = p.speedup("DCGAN", GenId::new(1), GenId::new(0)).unwrap();
+        assert!((s - 2.1).abs() < 0.05, "estimate {s}");
+    }
+}

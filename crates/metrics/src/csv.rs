@@ -1,0 +1,161 @@
+//! CSV rendering of report time series and JCT distributions.
+//!
+//! The experiment binaries print ASCII tables; for plotting the paper-style
+//! figures externally, these helpers render the same data as CSV (no
+//! dependency — the format here is plain comma-separation with a header,
+//! and all values are numeric or simple identifiers that never need
+//! quoting).
+
+use gfair_sim::SimReport;
+use gfair_types::UserId;
+use std::fmt::Write as _;
+
+/// Renders the per-window user-share time series as CSV:
+/// `start_secs,user,gpu_secs,share,utilization`.
+///
+/// One row per (window, user) pair, windows in time order, users in id
+/// order. Windows where nothing ran produce rows with zero shares.
+pub fn share_timeseries_csv(report: &SimReport, users: &[UserId]) -> String {
+    let mut out = String::from("start_secs,user,gpu_secs,share,utilization\n");
+    for w in &report.timeseries {
+        let total: f64 = w.user_gpu_secs.values().sum();
+        for &u in users {
+            let mine = w.user_gpu_secs.get(&u).copied().unwrap_or(0.0);
+            let share = if total > 0.0 { mine / total } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.6},{:.6}",
+                w.start.as_secs(),
+                u.raw(),
+                mine,
+                share,
+                w.utilization()
+            );
+        }
+    }
+    out
+}
+
+/// Renders per-job completion records as CSV:
+/// `job,user,model,gang,service_secs,arrival_secs,finish_secs,jct_secs,slowdown,migrations`.
+///
+/// Unfinished jobs have empty `finish_secs`/`jct_secs`/`slowdown` cells.
+pub fn jobs_csv(report: &SimReport) -> String {
+    let mut out = String::from(
+        "job,user,model,gang,service_secs,arrival_secs,finish_secs,jct_secs,slowdown,migrations\n",
+    );
+    for j in report.jobs.values() {
+        let (finish, jct, slowdown) = match j.finish {
+            Some(f) => {
+                let jct = j.jct().expect("finished").as_secs_f64();
+                (
+                    f.as_secs().to_string(),
+                    format!("{jct:.1}"),
+                    format!("{:.3}", jct / j.service_secs),
+                )
+            }
+            None => (String::new(), String::new(), String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.1},{},{},{},{},{}",
+            j.id.raw(),
+            j.user.raw(),
+            j.model,
+            j.gang,
+            j.service_secs,
+            j.arrival.as_secs(),
+            finish,
+            jct,
+            slowdown,
+            j.migrations
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::{JobRecord, WindowSample};
+    use gfair_types::{GenId, JobId, SimDuration, SimTime};
+    use std::collections::BTreeMap;
+
+    fn report() -> SimReport {
+        let window = WindowSample {
+            start: SimTime::from_secs(300),
+            user_gpu_secs: BTreeMap::from([(UserId::new(0), 30.0), (UserId::new(1), 70.0)]),
+            user_base_secs: BTreeMap::new(),
+            used_gpu_secs: 100.0,
+            capacity_gpu_secs: 200.0,
+        };
+        let job = JobRecord {
+            id: JobId::new(3),
+            user: UserId::new(1),
+            model: "VAE".into(),
+            gang: 2,
+            service_secs: 100.0,
+            arrival: SimTime::from_secs(10),
+            first_run: Some(SimTime::from_secs(10)),
+            finish: Some(SimTime::from_secs(210)),
+            gpu_secs_by_gen: BTreeMap::from([(GenId::new(0), 400.0)]),
+            migrations: 1,
+        };
+        let unfinished = JobRecord {
+            id: JobId::new(4),
+            user: UserId::new(0),
+            model: "GRU".into(),
+            gang: 1,
+            service_secs: 100.0,
+            arrival: SimTime::from_secs(20),
+            first_run: None,
+            finish: None,
+            gpu_secs_by_gen: BTreeMap::new(),
+            migrations: 0,
+        };
+        SimReport {
+            scheduler: "t".into(),
+            end: SimTime::from_secs(600),
+            rounds: 10,
+            jobs: BTreeMap::from([(job.id, job), (unfinished.id, unfinished)]),
+            user_gpu_secs: BTreeMap::new(),
+            user_base_secs: BTreeMap::new(),
+            user_gen_gpu_secs: BTreeMap::new(),
+            server_gpu_secs: BTreeMap::new(),
+            timeseries: vec![window],
+            migrations: 1,
+            migration_outage: SimDuration::ZERO,
+            gpu_secs_used: 100.0,
+            gpu_secs_capacity: 200.0,
+            profile_reports: 0,
+            stale_migrations: 0,
+        }
+    }
+
+    #[test]
+    fn share_csv_has_one_row_per_window_user() {
+        let csv = share_timeseries_csv(&report(), &[UserId::new(0), UserId::new(1)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 users x 1 window
+        assert_eq!(lines[0], "start_secs,user,gpu_secs,share,utilization");
+        assert!(lines[1].starts_with("300,0,30.000,0.300000"));
+        assert!(lines[2].starts_with("300,1,70.000,0.700000"));
+    }
+
+    #[test]
+    fn share_csv_absent_user_is_zero() {
+        let csv = share_timeseries_csv(&report(), &[UserId::new(9)]);
+        assert!(csv.lines().nth(1).unwrap().contains(",9,0.000,0.000000"));
+    }
+
+    #[test]
+    fn jobs_csv_rows_and_empty_cells() {
+        let csv = jobs_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Finished job: jct = 200 s, slowdown 2.0.
+        assert_eq!(lines[1], "3,1,VAE,2,100.0,10,210,200.0,2.000,1");
+        // Unfinished: empty finish/jct/slowdown cells.
+        assert_eq!(lines[2], "4,0,GRU,1,100.0,20,,,,0");
+    }
+}

@@ -1,0 +1,201 @@
+//! Job-completion-time statistics.
+//!
+//! The efficiency experiments compare schedulers on mean/percentile JCT and
+//! makespan, like the paper's macro evaluation.
+
+use gfair_sim::SimReport;
+use gfair_types::SimDuration;
+
+/// Summary statistics over a set of job completion times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JctStats {
+    /// Number of completed jobs.
+    pub count: usize,
+    /// Mean JCT in seconds.
+    pub mean_secs: f64,
+    /// Median (p50) JCT in seconds.
+    pub p50_secs: f64,
+    /// 95th-percentile JCT in seconds.
+    pub p95_secs: f64,
+    /// 99th-percentile JCT in seconds.
+    pub p99_secs: f64,
+    /// Maximum JCT in seconds.
+    pub max_secs: f64,
+}
+
+impl JctStats {
+    /// Computes statistics from a set of completion times.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn from_durations(jcts: &[SimDuration]) -> Option<Self> {
+        if jcts.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = jcts.iter().map(|d| d.as_secs_f64()).collect();
+        secs.sort_by(f64::total_cmp);
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        Some(JctStats {
+            count: secs.len(),
+            mean_secs: mean,
+            p50_secs: percentile(&secs, 0.50),
+            p95_secs: percentile(&secs, 0.95),
+            p99_secs: percentile(&secs, 0.99),
+            max_secs: *secs.last().expect("non-empty"),
+        })
+    }
+
+    /// Ratio of this mean JCT to another's (how much slower `self` is).
+    pub fn mean_ratio_to(&self, other: &JctStats) -> f64 {
+        if other.mean_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.mean_secs / other.mean_secs
+        }
+    }
+}
+
+/// Per-job *slowdown*: JCT divided by the job's exclusive runtime on the
+/// base generation (`service_secs`). A slowdown of 1.0 means the job ran as
+/// if it had a dedicated base-generation gang from arrival; values below
+/// 1.0 mean it ran mostly on faster generations. This is the finish-time
+/// fairness signal used to compare schedulers on shared clusters.
+///
+/// Only finished jobs contribute; returns one entry per finished job in id
+/// order.
+pub fn slowdowns(report: &SimReport) -> Vec<f64> {
+    report
+        .jobs
+        .values()
+        .filter_map(|j| {
+            let jct = j.jct()?;
+            Some(jct.as_secs_f64() / j.service_secs)
+        })
+        .collect()
+}
+
+/// Mean slowdown across finished jobs (see [`slowdowns`]); `None` when no
+/// job finished.
+pub fn mean_slowdown(report: &SimReport) -> Option<f64> {
+    let s = slowdowns(report);
+    if s.is_empty() {
+        None
+    } else {
+        Some(s.iter().sum::<f64>() / s.len() as f64)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// `q` in `[0, 1]`. The slice must be non-empty and sorted.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_sim::JobRecord;
+    use gfair_types::{GenId, JobId, SimTime, UserId};
+    use std::collections::BTreeMap;
+
+    fn record(id: u32, service: f64, jct_secs: Option<u64>) -> (JobId, JobRecord) {
+        (
+            JobId::new(id),
+            JobRecord {
+                id: JobId::new(id),
+                user: UserId::new(0),
+                model: "m".into(),
+                gang: 1,
+                service_secs: service,
+                arrival: SimTime::ZERO,
+                first_run: jct_secs.map(|_| SimTime::ZERO),
+                finish: jct_secs.map(SimTime::from_secs),
+                gpu_secs_by_gen: BTreeMap::from([(GenId::new(0), service)]),
+                migrations: 0,
+            },
+        )
+    }
+
+    fn report_with(jobs: Vec<(JobId, JobRecord)>) -> SimReport {
+        SimReport {
+            scheduler: "t".into(),
+            end: SimTime::from_secs(1000),
+            rounds: 0,
+            jobs: jobs.into_iter().collect(),
+            user_gpu_secs: BTreeMap::new(),
+            user_base_secs: BTreeMap::new(),
+            user_gen_gpu_secs: BTreeMap::new(),
+            server_gpu_secs: BTreeMap::new(),
+            timeseries: Vec::new(),
+            migrations: 0,
+            migration_outage: SimDuration::ZERO,
+            gpu_secs_used: 0.0,
+            gpu_secs_capacity: 0.0,
+            profile_reports: 0,
+            stale_migrations: 0,
+        }
+    }
+
+    #[test]
+    fn slowdown_is_jct_over_service() {
+        let r = report_with(vec![record(0, 100.0, Some(300)), record(1, 50.0, Some(50))]);
+        let s = slowdowns(&r);
+        assert_eq!(s, vec![3.0, 1.0]);
+        assert!((mean_slowdown(&r).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfinished_jobs_do_not_contribute_slowdown() {
+        let r = report_with(vec![record(0, 100.0, None)]);
+        assert!(slowdowns(&r).is_empty());
+        assert!(mean_slowdown(&r).is_none());
+    }
+
+    fn secs(v: &[u64]) -> Vec<SimDuration> {
+        v.iter().map(|&s| SimDuration::from_secs(s)).collect()
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(JctStats::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value_stats() {
+        let s = JctStats::from_durations(&secs(&[100])).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_secs, 100.0);
+        assert_eq!(s.p50_secs, 100.0);
+        assert_eq!(s.p99_secs, 100.0);
+        assert_eq!(s.max_secs, 100.0);
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s = JctStats::from_durations(&secs(&v)).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_secs - 50.5).abs() < 1e-9);
+        assert!((s.p50_secs - 50.0).abs() <= 1.0);
+        assert!((s.p95_secs - 95.0).abs() <= 1.0);
+        assert!((s.p99_secs - 99.0).abs() <= 1.0);
+        assert_eq!(s.max_secs, 100.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let a = JctStats::from_durations(&secs(&[30, 10, 20])).unwrap();
+        let b = JctStats::from_durations(&secs(&[10, 20, 30])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_ratio() {
+        let a = JctStats::from_durations(&secs(&[200])).unwrap();
+        let b = JctStats::from_durations(&secs(&[100])).unwrap();
+        assert!((a.mean_ratio_to(&b) - 2.0).abs() < 1e-12);
+        assert!((b.mean_ratio_to(&a) - 0.5).abs() < 1e-12);
+    }
+}

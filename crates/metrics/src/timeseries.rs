@@ -1,0 +1,145 @@
+//! Per-window user-share extraction from simulation reports.
+//!
+//! The paper's fairness figures plot each user's share of cluster GPU time
+//! over wall-clock time, showing shares re-converging as users arrive and
+//! depart. This module turns the simulator's [`WindowSample`] series into
+//! those curves.
+
+use gfair_sim::{SimReport, WindowSample};
+use gfair_types::{SimTime, UserId};
+
+/// One point on a user-share curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharePoint {
+    /// Window start time.
+    pub start: SimTime,
+    /// The user's fraction of GPU time dispensed in the window (0 when the
+    /// window dispensed nothing).
+    pub share: f64,
+    /// The user's raw GPU-seconds in the window.
+    pub gpu_secs: f64,
+}
+
+/// Extracts `user`'s share-of-dispensed-GPU-time curve from a report.
+pub fn user_share_series(report: &SimReport, user: UserId) -> Vec<SharePoint> {
+    report
+        .timeseries
+        .iter()
+        .map(|w| window_share(w, user))
+        .collect()
+}
+
+/// Share of one window's dispensed GPU time belonging to `user`.
+fn window_share(w: &WindowSample, user: UserId) -> SharePoint {
+    let mine = w.user_gpu_secs.get(&user).copied().unwrap_or(0.0);
+    let total: f64 = w.user_gpu_secs.values().sum();
+    SharePoint {
+        start: w.start,
+        share: if total > 0.0 { mine / total } else { 0.0 },
+        gpu_secs: mine,
+    }
+}
+
+/// Mean absolute deviation between a user's share curve and a reference
+/// share, over the windows where anything ran. Used to quantify how tightly
+/// a scheduler tracks entitlements over time.
+pub fn share_tracking_error(series: &[SharePoint], reference: f64) -> f64 {
+    let active: Vec<&SharePoint> = series.iter().filter(|p| p.gpu_secs > 0.0).collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    active
+        .iter()
+        .map(|p| (p.share - reference).abs())
+        .sum::<f64>()
+        / active.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn window(start_secs: u64, shares: &[(u32, f64)]) -> WindowSample {
+        let user_gpu_secs: BTreeMap<UserId, f64> =
+            shares.iter().map(|&(u, s)| (UserId::new(u), s)).collect();
+        WindowSample {
+            start: SimTime::from_secs(start_secs),
+            used_gpu_secs: shares.iter().map(|&(_, s)| s).sum(),
+            user_gpu_secs,
+            user_base_secs: BTreeMap::new(),
+            capacity_gpu_secs: 100.0,
+        }
+    }
+
+    fn report(windows: Vec<WindowSample>) -> SimReport {
+        SimReport {
+            scheduler: "t".into(),
+            end: SimTime::from_secs(600),
+            rounds: 0,
+            jobs: BTreeMap::new(),
+            user_gpu_secs: BTreeMap::new(),
+            user_base_secs: BTreeMap::new(),
+            user_gen_gpu_secs: BTreeMap::new(),
+            server_gpu_secs: BTreeMap::new(),
+            timeseries: windows,
+            migrations: 0,
+            migration_outage: gfair_types::SimDuration::ZERO,
+            gpu_secs_used: 0.0,
+            gpu_secs_capacity: 0.0,
+            profile_reports: 0,
+            stale_migrations: 0,
+        }
+    }
+
+    #[test]
+    fn shares_are_fraction_of_dispensed() {
+        let r = report(vec![window(0, &[(0, 30.0), (1, 70.0)])]);
+        let s0 = user_share_series(&r, UserId::new(0));
+        assert_eq!(s0.len(), 1);
+        assert!((s0[0].share - 0.3).abs() < 1e-12);
+        assert_eq!(s0[0].gpu_secs, 30.0);
+        let s1 = user_share_series(&r, UserId::new(1));
+        assert!((s1[0].share - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_user_has_zero_share() {
+        let r = report(vec![window(0, &[(0, 10.0)])]);
+        let s = user_share_series(&r, UserId::new(9));
+        assert_eq!(s[0].share, 0.0);
+        assert_eq!(s[0].gpu_secs, 0.0);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_share() {
+        let r = report(vec![window(0, &[])]);
+        let s = user_share_series(&r, UserId::new(0));
+        assert_eq!(s[0].share, 0.0);
+    }
+
+    #[test]
+    fn tracking_error_over_active_windows() {
+        let series = vec![
+            SharePoint {
+                start: SimTime::ZERO,
+                share: 0.4,
+                gpu_secs: 10.0,
+            },
+            SharePoint {
+                start: SimTime::from_secs(300),
+                share: 0.6,
+                gpu_secs: 10.0,
+            },
+            // Idle window: excluded from the error.
+            SharePoint {
+                start: SimTime::from_secs(600),
+                share: 0.0,
+                gpu_secs: 0.0,
+            },
+        ];
+        let err = share_tracking_error(&series, 0.5);
+        assert!((err - 0.1).abs() < 1e-12);
+        assert_eq!(share_tracking_error(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,725 @@
+//! The discrete-event simulation engine.
+//!
+//! ## Execution model
+//!
+//! Time advances through four event kinds (see [`crate::event`]). Once per
+//! quantum a `Round` event fires and, in order:
+//!
+//! 1. flushes the reporting window if a boundary was crossed,
+//! 2. delivers pending profile reports to the scheduler,
+//! 3. applies actions queued by mid-round callbacks,
+//! 4. asks the scheduler for a [`RoundPlan`] and applies its actions,
+//! 5. validates the plan's run sets (residency, gang fit, overcommit),
+//! 6. accrues progress for every running job for the quantum (scheduling an
+//!    exact-time `Finish` event for jobs that complete mid-round) and
+//!    updates per-user accounting.
+//!
+//! Because every state change lands on a round boundary, progress accrual
+//! never needs to be clawed back and accounting is exact.
+//!
+//! ## Stale decisions
+//!
+//! A `Migrate` action may race with the job finishing in the same round
+//! (the scheduler could not have known); such stale migrations are counted
+//! and skipped. All other invalid decisions are hard errors.
+
+use crate::event::{EventKind, EventQueue};
+use crate::job::{JobRecord, JobRt};
+use crate::report::{SimReport, WindowSample};
+use crate::sched::{Action, ClusterScheduler, ProfileReport, RoundPlan};
+use crate::view::SimView;
+use gfair_types::{
+    ClusterSpec, GfairError, JobId, JobSpec, JobState, Result, ServerId, SimConfig, SimDuration,
+    SimTime, UserSpec,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Safety limit on scheduling rounds; prevents schedulers that never place
+/// jobs from spinning forever in [`Simulation::run`].
+const MAX_ROUNDS: u64 = 10_000_000;
+
+/// A configured simulation, ready to run one scheduling policy.
+pub struct Simulation {
+    cluster: ClusterSpec,
+    users: Vec<UserSpec>,
+    config: SimConfig,
+    jobs: BTreeMap<JobId, JobRt>,
+    residents: BTreeMap<ServerId, BTreeSet<JobId>>,
+    down: BTreeSet<ServerId>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: ChaCha8Rng,
+    round_armed: bool,
+    pending_actions: Vec<Action>,
+    pending_reports: Vec<ProfileReport>,
+    // Accounting.
+    rounds: u64,
+    migrations: u32,
+    stale_migrations: u32,
+    migration_outage: SimDuration,
+    gpu_secs_used: f64,
+    profile_reports: u64,
+    window: WindowSample,
+    timeseries: Vec<WindowSample>,
+    user_gpu_secs: BTreeMap<gfair_types::UserId, f64>,
+    user_base_secs: BTreeMap<gfair_types::UserId, f64>,
+    user_gen_gpu_secs: BTreeMap<(gfair_types::UserId, gfair_types::GenId), f64>,
+    server_gpu_secs: BTreeMap<ServerId, f64>,
+    /// Jobs that ran in the previous round; a scheduled job not in this set
+    /// pays the suspend/resume overhead before making progress.
+    warm: BTreeSet<JobId>,
+    round_limit: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("jobs", &self.jobs.len())
+            .field("servers", &self.cluster.servers.len())
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation from a cluster, a user population, a trace of
+    /// jobs (any order; they are scheduled by arrival time) and a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfairError::InvalidConfig`] if the config fails validation,
+    /// a job's gang fits no server, a job references an unknown user, or a
+    /// job's model does not cover the cluster's generation catalog.
+    pub fn new(
+        cluster: ClusterSpec,
+        users: Vec<UserSpec>,
+        trace: Vec<JobSpec>,
+        config: SimConfig,
+    ) -> Result<Self> {
+        let problems = config.validate();
+        if !problems.is_empty() {
+            return Err(GfairError::InvalidConfig(problems.join("; ")));
+        }
+        let max_gang = cluster.max_gang();
+        let user_ids: BTreeSet<_> = users.iter().map(|u| u.id).collect();
+        let mut queue = EventQueue::new();
+        let mut jobs = BTreeMap::new();
+        for spec in trace {
+            if spec.gang > max_gang {
+                return Err(GfairError::InvalidConfig(format!(
+                    "job {} gang {} exceeds the widest server ({max_gang} GPUs)",
+                    spec.id, spec.gang
+                )));
+            }
+            if !user_ids.contains(&spec.user) {
+                return Err(GfairError::InvalidConfig(format!(
+                    "job {} references unknown user {}",
+                    spec.id, spec.user
+                )));
+            }
+            if !spec.model.covers(&cluster.catalog) {
+                return Err(GfairError::InvalidConfig(format!(
+                    "job {} model {} does not cover all {} generations",
+                    spec.id,
+                    spec.model.name,
+                    cluster.catalog.len()
+                )));
+            }
+            queue.push(spec.arrival, EventKind::Arrival(spec.id));
+            if jobs.insert(spec.id, JobRt::new(spec)).is_some() {
+                return Err(GfairError::InvalidConfig(
+                    "duplicate job id in trace".to_string(),
+                ));
+            }
+        }
+        let residents = cluster
+            .servers
+            .iter()
+            .map(|s| (s.id, BTreeSet::new()))
+            .collect();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        Ok(Simulation {
+            cluster,
+            users,
+            config,
+            jobs,
+            residents,
+            down: BTreeSet::new(),
+            queue,
+            now: SimTime::ZERO,
+            rng,
+            round_armed: false,
+            pending_actions: Vec::new(),
+            pending_reports: Vec::new(),
+            rounds: 0,
+            migrations: 0,
+            stale_migrations: 0,
+            migration_outage: SimDuration::ZERO,
+            gpu_secs_used: 0.0,
+            profile_reports: 0,
+            window: WindowSample::default(),
+            timeseries: Vec::new(),
+            user_gpu_secs: BTreeMap::new(),
+            user_base_secs: BTreeMap::new(),
+            user_gen_gpu_secs: BTreeMap::new(),
+            server_gpu_secs: BTreeMap::new(),
+            warm: BTreeSet::new(),
+            round_limit: MAX_ROUNDS,
+        })
+    }
+
+    /// Overrides the round safety limit (mostly for tests; the default is
+    /// ten million rounds).
+    pub fn with_round_limit(mut self, limit: u64) -> Self {
+        self.round_limit = limit;
+        self
+    }
+
+    /// Schedules a priority change: at `at`, `user`'s tickets become
+    /// `tickets`. Ticket-reading schedulers (Gandiva_fair, the lottery) pick
+    /// the change up at their next entitlement refresh; static partitioning
+    /// ignores it by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero or the user is unknown.
+    pub fn with_ticket_change(
+        mut self,
+        user: gfair_types::UserId,
+        at: SimTime,
+        tickets: u64,
+    ) -> Self {
+        assert!(tickets > 0, "tickets must be positive");
+        assert!(
+            self.users.iter().any(|u| u.id == user),
+            "ticket change for unknown user {user}"
+        );
+        self.queue.push(at, EventKind::TicketChange(user, tickets));
+        self
+    }
+
+    /// Schedules a server failure at `at`: resident jobs are evicted back to
+    /// `Pending` (keeping their checkpointed progress) and re-dispatched via
+    /// [`ClusterScheduler::on_job_evicted`]; the server rejects placements
+    /// and run plans until it recovers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is unknown.
+    pub fn with_server_failure(mut self, server: ServerId, at: SimTime) -> Self {
+        assert!(
+            server.index() < self.cluster.servers.len(),
+            "failure for unknown server {server}"
+        );
+        self.queue.push(at, EventKind::ServerFail(server));
+        self
+    }
+
+    /// Schedules a failed server to come back online at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is unknown.
+    pub fn with_server_recovery(mut self, server: ServerId, at: SimTime) -> Self {
+        assert!(
+            server.index() < self.cluster.servers.len(),
+            "recovery for unknown server {server}"
+        );
+        self.queue.push(at, EventKind::ServerRecover(server));
+        self
+    }
+
+    /// Runs until every job has finished (or the round safety limit trips).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any invalid scheduler decision; see [`crate::sched`].
+    pub fn run(self, scheduler: &mut dyn ClusterScheduler) -> Result<SimReport> {
+        self.run_inner(scheduler, None)
+    }
+
+    /// Runs until `horizon`, leaving unfinished jobs in flight. Service is
+    /// never accrued beyond the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any invalid scheduler decision; see [`crate::sched`].
+    pub fn run_until(
+        self,
+        scheduler: &mut dyn ClusterScheduler,
+        horizon: SimTime,
+    ) -> Result<SimReport> {
+        self.run_inner(scheduler, Some(horizon))
+    }
+
+    fn run_inner(
+        mut self,
+        scheduler: &mut dyn ClusterScheduler,
+        horizon: Option<SimTime>,
+    ) -> Result<SimReport> {
+        while let Some(ev) = self.queue.pop() {
+            if let Some(h) = horizon {
+                if ev.time > h {
+                    self.now = h;
+                    break;
+                }
+            }
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Arrival(job) => self.on_arrival(scheduler, job),
+                EventKind::Finish(job) => self.on_finish(scheduler, job),
+                EventKind::MigrationDone(job) => self.on_migration_done(scheduler, job),
+                EventKind::ServerFail(server) => self.on_server_fail(scheduler, server),
+                EventKind::ServerRecover(server) => self.on_server_recover(scheduler, server),
+                EventKind::TicketChange(user, tickets) => {
+                    if let Some(u) = self.users.iter_mut().find(|u| u.id == user) {
+                        u.tickets = tickets;
+                    }
+                }
+                EventKind::Round => self.on_round(scheduler, horizon)?,
+            }
+            if self.rounds > self.round_limit {
+                return Err(GfairError::RoundLimitExceeded(self.round_limit));
+            }
+        }
+        Ok(self.finalize(scheduler.name()))
+    }
+
+    fn view(&self) -> SimView<'_> {
+        SimView {
+            now: self.now,
+            cluster: &self.cluster,
+            users: &self.users,
+            jobs: &self.jobs,
+            residents: &self.residents,
+            down: &self.down,
+            config: &self.config,
+        }
+    }
+
+    fn arm_round(&mut self, at: SimTime) {
+        if !self.round_armed {
+            self.queue.push(at, EventKind::Round);
+            self.round_armed = true;
+        }
+    }
+
+    fn on_arrival(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
+        let actions = scheduler.on_job_arrival(&self.view(), job);
+        self.pending_actions.extend(actions);
+        self.arm_round(self.now);
+    }
+
+    fn on_finish(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
+        {
+            let j = self.jobs.get_mut(&job).expect("finish for known job");
+            debug_assert!(j.finishing, "finish event without finishing flag");
+            j.info.state = JobState::Finished;
+            j.finish = Some(self.now);
+            if let Some(server) = j.info.server {
+                if let Some(set) = self.residents.get_mut(&server) {
+                    set.remove(&job);
+                }
+            }
+            j.info.server = None;
+        }
+        let actions = scheduler.on_job_finish(&self.view(), job);
+        self.pending_actions.extend(actions);
+    }
+
+    fn on_migration_done(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
+        let landed = {
+            let j = self.jobs.get_mut(&job).expect("migration for known job");
+            debug_assert_eq!(j.info.state, JobState::Migrating);
+            let dst = j.info.server.expect("migrating job has a destination");
+            if self.down.contains(&dst) {
+                // The destination failed while the job was in flight: the
+                // job is stranded and must be re-placed.
+                j.info.state = JobState::Pending;
+                j.info.server = None;
+                false
+            } else {
+                j.info.state = JobState::Resident;
+                j.info.last_migration = Some(self.now);
+                self.residents
+                    .get_mut(&dst)
+                    .expect("destination exists")
+                    .insert(job);
+                true
+            }
+        };
+        let actions = if landed {
+            scheduler.on_migration_done(&self.view(), job)
+        } else {
+            scheduler.on_job_evicted(&self.view(), job)
+        };
+        self.pending_actions.extend(actions);
+    }
+
+    fn on_server_fail(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
+        if !self.down.insert(server) {
+            return; // already down
+        }
+        let evicted: Vec<JobId> = self
+            .residents
+            .get_mut(&server)
+            .map(std::mem::take)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        for &job in &evicted {
+            let j = self.jobs.get_mut(&job).expect("resident job is known");
+            j.info.state = JobState::Pending;
+            j.info.server = None;
+            // Jobs with a pending Finish event (they banked their last
+            // service before the failure instant) stay pending and simply
+            // finish when the event fires; they are not re-dispatched.
+        }
+        for &job in &evicted {
+            if self.jobs[&job].finishing {
+                continue;
+            }
+            let actions = scheduler.on_job_evicted(&self.view(), job);
+            self.pending_actions.extend(actions);
+        }
+        let actions = scheduler.on_server_down(&self.view(), server);
+        self.pending_actions.extend(actions);
+        self.arm_round(self.now);
+    }
+
+    fn on_server_recover(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
+        if !self.down.remove(&server) {
+            return; // was not down
+        }
+        let actions = scheduler.on_server_up(&self.view(), server);
+        self.pending_actions.extend(actions);
+    }
+
+    /// Applies a placement or migration.
+    ///
+    /// `queued` actions were decided by mid-round callbacks against a view
+    /// that may have gone stale (the target server can fail before the round
+    /// boundary); such races are counted and skipped. Actions from a round
+    /// plan saw a fresh view, so targeting a down server there is a hard
+    /// scheduler bug. Stale migrations (job finished or moved) are skipped
+    /// in both cases.
+    fn apply_action(&mut self, action: Action, queued: bool) -> Result<()> {
+        match action {
+            Action::Place { job, server } => {
+                let srv = self
+                    .cluster
+                    .servers
+                    .get(server.index())
+                    .ok_or(GfairError::UnknownServer(server))?;
+                if self.down.contains(&server) {
+                    if queued {
+                        // Raced with a failure; the job stays pending and
+                        // the scheduler's retry path re-places it.
+                        self.stale_migrations += 1;
+                        return Ok(());
+                    }
+                    return Err(GfairError::ServerDown(server));
+                }
+                let gpus = srv.num_gpus;
+                let j = self.jobs.get_mut(&job).ok_or(GfairError::UnknownJob(job))?;
+                if j.info.state != JobState::Pending {
+                    // Placing a non-pending job is always a scheduler bug.
+                    return Err(GfairError::NotMigratable(job));
+                }
+                if j.info.gang > gpus {
+                    return Err(GfairError::GangDoesNotFit {
+                        job,
+                        server,
+                        gang: j.info.gang,
+                        gpus,
+                    });
+                }
+                j.info.state = JobState::Resident;
+                j.info.server = Some(server);
+                self.residents
+                    .get_mut(&server)
+                    .expect("server exists")
+                    .insert(job);
+                Ok(())
+            }
+            Action::Migrate { job, to } => {
+                let srv = self
+                    .cluster
+                    .servers
+                    .get(to.index())
+                    .ok_or(GfairError::UnknownServer(to))?;
+                if self.down.contains(&to) {
+                    if queued {
+                        self.stale_migrations += 1;
+                        return Ok(());
+                    }
+                    return Err(GfairError::ServerDown(to));
+                }
+                let gpus = srv.num_gpus;
+                let j = self.jobs.get_mut(&job).ok_or(GfairError::UnknownJob(job))?;
+                if j.info.state != JobState::Resident || j.finishing {
+                    // Stale: the job finished or started moving since the
+                    // decision was made. Skip quietly but keep count.
+                    self.stale_migrations += 1;
+                    return Ok(());
+                }
+                if j.info.gang > gpus {
+                    return Err(GfairError::GangDoesNotFit {
+                        job,
+                        server: to,
+                        gang: j.info.gang,
+                        gpus,
+                    });
+                }
+                let src = j.info.server.expect("resident job has a server");
+                if src == to {
+                    // No-op move; ignore.
+                    return Ok(());
+                }
+                self.residents
+                    .get_mut(&src)
+                    .expect("source exists")
+                    .remove(&job);
+                j.info.state = JobState::Migrating;
+                j.info.server = Some(to);
+                let cost = j.info.migration_cost;
+                j.migrations += 1;
+                self.migrations += 1;
+                self.migration_outage += cost;
+                self.queue
+                    .push(self.now + cost, EventKind::MigrationDone(job));
+                Ok(())
+            }
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        scheduler: &mut dyn ClusterScheduler,
+        horizon: Option<SimTime>,
+    ) -> Result<()> {
+        self.rounds += 1;
+        self.maybe_flush_window();
+
+        // 1. Deliver profile reports accumulated since the last round.
+        let reports = std::mem::take(&mut self.pending_reports);
+        for report in reports {
+            self.profile_reports += 1;
+            let actions = scheduler.on_profile_report(&self.view(), &report);
+            self.pending_actions.extend(actions);
+        }
+
+        // 2. Apply actions queued by mid-round callbacks.
+        let queued = std::mem::take(&mut self.pending_actions);
+        for action in queued {
+            self.apply_action(action, true)?;
+        }
+
+        // 3. Ask the policy for this quantum's plan.
+        let plan: RoundPlan = scheduler.plan_round(&self.view());
+        for action in &plan.actions {
+            self.apply_action(*action, false)?;
+        }
+
+        // 4. Validate and execute the run sets.
+        let mut seen: BTreeSet<JobId> = BTreeSet::new();
+        for (&server, run) in &plan.run {
+            let srv = self
+                .cluster
+                .servers
+                .get(server.index())
+                .ok_or(GfairError::UnknownServer(server))?;
+            if self.down.contains(&server) && !run.is_empty() {
+                return Err(GfairError::ServerDown(server));
+            }
+            let mut requested = 0u32;
+            for &job in run {
+                if !seen.insert(job) {
+                    return Err(GfairError::DuplicateJobInPlan(job));
+                }
+                let j = self.jobs.get(&job).ok_or(GfairError::UnknownJob(job))?;
+                if j.info.state != JobState::Resident || j.info.server != Some(server) {
+                    return Err(GfairError::JobNotResident { job, server });
+                }
+                requested += j.info.gang;
+            }
+            if requested > srv.num_gpus {
+                return Err(GfairError::ServerOvercommitted {
+                    server,
+                    requested,
+                    gpus: srv.num_gpus,
+                });
+            }
+        }
+
+        // 5. Accrue progress for this quantum.
+        let quantum = self.config.quantum;
+        let budget = match horizon {
+            Some(h) => h.saturating_since(self.now).min(quantum),
+            None => quantum,
+        };
+        if !budget.is_zero() {
+            for (&server, run) in &plan.run {
+                let gen = self.cluster.server(server).gen;
+                for &job in run {
+                    self.accrue(job, server, gen, budget);
+                }
+            }
+        }
+
+        // 6. Remember who ran, for next round's switch-overhead accounting.
+        self.warm = plan
+            .run
+            .values()
+            .flat_map(|jobs| jobs.iter().copied())
+            .collect();
+
+        // 7. Keep the clock ticking while anything is alive.
+        let any_active = self.jobs.values().any(|j| j.info.state.is_active());
+        self.round_armed = false;
+        if any_active {
+            self.arm_round(self.now + quantum);
+        }
+        Ok(())
+    }
+
+    /// Runs `job` on generation `gen` for up to `budget`, scheduling an
+    /// exact-time finish if it completes, and updating all accounting.
+    fn accrue(
+        &mut self,
+        job: JobId,
+        server: ServerId,
+        gen: gfair_types::GenId,
+        budget: SimDuration,
+    ) {
+        let noise = self.config.profile_noise;
+        let stint_len = self.config.profile_stint;
+        let j = self.jobs.get_mut(&job).expect("validated job exists");
+        if j.first_run.is_none() {
+            j.first_run = Some(self.now);
+        }
+        let rate = j.true_rate(gen);
+        // A job resuming after a round off pays the suspend/resume switch
+        // cost before training resumes (the GPU is occupied throughout).
+        let overhead = if self.warm.contains(&job) {
+            SimDuration::ZERO
+        } else {
+            self.config.switch_overhead
+        };
+        let remaining_secs = j.remaining() / rate;
+        let run = budget.min(overhead + SimDuration::from_secs_f64(remaining_secs));
+        if run.is_zero() {
+            return;
+        }
+        let run_secs = run.as_secs_f64();
+        let progress_secs = run.saturating_sub(overhead).as_secs_f64();
+        if run < budget {
+            // Completes mid-round.
+            j.progress = j.spec.service_secs;
+            j.finishing = true;
+            self.queue.push(self.now + run, EventKind::Finish(job));
+        } else {
+            j.progress += progress_secs * rate;
+            if j.remaining() <= 1e-9 {
+                j.progress = j.spec.service_secs;
+                j.finishing = true;
+                self.queue.push(self.now + run, EventKind::Finish(job));
+            }
+        }
+        let gang = j.info.gang as f64;
+        let gpu_secs = gang * run_secs;
+        let base_secs = gang * progress_secs * rate;
+        let user = j.info.user;
+        *j.gpu_secs_by_gen.entry(gen).or_insert(0.0) += gpu_secs;
+
+        // Profiling stints (only productive time counts toward a stint).
+        let stint = j.stint.entry(gen).or_insert(SimDuration::ZERO);
+        *stint += run.saturating_sub(overhead);
+        while *stint >= stint_len {
+            *stint -= stint_len;
+            let eps: f64 = if noise > 0.0 {
+                self.rng.gen_range(-noise..noise)
+            } else {
+                0.0
+            };
+            self.pending_reports.push(ProfileReport {
+                job,
+                gen,
+                rate: rate * (1.0 + eps),
+            });
+        }
+
+        // Global and windowed accounting.
+        *self.server_gpu_secs.entry(server).or_insert(0.0) += gpu_secs;
+        self.gpu_secs_used += gpu_secs;
+        *self.user_gpu_secs.entry(user).or_insert(0.0) += gpu_secs;
+        *self.user_base_secs.entry(user).or_insert(0.0) += base_secs;
+        *self.user_gen_gpu_secs.entry((user, gen)).or_insert(0.0) += gpu_secs;
+        self.window.used_gpu_secs += gpu_secs;
+        *self.window.user_gpu_secs.entry(user).or_insert(0.0) += gpu_secs;
+        *self.window.user_base_secs.entry(user).or_insert(0.0) += base_secs;
+    }
+
+    /// Closes the current reporting window if `now` has crossed a boundary.
+    fn maybe_flush_window(&mut self) {
+        let len = self.config.report_window;
+        while self.now >= self.window.start + len {
+            let start = self.window.start;
+            let mut done = std::mem::take(&mut self.window);
+            done.capacity_gpu_secs = len.as_secs_f64() * self.cluster.total_gpus() as f64;
+            self.timeseries.push(done);
+            self.window.start = start + len;
+        }
+    }
+
+    fn finalize(mut self, scheduler: &str) -> SimReport {
+        // Close the trailing (possibly partial) window.
+        if self.window.used_gpu_secs > 0.0 || !self.window.user_gpu_secs.is_empty() {
+            let span = self.now.saturating_since(self.window.start);
+            let mut done = std::mem::take(&mut self.window);
+            done.capacity_gpu_secs = span.as_secs_f64() * self.cluster.total_gpus() as f64;
+            self.timeseries.push(done);
+        }
+        let jobs = self
+            .jobs
+            .into_iter()
+            .map(|(id, j)| {
+                (
+                    id,
+                    JobRecord {
+                        id,
+                        user: j.spec.user,
+                        model: j.spec.model.name.clone(),
+                        gang: j.spec.gang,
+                        service_secs: j.spec.service_secs,
+                        arrival: j.spec.arrival,
+                        first_run: j.first_run,
+                        finish: j.finish,
+                        gpu_secs_by_gen: j.gpu_secs_by_gen,
+                        migrations: j.migrations,
+                    },
+                )
+            })
+            .collect();
+        SimReport {
+            scheduler: scheduler.to_string(),
+            end: self.now,
+            rounds: self.rounds,
+            jobs,
+            user_gpu_secs: self.user_gpu_secs,
+            user_base_secs: self.user_base_secs,
+            user_gen_gpu_secs: self.user_gen_gpu_secs,
+            server_gpu_secs: self.server_gpu_secs,
+            timeseries: self.timeseries,
+            migrations: self.migrations,
+            migration_outage: self.migration_outage,
+            gpu_secs_used: self.gpu_secs_used,
+            gpu_secs_capacity: self.now.as_secs_f64() * self.cluster.total_gpus() as f64,
+            profile_reports: self.profile_reports,
+            stale_migrations: self.stale_migrations,
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The event queue: a deterministic priority queue of simulation events.
+//!
+//! Events are ordered by time, then by a fixed kind priority (completions
+//! before arrivals before the scheduling round, so a round always sees the
+//! freshest job set), then by insertion sequence — making simultaneous
+//! events fully deterministic.
+
+use gfair_types::{JobId, ServerId, SimTime, UserId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job completes its service demand (scheduled mid-round at the exact
+    /// completion instant).
+    Finish(JobId),
+    /// A migrating job becomes resident on its destination server.
+    MigrationDone(JobId),
+    /// A server goes offline, evicting its resident jobs.
+    ServerFail(ServerId),
+    /// A failed server comes back online.
+    ServerRecover(ServerId),
+    /// A user's ticket endowment changes (priority change).
+    TicketChange(UserId, u64),
+    /// A job is submitted.
+    Arrival(JobId),
+    /// The per-quantum scheduling round.
+    Round,
+}
+
+impl EventKind {
+    /// Priority for simultaneous events; lower fires first.
+    fn priority(self) -> u8 {
+        match self {
+            EventKind::Finish(_) => 0,
+            EventKind::MigrationDone(_) => 1,
+            EventKind::ServerFail(_) => 2,
+            EventKind::ServerRecover(_) => 3,
+            EventKind::TicketChange(_, _) => 4,
+            EventKind::Arrival(_) => 5,
+            EventKind::Round => 6,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion sequence, breaking remaining ties deterministically.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.kind.priority().cmp(&self.kind.priority()))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the next event without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), EventKind::Round);
+        q.push(SimTime::from_secs(5), EventKind::Arrival(JobId::new(1)));
+        q.push(SimTime::from_secs(7), EventKind::Finish(JobId::new(2)));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_secs(5));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_secs(7));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_secs(10));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_order_by_kind_priority() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(60);
+        q.push(t, EventKind::Round);
+        q.push(t, EventKind::Arrival(JobId::new(1)));
+        q.push(t, EventKind::Finish(JobId::new(2)));
+        q.push(t, EventKind::MigrationDone(JobId::new(3)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Finish(JobId::new(2)));
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::MigrationDone(JobId::new(3))
+        );
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(1)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Round);
+    }
+
+    #[test]
+    fn equal_time_and_kind_orders_by_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, EventKind::Arrival(JobId::new(5)));
+        q.push(t, EventKind::Arrival(JobId::new(3)));
+        // Insertion order wins, not job id.
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(5)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(3)));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, EventKind::Round);
+        assert_eq!(q.peek().unwrap().kind, EventKind::Round);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.peek().is_none());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Runtime job state and the scheduler-visible job view.
+//!
+//! `JobRt` is the engine's private per-job record including ground truth
+//! (true rates, exact progress). [`JobInfo`] is the subset a scheduler may
+//! see; [`JobRecord`] is the per-job line in the final report.
+
+use gfair_types::{GenId, JobId, JobSpec, JobState, ServerId, SimDuration, SimTime, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Scheduler-visible job metadata.
+///
+/// Deliberately excludes the model's true per-generation rates: schedulers
+/// learn speedups only from [`crate::ProfileReport`]s, mirroring the paper's
+/// transparent profiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobInfo {
+    /// Job identifier.
+    pub id: JobId,
+    /// Owning user.
+    pub user: UserId,
+    /// Gang size (GPUs needed simultaneously).
+    pub gang: u32,
+    /// Model name (an opaque label to schedulers).
+    pub model: Arc<str>,
+    /// Checkpoint + restore outage if the job is migrated.
+    pub migration_cost: SimDuration,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Server the job is resident on (or migrating to), if placed.
+    pub server: Option<ServerId>,
+    /// When the job last completed a migration, if ever (lets schedulers
+    /// honor migration cooldowns).
+    pub last_migration: Option<SimTime>,
+}
+
+/// Engine-private runtime state of a job.
+#[derive(Debug, Clone)]
+pub(crate) struct JobRt {
+    /// Immutable spec, including ground-truth rates.
+    pub spec: JobSpec,
+    /// Scheduler-visible view, kept in sync by the engine.
+    pub info: JobInfo,
+    /// Per-GPU progress in base-generation seconds (completion at
+    /// `spec.service_secs`).
+    pub progress: f64,
+    /// True if a `Finish` event has been scheduled for this job.
+    pub finishing: bool,
+    /// First time the job ran, if ever (for queueing-delay stats).
+    pub first_run: Option<SimTime>,
+    /// Completion time, when finished.
+    pub finish: Option<SimTime>,
+    /// Runtime accumulated per generation since the last profile report for
+    /// that generation.
+    pub stint: BTreeMap<GenId, SimDuration>,
+    /// GPU-seconds consumed per generation (gang x wall time).
+    pub gpu_secs_by_gen: BTreeMap<GenId, f64>,
+    /// Number of times this job was migrated.
+    pub migrations: u32,
+}
+
+impl JobRt {
+    /// Creates runtime state for a newly arrived job.
+    pub fn new(spec: JobSpec) -> Self {
+        let info = JobInfo {
+            id: spec.id,
+            user: spec.user,
+            gang: spec.gang,
+            model: Arc::from(spec.model.name.as_str()),
+            migration_cost: spec.model.migration_cost(),
+            arrival: spec.arrival,
+            state: JobState::Pending,
+            server: None,
+            last_migration: None,
+        };
+        JobRt {
+            spec,
+            info,
+            progress: 0.0,
+            finishing: false,
+            first_run: None,
+            finish: None,
+            stint: BTreeMap::new(),
+            gpu_secs_by_gen: BTreeMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Remaining per-GPU service in base-generation seconds.
+    pub fn remaining(&self) -> f64 {
+        (self.spec.service_secs - self.progress).max(0.0)
+    }
+
+    /// True rate on generation `gen` (engine-side only).
+    pub fn true_rate(&self, gen: GenId) -> f64 {
+        self.spec.model.rate(gen)
+    }
+}
+
+/// Per-job line in the final [`crate::SimReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identifier.
+    pub id: JobId,
+    /// Owning user.
+    pub user: UserId,
+    /// Model name.
+    pub model: String,
+    /// Gang size.
+    pub gang: u32,
+    /// Per-GPU service demand in base-generation seconds.
+    pub service_secs: f64,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// First time the job ran, if it ever ran.
+    pub first_run: Option<SimTime>,
+    /// Completion time, if it finished before the horizon.
+    pub finish: Option<SimTime>,
+    /// GPU-seconds consumed per generation.
+    pub gpu_secs_by_gen: BTreeMap<GenId, f64>,
+    /// Number of migrations the job underwent.
+    pub migrations: u32,
+}
+
+impl JobRecord {
+    /// Job completion time (finish − arrival), if finished.
+    pub fn jct(&self) -> Option<SimDuration> {
+        self.finish.map(|f| f.saturating_since(self.arrival))
+    }
+
+    /// Queueing delay before the first run, if the job ever ran.
+    pub fn queue_delay(&self) -> Option<SimDuration> {
+        self.first_run.map(|f| f.saturating_since(self.arrival))
+    }
+
+    /// Total GPU-seconds consumed across generations.
+    pub fn total_gpu_secs(&self) -> f64 {
+        self.gpu_secs_by_gen.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_types::ModelProfile;
+
+    fn rt() -> JobRt {
+        let model = Arc::new(ModelProfile::with_default_overheads(
+            "ResNet-50",
+            vec![1.0, 2.0, 4.0],
+        ));
+        JobRt::new(JobSpec::new(
+            JobId::new(1),
+            UserId::new(2),
+            model,
+            4,
+            3600.0,
+            SimTime::from_secs(100),
+        ))
+    }
+
+    #[test]
+    fn new_job_is_pending_and_unplaced() {
+        let j = rt();
+        assert_eq!(j.info.state, JobState::Pending);
+        assert_eq!(j.info.server, None);
+        assert_eq!(j.progress, 0.0);
+        assert_eq!(j.remaining(), 3600.0);
+    }
+
+    #[test]
+    fn info_mirrors_spec() {
+        let j = rt();
+        assert_eq!(j.info.id, JobId::new(1));
+        assert_eq!(j.info.user, UserId::new(2));
+        assert_eq!(j.info.gang, 4);
+        assert_eq!(&*j.info.model, "ResNet-50");
+        assert_eq!(j.info.migration_cost, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn remaining_clamps_at_zero() {
+        let mut j = rt();
+        j.progress = 4000.0;
+        assert_eq!(j.remaining(), 0.0);
+    }
+
+    #[test]
+    fn record_jct_and_queue_delay() {
+        let rec = JobRecord {
+            id: JobId::new(1),
+            user: UserId::new(0),
+            model: "m".into(),
+            gang: 2,
+            service_secs: 100.0,
+            arrival: SimTime::from_secs(10),
+            first_run: Some(SimTime::from_secs(70)),
+            finish: Some(SimTime::from_secs(250)),
+            gpu_secs_by_gen: BTreeMap::from([(GenId::new(0), 360.0)]),
+            migrations: 1,
+        };
+        assert_eq!(rec.jct(), Some(SimDuration::from_secs(240)));
+        assert_eq!(rec.queue_delay(), Some(SimDuration::from_secs(60)));
+        assert_eq!(rec.total_gpu_secs(), 360.0);
+    }
+
+    #[test]
+    fn unfinished_record_has_no_jct() {
+        let rec = JobRecord {
+            id: JobId::new(1),
+            user: UserId::new(0),
+            model: "m".into(),
+            gang: 1,
+            service_secs: 100.0,
+            arrival: SimTime::ZERO,
+            first_run: None,
+            finish: None,
+            gpu_secs_by_gen: BTreeMap::new(),
+            migrations: 0,
+        };
+        assert_eq!(rec.jct(), None);
+        assert_eq!(rec.queue_delay(), None);
+        assert_eq!(rec.total_gpu_secs(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The scheduler interface: how policies plug into the simulator.
+//!
+//! A cluster scheduler is driven by engine callbacks. Mid-round callbacks
+//! (arrival, finish, migration-done, profile report) return [`Action`]s that
+//! the engine *queues* and applies at the next round boundary, so all state
+//! changes happen at quantum edges — matching the paper's round-based
+//! suspend/resume design and keeping accounting exact. The per-quantum
+//! [`RoundPlan`] may also carry actions; those apply immediately, before the
+//! plan's run sets are validated.
+
+use crate::view::SimView;
+use gfair_types::{GenId, JobId, ServerId};
+use std::collections::BTreeMap;
+
+/// A placement or migration decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Place a pending job on a server (it becomes resident immediately and
+    /// can run from the next round plan onward).
+    Place {
+        /// Job to place.
+        job: JobId,
+        /// Destination server.
+        server: ServerId,
+    },
+    /// Migrate a resident job to another server. The job is suspended for
+    /// its checkpoint+restore cost and becomes resident on the destination
+    /// when the migration completes.
+    Migrate {
+        /// Job to move.
+        job: JobId,
+        /// Destination server.
+        to: ServerId,
+    },
+}
+
+/// One quantum's scheduling decision.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// Jobs to run this quantum, per server. Jobs listed must be resident on
+    /// that server and schedulable; gang sizes must fit within the server's
+    /// GPUs. Servers may be omitted (nothing runs there).
+    pub run: BTreeMap<ServerId, Vec<JobId>>,
+    /// Placements/migrations to apply at this round boundary, before the run
+    /// sets are validated. A job placed here may appear in `run`.
+    pub actions: Vec<Action>,
+}
+
+impl RoundPlan {
+    /// An empty plan (nothing runs anywhere).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Adds a job to a server's run set (builder-style convenience).
+    pub fn run_on(&mut self, server: ServerId, job: JobId) {
+        self.run.entry(server).or_default().push(job);
+    }
+
+    /// Total number of jobs scheduled across all servers.
+    pub fn num_running(&self) -> usize {
+        self.run.values().map(|v| v.len()).sum()
+    }
+}
+
+/// A noisy observation of a job's training rate on one GPU generation.
+///
+/// Emitted by the engine after the job accumulates
+/// [`gfair_types::SimConfig::profile_stint`] of runtime on that generation
+/// (and again after each further stint, so estimators can average).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileReport {
+    /// The profiled job.
+    pub job: JobId,
+    /// Generation the job was observed on.
+    pub gen: GenId,
+    /// Observed training rate in minibatches/sec-equivalents. Only *ratios*
+    /// between generations are meaningful to a scheduler.
+    pub rate: f64,
+}
+
+/// A scheduling policy driven by the simulator.
+///
+/// All callbacks receive a read-only [`SimView`] of cluster state. The
+/// default implementations of the optional callbacks do nothing.
+pub trait ClusterScheduler {
+    /// Human-readable policy name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Called when a job is submitted. Returned actions are queued and
+    /// applied at the next round boundary.
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action>;
+
+    /// Called when a job completes. Returned actions are queued.
+    fn on_job_finish(&mut self, _view: &SimView<'_>, _job: JobId) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called when a migration completes and the job is resident on its
+    /// destination. Returned actions are queued.
+    fn on_migration_done(&mut self, _view: &SimView<'_>, _job: JobId) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called for each job evicted by a server failure (the job is back in
+    /// the `Pending` state with its training progress intact — DLT jobs
+    /// restart from their last checkpoint). The default treats eviction
+    /// like a fresh arrival, so every scheduler re-places evicted jobs.
+    fn on_job_evicted(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        self.on_job_arrival(view, job)
+    }
+
+    /// Called after a server fails (its jobs have already been evicted and
+    /// re-dispatched through [`on_job_evicted`](Self::on_job_evicted)).
+    fn on_server_down(&mut self, _view: &SimView<'_>, _server: ServerId) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called when a failed server comes back online.
+    fn on_server_up(&mut self, _view: &SimView<'_>, _server: ServerId) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called when the profiler observes a job's rate on a generation.
+    /// Returned actions are queued.
+    fn on_profile_report(&mut self, _view: &SimView<'_>, _report: &ProfileReport) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called once per quantum: decide which resident jobs run this round.
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_plan_builder() {
+        let mut p = RoundPlan::empty();
+        assert_eq!(p.num_running(), 0);
+        p.run_on(ServerId::new(0), JobId::new(1));
+        p.run_on(ServerId::new(0), JobId::new(2));
+        p.run_on(ServerId::new(3), JobId::new(7));
+        assert_eq!(p.num_running(), 3);
+        assert_eq!(p.run[&ServerId::new(0)], vec![JobId::new(1), JobId::new(2)]);
+    }
+
+    #[test]
+    fn actions_are_comparable() {
+        let a = Action::Place {
+            job: JobId::new(1),
+            server: ServerId::new(2),
+        };
+        let b = Action::Place {
+            job: JobId::new(1),
+            server: ServerId::new(2),
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Action::Migrate {
+                job: JobId::new(1),
+                to: ServerId::new(2)
+            }
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Read-only cluster view handed to schedulers.
+//!
+//! [`SimView`] exposes everything a real cluster scheduler could know —
+//! topology, job metadata, residency, states — and nothing it couldn't
+//! (ground-truth rates, exact remaining work).
+
+use crate::job::{JobInfo, JobRt};
+use gfair_types::{
+    ClusterSpec, JobId, JobState, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Read-only snapshot of simulation state at a callback.
+pub struct SimView<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) cluster: &'a ClusterSpec,
+    pub(crate) users: &'a [UserSpec],
+    pub(crate) jobs: &'a BTreeMap<JobId, JobRt>,
+    pub(crate) residents: &'a BTreeMap<ServerId, BTreeSet<JobId>>,
+    pub(crate) down: &'a BTreeSet<ServerId>,
+    pub(crate) config: &'a SimConfig,
+}
+
+impl<'a> SimView<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cluster topology.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.cluster
+    }
+
+    /// All users, in id order.
+    pub fn users(&self) -> &'a [UserSpec] {
+        self.users
+    }
+
+    /// Simulation configuration (quantum, intervals, ...).
+    pub fn config(&self) -> &'a SimConfig {
+        self.config
+    }
+
+    /// True if `server` is currently online.
+    pub fn is_up(&self, server: ServerId) -> bool {
+        !self.down.contains(&server)
+    }
+
+    /// Online servers, in id order.
+    pub fn up_servers(&self) -> impl Iterator<Item = &'a ServerSpec> + '_ {
+        self.cluster
+            .servers
+            .iter()
+            .filter(move |s| !self.down.contains(&s.id))
+    }
+
+    /// Online servers of one generation, in id order.
+    pub fn up_servers_of_gen(
+        &self,
+        gen: gfair_types::GenId,
+    ) -> impl Iterator<Item = &'a ServerSpec> + '_ {
+        self.up_servers().filter(move |s| s.gen == gen)
+    }
+
+    /// Metadata for a job, if known.
+    pub fn job(&self, id: JobId) -> Option<&'a JobInfo> {
+        self.jobs.get(&id).map(|j| &j.info)
+    }
+
+    /// All jobs submitted so far, in id order.
+    ///
+    /// Jobs whose arrival time lies in the future are invisible — a real
+    /// scheduler cannot see tomorrow's submissions.
+    pub fn jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
+        let now = self.now;
+        self.jobs
+            .values()
+            .map(|j| &j.info)
+            .filter(move |j| j.arrival <= now)
+    }
+
+    /// Jobs that have arrived and are not finished, in id order.
+    pub fn active_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
+        self.jobs().filter(|j| j.state.is_active())
+    }
+
+    /// Arrived jobs awaiting placement, in id order.
+    pub fn pending_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
+        self.jobs().filter(|j| j.state == JobState::Pending)
+    }
+
+    /// Ids of jobs resident on `server`, in id order.
+    pub fn resident(&self, server: ServerId) -> impl Iterator<Item = JobId> + '_ {
+        self.residents
+            .get(&server)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of GPUs demanded by jobs resident on `server` (sum of gangs).
+    pub fn resident_demand(&self, server: ServerId) -> u32 {
+        self.resident(server)
+            .filter_map(|id| self.job(id))
+            .map(|j| j.gang)
+            .sum()
+    }
+
+    /// Demand-to-capacity ratio of `server` (the paper's load signal for
+    /// migration-based balancing).
+    pub fn server_load(&self, server: ServerId) -> f64 {
+        let gpus = self.cluster.server(server).num_gpus;
+        self.resident_demand(server) as f64 / gpus as f64
+    }
+
+    /// Users that currently have at least one active job, in id order.
+    pub fn active_users(&self) -> Vec<UserId> {
+        let mut active: BTreeSet<UserId> = BTreeSet::new();
+        for j in self.active_jobs() {
+            active.insert(j.user);
+        }
+        active.into_iter().collect()
+    }
+
+    /// Active jobs belonging to `user`, in id order.
+    pub fn jobs_of_user(&self, user: UserId) -> impl Iterator<Item = &'a JobInfo> + '_ {
+        self.active_jobs().filter(move |j| j.user == user)
+    }
+}

@@ -1,0 +1,430 @@
+//! Classic stride scheduling.
+//!
+//! Stride scheduling (Waldspurger & Weihl, 1995) is a deterministic
+//! proportional-share algorithm: each client holds *tickets*; a client's
+//! *stride* is `STRIDE1 / tickets`; each client carries a *pass* value that
+//! advances by its stride per quantum of service received; the scheduler
+//! always serves the client with the minimum pass. Over any interval, the
+//! service received by competing clients is proportional to their tickets
+//! with an absolute error of at most one quantum per client.
+//!
+//! Dynamic behaviour follows the original paper: a joining client starts at
+//! the *global pass* (the ticket-weighted virtual time), a leaving client
+//! remembers its pending "remain" debt, and ticket changes rescale that debt
+//! so a client can neither hoard nor lose service by modulating tickets.
+
+use crate::STRIDE1;
+use std::collections::BTreeMap;
+
+/// Per-client bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Client {
+    tickets: f64,
+    pass: f64,
+}
+
+impl Client {
+    fn stride(&self) -> f64 {
+        STRIDE1 / self.tickets
+    }
+}
+
+/// A deterministic proportional-share scheduler over clients of type `K`.
+///
+/// # Examples
+///
+/// ```
+/// use gfair_stride::StrideScheduler;
+///
+/// let mut s = StrideScheduler::new();
+/// s.join("a", 100.0);
+/// s.join("b", 300.0);
+/// let mut served = std::collections::HashMap::new();
+/// for _ in 0..400 {
+///     let k = s.pick().unwrap();
+///     s.run(k, 1.0);
+///     *served.entry(k).or_insert(0) += 1;
+/// }
+/// // b holds 3x the tickets of a, so it receives ~3x the quanta.
+/// assert_eq!(served[&"b"], 300);
+/// assert_eq!(served[&"a"], 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrideScheduler<K> {
+    clients: BTreeMap<K, Client>,
+    /// Ticket-weighted virtual time; new clients start here.
+    global_pass: f64,
+    total_tickets: f64,
+}
+
+impl<K: Copy + Ord> StrideScheduler<K> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        StrideScheduler {
+            clients: BTreeMap::new(),
+            global_pass: 0.0,
+            total_tickets: 0.0,
+        }
+    }
+
+    /// Number of clients currently competing.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Returns true if no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// The current global pass (ticket-weighted virtual time).
+    pub fn global_pass(&self) -> f64 {
+        self.global_pass
+    }
+
+    /// Total tickets across all clients.
+    pub fn total_tickets(&self) -> f64 {
+        self.total_tickets
+    }
+
+    /// Pass value of a client, if registered.
+    pub fn pass_of(&self, k: K) -> Option<f64> {
+        self.clients.get(&k).map(|c| c.pass)
+    }
+
+    /// Tickets of a client, if registered.
+    pub fn tickets_of(&self, k: K) -> Option<f64> {
+        self.clients.get(&k).map(|c| c.tickets)
+    }
+
+    /// Registers a client with the given tickets.
+    ///
+    /// The client starts one stride ahead of the global pass, as in the
+    /// original algorithm, so it neither monopolizes the processor on entry
+    /// nor waits more than one of its own strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is not strictly positive and finite, or if the
+    /// client is already registered.
+    pub fn join(&mut self, k: K, tickets: f64) {
+        assert!(
+            tickets.is_finite() && tickets > 0.0,
+            "tickets must be positive and finite, got {tickets}"
+        );
+        let pass = self.global_pass + STRIDE1 / tickets;
+        let prev = self.clients.insert(k, Client { tickets, pass });
+        assert!(prev.is_none(), "client joined twice");
+        self.total_tickets += tickets;
+    }
+
+    /// Removes a client. Returns true if it was registered.
+    pub fn leave(&mut self, k: K) -> bool {
+        match self.clients.remove(&k) {
+            Some(c) => {
+                self.total_tickets -= c.tickets;
+                if self.clients.is_empty() {
+                    self.total_tickets = 0.0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Changes a client's tickets, rescaling its pending pass debt so the
+    /// change takes effect smoothly (Waldspurger's ticket modulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is unknown or `tickets` is invalid.
+    pub fn set_tickets(&mut self, k: K, tickets: f64) {
+        assert!(
+            tickets.is_finite() && tickets > 0.0,
+            "tickets must be positive and finite, got {tickets}"
+        );
+        let global = self.global_pass;
+        let c = self.clients.get_mut(&k).expect("unknown client");
+        let remain = c.pass - global;
+        // Scale the remaining debt by old_stride_ratio = new_stride/old_stride.
+        let scaled = remain * (c.tickets / tickets);
+        self.total_tickets += tickets - c.tickets;
+        c.tickets = tickets;
+        c.pass = global + scaled;
+    }
+
+    /// Returns the client with the minimum pass (ties broken by key order),
+    /// without advancing any state.
+    pub fn pick(&self) -> Option<K> {
+        self.clients
+            .iter()
+            .min_by(|(ka, a), (kb, b)| a.pass.total_cmp(&b.pass).then(ka.cmp(kb)))
+            .map(|(k, _)| *k)
+    }
+
+    /// Charges `quanta` quanta of service to client `k` and advances the
+    /// global pass correspondingly.
+    ///
+    /// `quanta` may be fractional (e.g. a job that finished mid-quantum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is unknown or `quanta` is negative/not finite.
+    pub fn run(&mut self, k: K, quanta: f64) {
+        assert!(
+            quanta.is_finite() && quanta >= 0.0,
+            "quanta must be non-negative and finite, got {quanta}"
+        );
+        let c = self.clients.get_mut(&k).expect("unknown client");
+        c.pass += c.stride() * quanta;
+        self.global_pass += STRIDE1 * quanta / self.total_tickets;
+    }
+
+    /// Iterates over `(client, tickets, pass)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, f64, f64)> + '_ {
+        self.clients.iter().map(|(k, c)| (*k, c.tickets, c.pass))
+    }
+}
+
+impl<K: Copy + Ord> Default for StrideScheduler<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Runs `rounds` quanta and returns quanta served per client.
+    fn serve(s: &mut StrideScheduler<u32>, rounds: usize) -> HashMap<u32, usize> {
+        let mut served = HashMap::new();
+        for _ in 0..rounds {
+            let k = s.pick().expect("no client to pick");
+            s.run(k, 1.0);
+            *served.entry(k).or_insert(0) += 1;
+        }
+        served
+    }
+
+    #[test]
+    fn equal_tickets_equal_service() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 100.0);
+        let served = serve(&mut s, 1000);
+        assert_eq!(served[&1], 500);
+        assert_eq!(served[&2], 500);
+    }
+
+    #[test]
+    fn service_is_ticket_proportional() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 200.0);
+        s.join(3, 700.0);
+        let served = serve(&mut s, 1000);
+        assert_eq!(served[&1], 100);
+        assert_eq!(served[&2], 200);
+        assert_eq!(served[&3], 700);
+    }
+
+    #[test]
+    fn lag_is_bounded_by_one_quantum() {
+        // Stride scheduling guarantees |service - entitlement| < 1 quantum.
+        let mut s = StrideScheduler::new();
+        s.join(1, 300.0);
+        s.join(2, 100.0);
+        let mut served = HashMap::new();
+        for round in 1..=400usize {
+            let k = s.pick().unwrap();
+            s.run(k, 1.0);
+            *served.entry(k).or_insert(0usize) += 1;
+            let e1 = round as f64 * 0.75;
+            let got1 = *served.get(&1).unwrap_or(&0) as f64;
+            assert!(
+                (got1 - e1).abs() <= 1.0 + 1e-9,
+                "lag exceeded at round {round}: got {got1}, expected {e1}"
+            );
+        }
+    }
+
+    #[test]
+    fn late_joiner_starts_at_global_pass() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        for _ in 0..100 {
+            let k = s.pick().unwrap();
+            s.run(k, 1.0);
+        }
+        s.join(2, 100.0);
+        // The newcomer must not be owed 100 quanta of back service...
+        let served = serve(&mut s, 100);
+        assert!(served[&2] <= 52, "late joiner monopolized: {:?}", served);
+        // ...but must promptly receive its ongoing fair share.
+        assert!(served[&2] >= 48, "late joiner starved: {served:?}");
+    }
+
+    #[test]
+    fn leaver_frees_capacity_for_remaining() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 100.0);
+        let _ = serve(&mut s, 100);
+        assert!(s.leave(2));
+        let served = serve(&mut s, 50);
+        assert_eq!(served[&1], 50);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn leave_unknown_returns_false() {
+        let mut s = StrideScheduler::<u32>::new();
+        assert!(!s.leave(9));
+    }
+
+    #[test]
+    fn ticket_modulation_changes_share() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 100.0);
+        let _ = serve(&mut s, 200);
+        s.set_tickets(1, 300.0);
+        let served = serve(&mut s, 400);
+        // After modulation 1 holds 75% of tickets.
+        assert!(
+            (served[&1] as f64 - 300.0).abs() <= 2.0,
+            "modulated share wrong: {served:?}"
+        );
+    }
+
+    #[test]
+    fn ticket_modulation_rescales_debt() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        let remain_before = s.pass_of(1).unwrap() - s.global_pass();
+        s.set_tickets(1, 200.0);
+        let remain_after = s.pass_of(1).unwrap() - s.global_pass();
+        // Doubling tickets halves the stride and thus halves pending debt.
+        assert!((remain_after - remain_before / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_key() {
+        let mut s = StrideScheduler::new();
+        s.join(5, 100.0);
+        s.join(3, 100.0);
+        // Both start with identical pass; the smaller key must win.
+        assert_eq!(s.pick(), Some(3));
+    }
+
+    #[test]
+    fn fractional_quanta_accumulate() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 100.0);
+        s.run(1, 0.5);
+        // Client 2 now trails and must be picked.
+        assert_eq!(s.pick(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_tickets_panics() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 0.0);
+    }
+
+    #[test]
+    fn empty_scheduler_picks_none() {
+        let s = StrideScheduler::<u32>::new();
+        assert_eq!(s.pick(), None);
+        assert_eq!(s.total_tickets(), 0.0);
+    }
+
+    #[test]
+    fn iter_reports_state_in_key_order() {
+        let mut s = StrideScheduler::new();
+        s.join(2, 50.0);
+        s.join(1, 100.0);
+        let keys: Vec<u32> = s.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec![1, 2]);
+        let tickets: Vec<f64> = s.iter().map(|(_, t, _)| t).collect();
+        assert_eq!(tickets, vec![100.0, 50.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// Over any horizon, service is ticket-proportional within an
+        /// absolute lag of one quantum per client (stride's core guarantee).
+        #[test]
+        fn proportionality_holds(
+            tickets in proptest::collection::vec(1u32..=50, 2..6),
+            rounds in 100usize..800,
+        ) {
+            let mut s = StrideScheduler::new();
+            let total: u64 = tickets.iter().map(|&t| t as u64).sum();
+            for (i, &t) in tickets.iter().enumerate() {
+                s.join(i as u32, t as f64);
+            }
+            let mut served: HashMap<u32, usize> = HashMap::new();
+            for _ in 0..rounds {
+                let k = s.pick().unwrap();
+                s.run(k, 1.0);
+                *served.entry(k).or_insert(0) += 1;
+            }
+            for (i, &t) in tickets.iter().enumerate() {
+                let expected = rounds as f64 * t as f64 / total as f64;
+                let got = *served.get(&(i as u32)).unwrap_or(&0) as f64;
+                prop_assert!(
+                    (got - expected).abs() <= tickets.len() as f64,
+                    "client {i}: got {got}, expected {expected}"
+                );
+            }
+        }
+
+        /// Join/leave churn never panics and total tickets stays consistent.
+        #[test]
+        fn churn_keeps_totals_consistent(ops in proptest::collection::vec((0u8..3, 0u32..8, 1u32..100), 1..200)) {
+            let mut s = StrideScheduler::new();
+            let mut live: HashMap<u32, f64> = HashMap::new();
+            for (op, k, t) in ops {
+                match op {
+                    0 => {
+                        if let std::collections::hash_map::Entry::Vacant(e) = live.entry(k) {
+                            s.join(k, t as f64);
+                            e.insert(t as f64);
+                        }
+                    }
+                    1 => {
+                        s.leave(k);
+                        live.remove(&k);
+                    }
+                    _ => {
+                        if let Some(k2) = s.pick() {
+                            s.run(k2, 1.0);
+                        }
+                    }
+                }
+                let expect: f64 = live.values().sum();
+                prop_assert!((s.total_tickets() - expect).abs() < 1e-6);
+                prop_assert_eq!(s.len(), live.len());
+            }
+        }
+    }
+}

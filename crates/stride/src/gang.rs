@@ -1,0 +1,683 @@
+//! Gang-aware stride scheduling — the paper's core local scheduler.
+//!
+//! Deep-learning jobs are *gangs*: a job with gang width `w` needs `w` GPUs
+//! simultaneously for a whole quantum, or nothing. Applying stride scheduling
+//! naively to gangs fails in one of two ways, which the paper motivates
+//! against and this module reproduces as baselines:
+//!
+//! * **Job-level stride** ([`GangPolicy::JobLevelStride`]) advances a job's
+//!   pass by one quantum per *round* it runs, regardless of width. A
+//!   gang-of-8 then receives 8x the GPU-time of a gang-of-1 at equal
+//!   tickets — resource-unfair.
+//! * **Strict stride** ([`GangPolicy::StrictNoBackfill`]) refuses to run any
+//!   job ahead of the minimum-pass job. When the min-pass gang is wide the
+//!   server idles GPUs that smaller jobs could use — work-non-conserving.
+//!
+//! The **gang-aware** policy ([`GangPolicy::GangAware`]) fixes both: each
+//! round, runnable jobs are scanned in pass order and packed greedily into
+//! the server's GPUs; a scheduled job's pass advances by
+//! `stride x width` (GPU-time, not job-time); a *skipped* job's pass does not
+//! advance, so it sinks to the minimum and — because the scan starts with the
+//! full server free — is guaranteed the first slot within a bounded number of
+//! rounds. The result is ticket-proportional *GPU-time* with bounded lag and
+//! no starvation, while still backfilling smaller jobs.
+
+use crate::STRIDE1;
+use std::collections::BTreeMap;
+
+/// How the scheduler handles gangs that do not fit the remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GangPolicy {
+    /// Pass-order scan with greedy packing; pass advances by GPU-time.
+    /// This is Gandiva_fair's gang-aware stride.
+    #[default]
+    GangAware,
+    /// Pass-order scan with greedy packing, but pass advances by one quantum
+    /// per scheduled round regardless of gang width (job-level fairness —
+    /// wide gangs hoard GPU-time).
+    JobLevelStride,
+    /// Serve strictly in pass order: when the minimum-pass runnable job does
+    /// not fit the remaining GPUs, stop and idle the rest (fair but
+    /// work-non-conserving).
+    StrictNoBackfill,
+}
+
+/// Per-client gang bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct GangClient {
+    tickets: f64,
+    width: u32,
+    pass: f64,
+    runnable: bool,
+}
+
+impl GangClient {
+    fn stride(&self) -> f64 {
+        STRIDE1 / self.tickets
+    }
+}
+
+/// Outcome of planning one scheduling round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome<K> {
+    /// Clients selected to run this quantum, in selection order.
+    pub selected: Vec<K>,
+    /// GPUs used by the selected gangs.
+    pub gpus_used: u32,
+    /// GPUs left idle this quantum.
+    pub gpus_idle: u32,
+}
+
+/// A gang scheduler over a server with a fixed number of GPUs.
+///
+/// # Examples
+///
+/// ```
+/// use gfair_stride::{GangScheduler, GangPolicy};
+///
+/// // An 8-GPU server with a gang-of-8 and two gang-of-4 jobs, equal tickets.
+/// let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+/// g.join("big", 100.0, 8);
+/// g.join("mid1", 100.0, 4);
+/// g.join("mid2", 100.0, 4);
+/// let mut gpu_time = std::collections::HashMap::new();
+/// for _ in 0..300 {
+///     for k in g.plan_round().selected {
+///         *gpu_time.entry(k).or_insert(0u64) += g.width_of(k).unwrap() as u64;
+///     }
+/// }
+/// // Equal tickets => equal accumulated GPU-time despite different widths.
+/// let big = gpu_time[&"big"] as f64;
+/// let mid = gpu_time[&"mid1"] as f64;
+/// assert!((big - mid).abs() / big < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GangScheduler<K> {
+    capacity: u32,
+    policy: GangPolicy,
+    clients: BTreeMap<K, GangClient>,
+    global_pass: f64,
+    total_tickets: f64,
+}
+
+impl<K: Copy + Ord> GangScheduler<K> {
+    /// Creates a gang scheduler for a server with `capacity` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32, policy: GangPolicy) -> Self {
+        assert!(capacity > 0, "capacity must be at least one GPU");
+        GangScheduler {
+            capacity,
+            policy,
+            clients: BTreeMap::new(),
+            global_pass: 0.0,
+            total_tickets: 0.0,
+        }
+    }
+
+    /// Server GPU capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The policy this scheduler was built with.
+    pub fn policy(&self) -> GangPolicy {
+        self.policy
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Returns true if no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Gang width of a client, if registered.
+    pub fn width_of(&self, k: K) -> Option<u32> {
+        self.clients.get(&k).map(|c| c.width)
+    }
+
+    /// Pass value of a client, if registered.
+    pub fn pass_of(&self, k: K) -> Option<f64> {
+        self.clients.get(&k).map(|c| c.pass)
+    }
+
+    /// Tickets of a client, if registered.
+    pub fn tickets_of(&self, k: K) -> Option<f64> {
+        self.clients.get(&k).map(|c| c.tickets)
+    }
+
+    /// Total tickets across registered clients.
+    pub fn total_tickets(&self) -> f64 {
+        self.total_tickets
+    }
+
+    /// Registers a gang of `width` GPUs with the given tickets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gang is wider than the server, tickets are invalid, or
+    /// the client is already registered.
+    pub fn join(&mut self, k: K, tickets: f64, width: u32) {
+        assert!(
+            tickets.is_finite() && tickets > 0.0,
+            "tickets must be positive and finite, got {tickets}"
+        );
+        assert!(width > 0, "gang width must be at least 1");
+        assert!(
+            width <= self.capacity,
+            "gang width {width} exceeds server capacity {}",
+            self.capacity
+        );
+        let pass = self.global_pass + STRIDE1 / tickets;
+        let prev = self.clients.insert(
+            k,
+            GangClient {
+                tickets,
+                width,
+                pass,
+                runnable: true,
+            },
+        );
+        assert!(prev.is_none(), "client joined twice");
+        self.total_tickets += tickets;
+    }
+
+    /// Removes a client. Returns true if it was registered.
+    pub fn leave(&mut self, k: K) -> bool {
+        match self.clients.remove(&k) {
+            Some(c) => {
+                self.total_tickets -= c.tickets;
+                if self.clients.is_empty() {
+                    self.total_tickets = 0.0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Changes a client's tickets, rescaling pending pass debt (see
+    /// [`crate::classic::StrideScheduler::set_tickets`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is unknown or tickets are invalid.
+    pub fn set_tickets(&mut self, k: K, tickets: f64) {
+        assert!(
+            tickets.is_finite() && tickets > 0.0,
+            "tickets must be positive and finite, got {tickets}"
+        );
+        let global = self.global_pass;
+        let c = self.clients.get_mut(&k).expect("unknown client");
+        let remain = c.pass - global;
+        let scaled = remain * (c.tickets / tickets);
+        self.total_tickets += tickets - c.tickets;
+        c.tickets = tickets;
+        c.pass = global + scaled;
+    }
+
+    /// Marks a client runnable or not (e.g. suspended for migration).
+    /// Non-runnable clients are skipped by [`plan_round`](Self::plan_round)
+    /// and their pass does not advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is unknown.
+    pub fn set_runnable(&mut self, k: K, runnable: bool) {
+        self.clients.get_mut(&k).expect("unknown client").runnable = runnable;
+    }
+
+    /// Plans one quantum: selects the gangs to run and advances pass values.
+    ///
+    /// Selection depends on the policy; see the module docs. Returns the
+    /// selected clients (in selection order) and GPU usage for the round.
+    pub fn plan_round(&mut self) -> RoundOutcome<K> {
+        // Deterministic pass order: (pass, key).
+        let mut order: Vec<K> = self
+            .clients
+            .iter()
+            .filter(|(_, c)| c.runnable)
+            .map(|(k, _)| *k)
+            .collect();
+        order.sort_by(|a, b| {
+            let ca = &self.clients[a];
+            let cb = &self.clients[b];
+            ca.pass.total_cmp(&cb.pass).then(a.cmp(b))
+        });
+
+        let mut free = self.capacity;
+        let mut selected = Vec::new();
+        for k in order {
+            let width = self.clients[&k].width;
+            if width <= free {
+                selected.push(k);
+                free -= width;
+                if free == 0 {
+                    break;
+                }
+            } else if self.policy == GangPolicy::StrictNoBackfill {
+                // Nothing may run ahead of the min-pass job.
+                break;
+            }
+            // GangAware / JobLevelStride: skip and keep scanning (backfill);
+            // the skipped client's pass does not advance, so it sinks toward
+            // the minimum and will head the scan of a future round.
+        }
+
+        // Advance passes for the scheduled clients.
+        let mut used = 0u32;
+        for &k in &selected {
+            let c = self.clients.get_mut(&k).expect("selected client exists");
+            let quanta = match self.policy {
+                GangPolicy::JobLevelStride => 1.0,
+                GangPolicy::GangAware | GangPolicy::StrictNoBackfill => c.width as f64,
+            };
+            c.pass += c.stride() * quanta;
+            used += c.width;
+        }
+        // Advance global virtual time by the GPU-quanta actually dispensed.
+        if self.total_tickets > 0.0 && used > 0 {
+            self.global_pass += STRIDE1 * used as f64 / self.total_tickets;
+        }
+
+        RoundOutcome {
+            selected,
+            gpus_used: used,
+            gpus_idle: self.capacity - used,
+        }
+    }
+
+    /// Iterates over `(client, tickets, width, pass)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, f64, u32, f64)> + '_ {
+        self.clients
+            .iter()
+            .map(|(k, c)| (*k, c.tickets, c.width, c.pass))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Runs `rounds` rounds and returns accumulated GPU-quanta per client.
+    fn gpu_time(g: &mut GangScheduler<u32>, rounds: usize) -> HashMap<u32, u64> {
+        let mut acc = HashMap::new();
+        for _ in 0..rounds {
+            let out = g.plan_round();
+            for k in out.selected {
+                *acc.entry(k).or_insert(0) += g.width_of(k).unwrap() as u64;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn gang_aware_equalizes_gpu_time_across_widths() {
+        // 8-GPU server: a gang-of-8 versus two gangs-of-4, equal tickets.
+        // Rounds are either {8} or {4, 4}, so every client fully contends and
+        // exact GPU-time equality is feasible; stride must deliver it.
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        for (id, w) in [(0, 8), (1, 4), (2, 4)] {
+            g.join(id, 100.0, w);
+        }
+        let acc = gpu_time(&mut g, 900);
+        let total: u64 = acc.values().sum();
+        for (&id, &t) in &acc {
+            let share = t as f64 / total as f64;
+            assert!(
+                (share - 1.0 / 3.0).abs() < 0.02,
+                "client {id} got share {share}, expected ~1/3 ({acc:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_widths_avoid_starvation_and_stay_utilized() {
+        // Widths {8, 4, 2, 1, 1} cannot all be equalized (packing makes it
+        // infeasible: when the 8-gang runs, nothing else can). The algorithm
+        // must still (a) starve nobody, (b) keep utilization high, and
+        // (c) treat identical clients identically.
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        for (id, w) in [(0, 8), (1, 4), (2, 2), (3, 1), (4, 1)] {
+            g.join(id, 100.0, w);
+        }
+        let rounds = 2000usize;
+        let mut used_total = 0u64;
+        let mut acc: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..rounds {
+            let out = g.plan_round();
+            used_total += out.gpus_used as u64;
+            for k in out.selected {
+                *acc.entry(k).or_insert(0) += g.width_of(k).unwrap() as u64;
+            }
+        }
+        let total: u64 = acc.values().sum();
+        for id in 0..5u32 {
+            let share = *acc.get(&id).unwrap_or(&0) as f64 / total as f64;
+            assert!(share > 0.08, "client {id} starved: share {share} ({acc:?})");
+        }
+        // Identical width-1, equal-ticket clients must get ~equal service.
+        let (a, b) = (acc[&3] as f64, acc[&4] as f64);
+        assert!((a - b).abs() / a < 0.05, "twins diverged: {a} vs {b}");
+        // Work conservation: utilization stays high despite the wide gang.
+        let util = used_total as f64 / (rounds as f64 * 8.0);
+        assert!(util > 0.85, "utilization collapsed: {util}");
+    }
+
+    #[test]
+    fn job_level_stride_lets_wide_gangs_hoard() {
+        let mut g = GangScheduler::new(8, GangPolicy::JobLevelStride);
+        g.join(0, 100.0, 8);
+        g.join(1, 100.0, 1);
+        let acc = gpu_time(&mut g, 400);
+        // Both run every other round (or together when they fit — they
+        // don't, 8+1>8), so GPU-time ratio approaches the width ratio 8:1.
+        let ratio = acc[&0] as f64 / acc[&1] as f64;
+        assert!(
+            ratio > 4.0,
+            "expected wide gang to hoard GPU-time, ratio {ratio} ({acc:?})"
+        );
+    }
+
+    #[test]
+    fn strict_policy_idles_gpus() {
+        let mut g = GangScheduler::new(8, GangPolicy::StrictNoBackfill);
+        g.join(0, 100.0, 5);
+        g.join(1, 100.0, 5);
+        // Only one width-5 gang fits; the strict policy must not backfill the
+        // other, idling 3 GPUs every round.
+        let out = g.plan_round();
+        assert_eq!(out.selected.len(), 1);
+        assert_eq!(out.gpus_idle, 3);
+    }
+
+    #[test]
+    fn gang_aware_backfills_what_fits() {
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        g.join(0, 100.0, 5);
+        g.join(1, 100.0, 5);
+        g.join(2, 100.0, 3);
+        // Whichever 5-gang is selected first, the 3-gang fits alongside.
+        let out = g.plan_round();
+        assert_eq!(out.gpus_used, 8);
+        assert!(out.selected.contains(&2));
+    }
+
+    #[test]
+    fn no_starvation_of_full_width_gang() {
+        // A full-width gang among many singles must still run regularly.
+        let mut g = GangScheduler::new(4, GangPolicy::GangAware);
+        g.join(0, 100.0, 4);
+        for id in 1..=4 {
+            g.join(id, 100.0, 1);
+        }
+        let acc = gpu_time(&mut g, 500);
+        let total: u64 = acc.values().sum();
+        let share = acc[&0] as f64 / total as f64;
+        assert!(
+            (share - 0.2).abs() < 0.05,
+            "full-width gang share {share}, expected ~0.2"
+        );
+    }
+
+    #[test]
+    fn tickets_weight_gpu_time() {
+        // Capacity 2 with two width-2 gangs: exactly one runs per round, so
+        // tickets fully determine the round split.
+        let mut g = GangScheduler::new(2, GangPolicy::GangAware);
+        g.join(0, 300.0, 2);
+        g.join(1, 100.0, 2);
+        let acc = gpu_time(&mut g, 400);
+        let ratio = acc[&0] as f64 / acc[&1] as f64;
+        assert!(
+            (ratio - 3.0).abs() < 0.2,
+            "expected 3x GPU-time for 3x tickets, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn work_conserving_when_demand_suffices() {
+        // With plenty of single-GPU jobs the server must never idle.
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        for id in 0..10 {
+            g.join(id, 100.0, 1);
+        }
+        for _ in 0..50 {
+            let out = g.plan_round();
+            assert_eq!(out.gpus_idle, 0);
+        }
+    }
+
+    #[test]
+    fn packing_gap_smaller_than_any_skipped_gang() {
+        // Work-conservation invariant of the packer: after planning, the
+        // free GPUs cannot fit any runnable job that was skipped.
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        for (id, w) in [(0, 3), (1, 3), (2, 4), (3, 6), (4, 2)] {
+            g.join(id, 100.0, w);
+        }
+        for _ in 0..100 {
+            let out = g.plan_round();
+            let skipped_min_width = g
+                .iter()
+                .filter(|(k, _, _, _)| !out.selected.contains(k))
+                .map(|(_, _, w, _)| w)
+                .min();
+            if let Some(minw) = skipped_min_width {
+                assert!(out.gpus_idle < minw);
+            }
+        }
+    }
+
+    #[test]
+    fn suspended_clients_are_not_scheduled() {
+        let mut g = GangScheduler::new(4, GangPolicy::GangAware);
+        g.join(0, 100.0, 2);
+        g.join(1, 100.0, 2);
+        g.set_runnable(0, false);
+        for _ in 0..10 {
+            let out = g.plan_round();
+            assert_eq!(out.selected, vec![1]);
+        }
+        g.set_runnable(0, true);
+        // After resuming, client 0 catches up (its pass lagged behind).
+        let out = g.plan_round();
+        assert!(out.selected.contains(&0));
+    }
+
+    #[test]
+    fn leave_frees_tickets() {
+        let mut g = GangScheduler::new(4, GangPolicy::GangAware);
+        g.join(0, 100.0, 2);
+        g.join(1, 100.0, 2);
+        assert!(g.leave(0));
+        assert!(!g.leave(0));
+        assert_eq!(g.total_tickets(), 100.0);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn set_tickets_shifts_share() {
+        // Capacity 2 forces the two width-2 gangs to alternate.
+        let mut g = GangScheduler::new(2, GangPolicy::GangAware);
+        g.join(0, 100.0, 2);
+        g.join(1, 100.0, 2);
+        let _ = gpu_time(&mut g, 100);
+        g.set_tickets(0, 300.0);
+        let acc = gpu_time(&mut g, 600);
+        let ratio = acc[&0] as f64 / acc[&1] as f64;
+        assert!(
+            ratio > 2.4,
+            "after modulation client 0 should get ~3x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn empty_round_is_harmless() {
+        let mut g = GangScheduler::<u32>::new(4, GangPolicy::GangAware);
+        let out = g.plan_round();
+        assert!(out.selected.is_empty());
+        assert_eq!(out.gpus_idle, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds server capacity")]
+    fn oversized_gang_panics() {
+        let mut g = GangScheduler::new(4, GangPolicy::GangAware);
+        g.join(0, 100.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least one GPU")]
+    fn zero_capacity_panics() {
+        let _ = GangScheduler::<u32>::new(0, GangPolicy::GangAware);
+    }
+
+    #[test]
+    fn late_joiner_integrates_smoothly() {
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        g.join(0, 100.0, 4);
+        g.join(1, 100.0, 4);
+        let _ = gpu_time(&mut g, 200);
+        g.join(2, 100.0, 4);
+        let acc = gpu_time(&mut g, 600);
+        let total: u64 = acc.values().sum();
+        let share2 = acc[&2] as f64 / total as f64;
+        // Three equal-ticket clients from here on: newcomer gets ~1/3.
+        assert!(
+            (share2 - 1.0 / 3.0).abs() < 0.05,
+            "late joiner share {share2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// With capacity equal to the (uniform) gang width, exactly one gang
+        /// runs per round and gang-aware stride degenerates to classic
+        /// stride: service must be ticket-proportional with bounded lag.
+        #[test]
+        fn contended_same_width_clients_are_ticket_proportional(
+            width in 1u32..5,
+            tickets in proptest::collection::vec(1u32..20, 2..5),
+        ) {
+            let capacity = width;
+            let mut g = GangScheduler::new(capacity, GangPolicy::GangAware);
+            for (i, &t) in tickets.iter().enumerate() {
+                g.join(i as u32, t as f64 * 10.0, width);
+            }
+            let rounds = 2000usize;
+            let mut acc: HashMap<u32, u64> = HashMap::new();
+            for _ in 0..rounds {
+                for k in g.plan_round().selected {
+                    *acc.entry(k).or_insert(0) += width as u64;
+                }
+            }
+            let total_t: f64 = tickets.iter().map(|&t| t as f64).sum();
+            let total_g: u64 = acc.values().sum();
+            for (i, &t) in tickets.iter().enumerate() {
+                let expected = total_g as f64 * t as f64 / total_t;
+                let got = *acc.get(&(i as u32)).unwrap_or(&0) as f64;
+                // Bounded lag: deviation stays within a few gang-quanta of
+                // the proportional share over a long horizon.
+                prop_assert!(
+                    (got - expected).abs() <= (width as f64) * (tickets.len() as f64 + 2.0),
+                    "client {i}: got {got}, expected {expected} (acc {acc:?})"
+                );
+            }
+        }
+
+        /// The plan never overcommits the server and never leaves a gap any
+        /// skipped runnable client could fill (gang-aware policy).
+        #[test]
+        fn plan_is_feasible_and_gap_free(
+            widths in proptest::collection::vec(1u32..8, 1..10),
+            capacity in 8u32..16,
+            rounds in 1usize..200,
+        ) {
+            let mut g = GangScheduler::new(capacity, GangPolicy::GangAware);
+            for (i, &w) in widths.iter().enumerate() {
+                g.join(i as u32, 100.0, w.min(capacity));
+            }
+            for _ in 0..rounds {
+                let out = g.plan_round();
+                prop_assert!(out.gpus_used <= capacity);
+                prop_assert_eq!(out.gpus_used + out.gpus_idle, capacity);
+                let min_skipped = g
+                    .iter()
+                    .filter(|(k, _, _, _)| !out.selected.contains(k))
+                    .map(|(_, _, w, _)| w)
+                    .min();
+                if let Some(minw) = min_skipped {
+                    prop_assert!(out.gpus_idle < minw, "gap {} fits skipped width {}", out.gpus_idle, minw);
+                }
+            }
+        }
+
+        /// The minimum-pass runnable client is always selected (the scan
+        /// starts with the whole server free, so the head of the pass order
+        /// always fits) — this is the gang-aware no-starvation guarantee.
+        #[test]
+        fn min_pass_client_is_always_selected(
+            widths in proptest::collection::vec(1u32..8, 2..8),
+            rounds in 1usize..300,
+        ) {
+            let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+            for (i, &w) in widths.iter().enumerate() {
+                g.join(i as u32, 100.0, w);
+            }
+            for _ in 0..rounds {
+                let head = g
+                    .iter()
+                    .min_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)))
+                    .map(|(k, _, _, _)| k)
+                    .unwrap();
+                let out = g.plan_round();
+                prop_assert!(
+                    out.selected.contains(&head),
+                    "min-pass client {head} skipped (selected {:?})",
+                    out.selected
+                );
+            }
+        }
+
+        /// No client starves: with equal tickets, every client runs at least
+        /// once every few stride cycles over a long horizon.
+        #[test]
+        fn no_client_starves(
+            widths in proptest::collection::vec(1u32..8, 2..8),
+        ) {
+            let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+            for (i, &w) in widths.iter().enumerate() {
+                g.join(i as u32, 100.0, w);
+            }
+            let rounds = 2000usize;
+            let mut runs: HashMap<u32, usize> = HashMap::new();
+            for _ in 0..rounds {
+                for k in g.plan_round().selected {
+                    *runs.entry(k).or_insert(0) += 1;
+                }
+            }
+            for i in 0..widths.len() as u32 {
+                let r = *runs.get(&i).unwrap_or(&0);
+                prop_assert!(
+                    r >= rounds / 20,
+                    "client {i} (width {}) ran only {r}/{rounds} rounds",
+                    widths[i as usize]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulation and scheduler configuration knobs.
+//!
+//! Defaults follow the paper's prototype: minute-granularity time slicing
+//! (Gandiva-style suspend/resume rounds), periodic load balancing and
+//! trading, and a conservative trade price that guarantees no user is worse
+//! off than their ticket entitlement.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the trading engine prices a fast GPU in units of slow GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PriceStrategy {
+    /// Price equals the *buyer's* profiled speedup — the paper's conservative
+    /// rate: the buyer pays exactly what the fast GPU is worth to them, so
+    /// their valuation is unchanged, while the seller strictly gains.
+    /// No user can end up below their entitlement.
+    #[default]
+    MaxSpeedup,
+    /// Price is the midpoint of seller and buyer speedups, splitting the
+    /// gains from trade between both parties (ablation A1).
+    Midpoint,
+}
+
+/// Top-level configuration for a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Time-slicing quantum (one scheduling round). The paper uses
+    /// minute-granularity suspend/resume.
+    pub quantum: SimDuration,
+    /// How often the central scheduler rebalances load via migration.
+    pub balance_interval: SimDuration,
+    /// How often the trading engine runs.
+    pub trade_interval: SimDuration,
+    /// How long a job must run on a generation before the simulator emits a
+    /// profiling report for that (job, generation) pair.
+    pub profile_stint: SimDuration,
+    /// Multiplicative noise applied to profiled rates (0.05 = ±5%).
+    pub profile_noise: f64,
+    /// Trade pricing strategy.
+    pub price_strategy: PriceStrategy,
+    /// Maximum number of migrations the balancer may issue per balance tick
+    /// (bounds checkpoint/restore churn).
+    pub max_migrations_per_tick: u32,
+    /// Minimum time a job stays put after a migration before it may be moved
+    /// again (prevents migration thrashing).
+    pub migration_cooldown: SimDuration,
+    /// Suspend/resume cost a job pays at the start of a round when it was
+    /// not running in the previous round (Gandiva-style time-slicing
+    /// overhead). The GPU is occupied for the whole quantum but no training
+    /// progress is made during the switch. Zero by default so experiments
+    /// opt in explicitly.
+    pub switch_overhead: SimDuration,
+    /// Length of one reporting window in the output time series (per-user
+    /// shares and utilization are accumulated per window).
+    pub report_window: SimDuration,
+    /// RNG seed for the run; all randomness (workload, noise, lottery
+    /// scheduling) derives from this.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            quantum: SimDuration::from_secs(60),
+            balance_interval: SimDuration::from_mins(5),
+            trade_interval: SimDuration::from_mins(10),
+            profile_stint: SimDuration::from_mins(3),
+            profile_noise: 0.05,
+            price_strategy: PriceStrategy::MaxSpeedup,
+            max_migrations_per_tick: 8,
+            migration_cooldown: SimDuration::from_mins(10),
+            switch_overhead: SimDuration::ZERO,
+            report_window: SimDuration::from_mins(5),
+            seed: 42,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with the given seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given quantum.
+    pub fn with_quantum(mut self, quantum: SimDuration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Returns a copy with the given price strategy.
+    pub fn with_price_strategy(mut self, strategy: PriceStrategy) -> Self {
+        self.price_strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with the given suspend/resume overhead.
+    pub fn with_switch_overhead(mut self, overhead: SimDuration) -> Self {
+        self.switch_overhead = overhead;
+        self
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// Returns a human-readable list of problems; empty means valid.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.quantum.is_zero() {
+            problems.push("quantum must be positive".to_string());
+        }
+        if self.balance_interval < self.quantum {
+            problems.push("balance_interval must be at least one quantum".to_string());
+        }
+        if self.trade_interval < self.quantum {
+            problems.push("trade_interval must be at least one quantum".to_string());
+        }
+        if !(0.0..1.0).contains(&self.profile_noise) {
+            problems.push(format!(
+                "profile_noise must be in [0, 1), got {}",
+                self.profile_noise
+            ));
+        }
+        if self.profile_stint < self.quantum {
+            problems.push("profile_stint must be at least one quantum".to_string());
+        }
+        if self.report_window < self.quantum {
+            problems.push("report_window must be at least one quantum".to_string());
+        }
+        if self.switch_overhead >= self.quantum && !self.quantum.is_zero() {
+            problems.push("switch_overhead must be smaller than the quantum".to_string());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SimConfig::default().validate().is_empty());
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = SimConfig::default()
+            .with_seed(7)
+            .with_quantum(SimDuration::from_secs(30))
+            .with_price_strategy(PriceStrategy::Midpoint);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.quantum, SimDuration::from_secs(30));
+        assert_eq!(c.price_strategy, PriceStrategy::Midpoint);
+    }
+
+    #[test]
+    fn zero_quantum_is_invalid() {
+        let c = SimConfig::default().with_quantum(SimDuration::ZERO);
+        let problems = c.validate();
+        assert!(problems.iter().any(|p| p.contains("quantum")));
+    }
+
+    #[test]
+    fn short_intervals_are_invalid() {
+        let mut c = SimConfig::default();
+        c.balance_interval = SimDuration::from_secs(1);
+        c.trade_interval = SimDuration::from_secs(1);
+        c.profile_stint = SimDuration::from_secs(1);
+        assert_eq!(c.validate().len(), 3);
+    }
+
+    #[test]
+    fn bad_noise_is_invalid() {
+        let mut c = SimConfig::default();
+        c.profile_noise = 1.5;
+        assert!(!c.validate().is_empty());
+        c.profile_noise = -0.1;
+        assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn default_price_strategy_is_max_speedup() {
+        assert_eq!(PriceStrategy::default(), PriceStrategy::MaxSpeedup);
+    }
+
+    #[test]
+    fn switch_overhead_must_fit_in_quantum() {
+        let c = SimConfig::default().with_switch_overhead(SimDuration::from_secs(60));
+        assert!(!c.validate().is_empty());
+        let c = SimConfig::default().with_switch_overhead(SimDuration::from_secs(6));
+        assert!(c.validate().is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! GPU generations and the generation catalog.
+//!
+//! Data centers accumulate a mix of GPU generations because new hardware is
+//! released faster than old hardware is retired. Gandiva_fair's evaluation
+//! cluster mixed NVIDIA K80, P100 and V100 GPUs; the *relative* speed of a
+//! generation depends strongly on the model being trained (the paper's
+//! "variable marginal utility"), so a generation itself only carries a
+//! *nominal* speed class — per-model speedups live in
+//! [`crate::model::ModelProfile`].
+
+use crate::ids::GenId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A GPU generation (hardware class) present in the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuGeneration {
+    /// Identifier; also the index of this generation in the [`GenCatalog`].
+    pub id: GenId,
+    /// Human-readable name, e.g. `"K80"`.
+    pub name: String,
+    /// Nominal relative compute speed, with the slowest generation at 1.0.
+    ///
+    /// This is only a *class* ranking used to order generations from slow to
+    /// fast; actual per-model speedups are profiled per job.
+    pub nominal_speed: f64,
+    /// Device memory in GiB (affects which models fit; informational here).
+    pub memory_gib: f64,
+    /// Release year, used only for documentation/reporting.
+    pub release_year: u16,
+}
+
+impl fmt::Display for GpuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The ordered set of GPU generations known to a simulation.
+///
+/// Generations are stored slowest-first; `GenId(i)` indexes the `i`-th entry.
+/// The slowest generation (`GenId(0)`) is the *base currency* for
+/// heterogeneity-aware accounting and trading: all normalized GPU-time is
+/// expressed in "slowest-generation GPU seconds".
+///
+/// # Examples
+///
+/// ```
+/// use gfair_types::gpu::GenCatalog;
+///
+/// let cat = GenCatalog::k80_p100_v100();
+/// assert_eq!(cat.len(), 3);
+/// assert_eq!(cat.slowest().name, "K80");
+/// assert_eq!(cat.fastest().name, "V100");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenCatalog {
+    gens: Vec<GpuGeneration>,
+}
+
+impl GenCatalog {
+    /// Builds a catalog from `(name, nominal_speed, memory_gib, year)` rows.
+    ///
+    /// Rows are sorted by nominal speed (slowest first) and assigned ids in
+    /// that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, if any nominal speed is not strictly
+    /// positive and finite, or if two generations share a name.
+    pub fn from_rows(rows: Vec<(&str, f64, f64, u16)>) -> Self {
+        assert!(
+            !rows.is_empty(),
+            "catalog must have at least one generation"
+        );
+        let mut rows = rows;
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("speeds must be comparable"));
+        let mut gens = Vec::with_capacity(rows.len());
+        for (i, (name, speed, mem, year)) in rows.into_iter().enumerate() {
+            assert!(
+                speed.is_finite() && speed > 0.0,
+                "nominal speed must be positive and finite, got {speed} for {name}"
+            );
+            assert!(
+                gens.iter().all(|g: &GpuGeneration| g.name != name),
+                "duplicate generation name {name}"
+            );
+            gens.push(GpuGeneration {
+                id: GenId::new(i as u32),
+                name: name.to_string(),
+                nominal_speed: speed,
+                memory_gib: mem,
+                release_year: year,
+            });
+        }
+        GenCatalog { gens }
+    }
+
+    /// The three-generation catalog used throughout the paper's evaluation:
+    /// K80 (base), P100 and V100.
+    ///
+    /// Nominal speeds are class rankings only (per-model speedups vary from
+    /// ~1.2x to ~5x; see [`crate::model::ModelProfile`]).
+    pub fn k80_p100_v100() -> Self {
+        Self::from_rows(vec![
+            ("K80", 1.0, 24.0, 2014),
+            ("P100", 2.0, 16.0, 2016),
+            ("V100", 3.5, 32.0, 2017),
+        ])
+    }
+
+    /// A single-generation catalog for homogeneous-cluster experiments.
+    pub fn homogeneous(name: &str) -> Self {
+        Self::from_rows(vec![(name, 1.0, 16.0, 2016)])
+    }
+
+    /// Number of generations.
+    pub fn len(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Returns true if the catalog holds exactly one generation.
+    pub fn is_homogeneous(&self) -> bool {
+        self.gens.len() == 1
+    }
+
+    /// Returns false; a catalog is never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a generation by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this catalog.
+    pub fn get(&self, id: GenId) -> &GpuGeneration {
+        &self.gens[id.index()]
+    }
+
+    /// Looks up a generation by name.
+    pub fn by_name(&self, name: &str) -> Option<&GpuGeneration> {
+        self.gens.iter().find(|g| g.name == name)
+    }
+
+    /// The slowest generation — the base currency for normalized accounting.
+    pub fn slowest(&self) -> &GpuGeneration {
+        &self.gens[0]
+    }
+
+    /// The fastest generation.
+    pub fn fastest(&self) -> &GpuGeneration {
+        self.gens.last().expect("catalog is never empty")
+    }
+
+    /// Iterates over generations slowest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &GpuGeneration> {
+        self.gens.iter()
+    }
+
+    /// Iterates over generation ids slowest-first.
+    pub fn ids(&self) -> impl Iterator<Item = GenId> + '_ {
+        self.gens.iter().map(|g| g.id)
+    }
+
+    /// Iterates over the ids of all generations faster than the slowest.
+    ///
+    /// These are the generations offered on the "fast" side of trades.
+    pub fn fast_ids(&self) -> impl Iterator<Item = GenId> + '_ {
+        self.gens.iter().skip(1).map(|g| g.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_is_slowest_first() {
+        let cat = GenCatalog::k80_p100_v100();
+        let names: Vec<_> = cat.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(names, vec!["K80", "P100", "V100"]);
+        assert_eq!(cat.get(GenId::new(0)).name, "K80");
+        assert_eq!(cat.get(GenId::new(2)).name, "V100");
+    }
+
+    #[test]
+    fn rows_are_sorted_by_speed() {
+        let cat = GenCatalog::from_rows(vec![
+            ("fast", 4.0, 32.0, 2020),
+            ("slow", 1.0, 12.0, 2014),
+            ("mid", 2.0, 16.0, 2016),
+        ]);
+        assert_eq!(cat.slowest().name, "slow");
+        assert_eq!(cat.fastest().name, "fast");
+        assert_eq!(cat.get(GenId::new(1)).name, "mid");
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let cat = GenCatalog::k80_p100_v100();
+        assert_eq!(cat.by_name("P100").unwrap().id, GenId::new(1));
+        assert!(cat.by_name("A100").is_none());
+    }
+
+    #[test]
+    fn fast_ids_excludes_base_generation() {
+        let cat = GenCatalog::k80_p100_v100();
+        let fast: Vec<_> = cat.fast_ids().collect();
+        assert_eq!(fast, vec![GenId::new(1), GenId::new(2)]);
+    }
+
+    #[test]
+    fn homogeneous_catalog() {
+        let cat = GenCatalog::homogeneous("P100");
+        assert!(cat.is_homogeneous());
+        assert_eq!(cat.slowest().name, "P100");
+        assert_eq!(cat.fastest().name, "P100");
+        assert_eq!(cat.fast_ids().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generation")]
+    fn empty_catalog_panics() {
+        let _ = GenCatalog::from_rows(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate generation name")]
+    fn duplicate_name_panics() {
+        let _ = GenCatalog::from_rows(vec![("K80", 1.0, 24.0, 2014), ("K80", 2.0, 24.0, 2015)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_speed_panics() {
+        let _ = GenCatalog::from_rows(vec![("bad", 0.0, 24.0, 2014)]);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        let cat = GenCatalog::k80_p100_v100();
+        assert_eq!(cat.fastest().to_string(), "V100");
+    }
+}

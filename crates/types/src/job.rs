@@ -1,0 +1,160 @@
+//! Job specifications and lifecycle states.
+//!
+//! A deep-learning training (DLT) job in Gandiva_fair is a *gang*: all of its
+//! GPUs must be allocated in the same time quantum on the same server (the
+//! paper schedules multi-GPU jobs within one server and time-slices them with
+//! minute-granularity suspend/resume). Service demand is expressed in
+//! "slowest-generation GPU seconds", so a job's runtime depends on which
+//! generation it lands on and how much of each quantum it wins.
+
+use crate::ids::{JobId, UserId};
+use crate::model::ModelProfile;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Immutable specification of a training job, as submitted by a user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job identifier.
+    pub id: JobId,
+    /// Owning user.
+    pub user: UserId,
+    /// Ground-truth performance profile of the model being trained.
+    ///
+    /// `Arc` because thousands of jobs share the handful of zoo models.
+    pub model: Arc<ModelProfile>,
+    /// Gang size: number of GPUs this job needs simultaneously.
+    pub gang: u32,
+    /// Total service demand in base-generation GPU-seconds *per GPU*.
+    ///
+    /// A `gang = 4` job with `service_secs = 3600` needs each of its 4 GPUs
+    /// for 3600 base-GPU-seconds; on a generation with speedup 2.0 and
+    /// exclusive access it completes in 1800 wall-clock seconds.
+    pub service_secs: f64,
+    /// Submission time.
+    pub arrival: SimTime,
+}
+
+impl JobSpec {
+    /// Creates a job spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gang` is zero or `service_secs` is not strictly positive
+    /// and finite.
+    pub fn new(
+        id: JobId,
+        user: UserId,
+        model: Arc<ModelProfile>,
+        gang: u32,
+        service_secs: f64,
+        arrival: SimTime,
+    ) -> Self {
+        assert!(gang > 0, "gang size must be at least 1");
+        assert!(
+            service_secs.is_finite() && service_secs > 0.0,
+            "service demand must be positive and finite, got {service_secs}"
+        );
+        JobSpec {
+            id,
+            user,
+            model,
+            gang,
+            service_secs,
+            arrival,
+        }
+    }
+
+    /// Total demand of the job in base-generation GPU-seconds across all of
+    /// its GPUs (`gang * service_secs`).
+    pub fn total_gpu_secs(&self) -> f64 {
+        self.gang as f64 * self.service_secs
+    }
+
+    /// Wall-clock runtime if the job ran exclusively on generation `gen`.
+    pub fn exclusive_runtime_secs(&self, gen: crate::ids::GenId) -> f64 {
+        self.service_secs / self.model.rate(gen)
+    }
+}
+
+/// Lifecycle state of a job inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted but not yet placed on any server.
+    Pending,
+    /// Resident on a server; may or may not be running in the current round.
+    Resident,
+    /// In flight between servers; suspended and making no progress.
+    Migrating,
+    /// All service demand completed.
+    Finished,
+}
+
+impl JobState {
+    /// Returns true if the job can be included in a server's round plan.
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, JobState::Resident)
+    }
+
+    /// Returns true if the job still holds (or will hold) cluster resources.
+    pub fn is_active(self) -> bool {
+        !matches!(self, JobState::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GenId;
+
+    fn spec(gang: u32, service: f64) -> JobSpec {
+        JobSpec::new(
+            JobId::new(1),
+            UserId::new(0),
+            Arc::new(ModelProfile::with_default_overheads(
+                "ResNet-50",
+                vec![1.0, 2.0, 4.0],
+            )),
+            gang,
+            service,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn total_gpu_secs_scales_with_gang() {
+        let j = spec(4, 100.0);
+        assert_eq!(j.total_gpu_secs(), 400.0);
+    }
+
+    #[test]
+    fn exclusive_runtime_divides_by_rate() {
+        let j = spec(1, 1000.0);
+        assert_eq!(j.exclusive_runtime_secs(GenId::new(0)), 1000.0);
+        assert_eq!(j.exclusive_runtime_secs(GenId::new(2)), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gang size")]
+    fn zero_gang_panics() {
+        let _ = spec(0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service demand")]
+    fn zero_service_panics() {
+        let _ = spec(1, 0.0);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(JobState::Resident.is_schedulable());
+        assert!(!JobState::Pending.is_schedulable());
+        assert!(!JobState::Migrating.is_schedulable());
+        assert!(!JobState::Finished.is_schedulable());
+        assert!(JobState::Pending.is_active());
+        assert!(JobState::Migrating.is_active());
+        assert!(!JobState::Finished.is_active());
+    }
+}

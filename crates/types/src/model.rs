@@ -1,0 +1,195 @@
+//! Deep-learning model profiles.
+//!
+//! A [`ModelProfile`] is the simulator's *ground truth* about how fast one
+//! instance of a model trains on each GPU generation, and how expensive it is
+//! to checkpoint/migrate. The central observation reproduced from the paper
+//! (its Figure 1 / "variable marginal utility") is that the speedup a model
+//! gets from a newer GPU varies enormously — from ~1.2x to ~5x between K80
+//! and V100 — depending on whether the model is compute-bound.
+//!
+//! Schedulers never read the true rates directly; they learn them through the
+//! (noisy) profiling reports produced by the simulator, exactly as
+//! Gandiva_fair profiles jobs transparently in a real cluster.
+
+use crate::gpu::GenCatalog;
+use crate::ids::GenId;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth performance profile of one deep-learning model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name, e.g. `"ResNet-50"`.
+    pub name: String,
+    /// True training rate on each generation, indexed by [`GenId`], in
+    /// *work units per second per GPU*.
+    ///
+    /// By convention the slowest generation has rate 1.0, so a job's service
+    /// demand is expressed in "slowest-GPU seconds" and `rates[g]` is exactly
+    /// the speedup of generation `g` over the base generation.
+    pub rates: Vec<f64>,
+    /// Time to checkpoint the job state (weights + optimizer) to shared
+    /// storage, charged when a job is suspended for migration.
+    pub checkpoint: SimDuration,
+    /// Time to restore the job on the destination server (image pull is
+    /// assumed warm, as in the paper's prototype).
+    pub restore: SimDuration,
+}
+
+impl ModelProfile {
+    /// Builds a profile from per-generation speedups over the base generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedups` is empty, if the base rate is not 1.0, or if any
+    /// rate is not strictly positive and finite, or if rates are not
+    /// non-decreasing (a newer generation is never slower in practice).
+    pub fn new(
+        name: &str,
+        speedups: Vec<f64>,
+        checkpoint: SimDuration,
+        restore: SimDuration,
+    ) -> Self {
+        assert!(!speedups.is_empty(), "model needs at least one rate");
+        assert!(
+            (speedups[0] - 1.0).abs() < 1e-9,
+            "base-generation rate must be 1.0, got {}",
+            speedups[0]
+        );
+        for w in speedups.windows(2) {
+            assert!(
+                w[0].is_finite() && w[0] > 0.0 && w[1].is_finite() && w[1] > 0.0,
+                "rates must be positive and finite"
+            );
+            assert!(
+                w[1] >= w[0],
+                "rates must be non-decreasing across generations ({} < {})",
+                w[1],
+                w[0]
+            );
+        }
+        ModelProfile {
+            name: name.to_string(),
+            rates: speedups,
+            checkpoint,
+            restore,
+        }
+    }
+
+    /// Convenience constructor with typical checkpoint/restore costs
+    /// (30 s checkpoint, 30 s restore — the paper reports sub-minute
+    /// migration overheads for its model suite).
+    pub fn with_default_overheads(name: &str, speedups: Vec<f64>) -> Self {
+        Self::new(
+            name,
+            speedups,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+        )
+    }
+
+    /// True rate (work units/sec/GPU) on generation `gen`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` is out of range for this profile.
+    pub fn rate(&self, gen: GenId) -> f64 {
+        self.rates[gen.index()]
+    }
+
+    /// Speedup of generation `gen` over the base generation (same as
+    /// [`rate`](Self::rate) because the base rate is 1.0 by construction).
+    pub fn speedup(&self, gen: GenId) -> f64 {
+        self.rate(gen)
+    }
+
+    /// Speedup of generation `fast` relative to generation `slow`.
+    pub fn relative_speedup(&self, fast: GenId, slow: GenId) -> f64 {
+        self.rate(fast) / self.rate(slow)
+    }
+
+    /// Total migration outage this model suffers when moved between servers.
+    pub fn migration_cost(&self) -> SimDuration {
+        self.checkpoint + self.restore
+    }
+
+    /// Checks that the profile has a rate for every generation in
+    /// `catalog`. Profiles may carry rates for more generations than a
+    /// given cluster uses (e.g. the three-generation zoo models running on
+    /// a homogeneous cluster, where only the base rate applies).
+    pub fn covers(&self, catalog: &GenCatalog) -> bool {
+        self.rates.len() >= catalog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet() -> ModelProfile {
+        ModelProfile::with_default_overheads("ResNet-50", vec![1.0, 2.5, 4.0])
+    }
+
+    #[test]
+    fn rate_and_speedup_agree() {
+        let m = resnet();
+        assert_eq!(m.rate(GenId::new(0)), 1.0);
+        assert_eq!(m.rate(GenId::new(2)), 4.0);
+        assert_eq!(m.speedup(GenId::new(2)), 4.0);
+    }
+
+    #[test]
+    fn relative_speedup_between_generations() {
+        let m = resnet();
+        let rel = m.relative_speedup(GenId::new(2), GenId::new(1));
+        assert!((rel - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_cost_sums_checkpoint_and_restore() {
+        let m = ModelProfile::new(
+            "GRU",
+            vec![1.0, 1.1, 1.2],
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+        assert_eq!(m.migration_cost(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn covers_checks_catalog_arity() {
+        let m = resnet();
+        assert!(m.covers(&GenCatalog::k80_p100_v100()));
+        // Extra rates are fine: only the first one is used on a
+        // single-generation cluster.
+        assert!(m.covers(&GenCatalog::homogeneous("P100")));
+        let narrow = ModelProfile::with_default_overheads("n", vec![1.0]);
+        assert!(!narrow.covers(&GenCatalog::k80_p100_v100()));
+    }
+
+    #[test]
+    #[should_panic(expected = "base-generation rate must be 1.0")]
+    fn base_rate_must_be_one() {
+        let _ = ModelProfile::with_default_overheads("bad", vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_rates_panic() {
+        let _ = ModelProfile::with_default_overheads("bad", vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_rates_panic() {
+        let _ = ModelProfile::with_default_overheads("bad", vec![]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = resnet();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,130 @@
+//! Users (tenants) and their ticket endowments.
+//!
+//! Gandiva_fair implements *ticket-based* fairness (stride/lottery style):
+//! each user holds a number of tickets, and active users receive cluster-wide
+//! GPU time in proportion to their tickets. Tickets are an abstract currency;
+//! equal tickets mean equal shares.
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// A user (tenant) of the shared cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// Unique user identifier.
+    pub id: UserId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Ticket endowment; cluster GPU time is divided among *active* users in
+    /// proportion to tickets.
+    pub tickets: u64,
+}
+
+impl UserSpec {
+    /// Creates a user with the given ticket endowment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero — a zero-ticket user could never be
+    /// scheduled and indicates a configuration error.
+    pub fn new(id: UserId, name: &str, tickets: u64) -> Self {
+        assert!(tickets > 0, "user {name} must hold at least one ticket");
+        UserSpec {
+            id,
+            name: name.to_string(),
+            tickets,
+        }
+    }
+
+    /// Creates `n` users named `user0..userN-1` with equal tickets.
+    pub fn equal_users(n: u32, tickets: u64) -> Vec<UserSpec> {
+        (0..n)
+            .map(|i| UserSpec::new(UserId::new(i), &format!("user{i}"), tickets))
+            .collect()
+    }
+}
+
+/// Computes each user's fractional fair share of the cluster from tickets.
+///
+/// Only the users present in `users` participate (callers pass the *active*
+/// set). Returns an empty vector for an empty input.
+///
+/// # Examples
+///
+/// ```
+/// use gfair_types::user::{fair_shares, UserSpec};
+/// use gfair_types::ids::UserId;
+///
+/// let users = vec![
+///     UserSpec::new(UserId::new(0), "a", 100),
+///     UserSpec::new(UserId::new(1), "b", 300),
+/// ];
+/// let shares = fair_shares(&users);
+/// assert_eq!(shares, vec![(UserId::new(0), 0.25), (UserId::new(1), 0.75)]);
+/// ```
+pub fn fair_shares(users: &[UserSpec]) -> Vec<(UserId, f64)> {
+    let total: u64 = users.iter().map(|u| u.tickets).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    users
+        .iter()
+        .map(|u| (u.id, u.tickets as f64 / total as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_users_get_equal_shares() {
+        let users = UserSpec::equal_users(4, 100);
+        let shares = fair_shares(&users);
+        assert_eq!(shares.len(), 4);
+        for (_, s) in shares {
+            assert!((s - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shares_are_ticket_proportional() {
+        let users = vec![
+            UserSpec::new(UserId::new(0), "small", 1),
+            UserSpec::new(UserId::new(1), "big", 3),
+        ];
+        let shares = fair_shares(&users);
+        assert!((shares[0].1 - 0.25).abs() < 1e-12);
+        assert!((shares[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let users = vec![
+            UserSpec::new(UserId::new(0), "a", 7),
+            UserSpec::new(UserId::new(1), "b", 11),
+            UserSpec::new(UserId::new(2), "c", 13),
+        ];
+        let total: f64 = fair_shares(&users).iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_user_set_gives_empty_shares() {
+        assert!(fair_shares(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ticket")]
+    fn zero_tickets_panics() {
+        let _ = UserSpec::new(UserId::new(0), "ghost", 0);
+    }
+
+    #[test]
+    fn equal_users_are_named_sequentially() {
+        let users = UserSpec::equal_users(2, 10);
+        assert_eq!(users[0].name, "user0");
+        assert_eq!(users[1].name, "user1");
+        assert_eq!(users[1].id, UserId::new(1));
+    }
+}

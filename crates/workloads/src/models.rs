@@ -1,0 +1,191 @@
+//! The model zoo: ground-truth per-generation speedups.
+//!
+//! The paper's motivating observation ("variable marginal utility") is that
+//! the V100-over-K80 speedup ranges from ~1.2x for small, input-bound models
+//! (VAE) to ~5x for large compute-bound CNNs (ResNeXt). The zoo below
+//! encodes that spread for the K80/P100/V100 catalog used throughout the
+//! evaluation; the numbers are representative class values, not vendor
+//! benchmarks.
+
+use gfair_types::{ModelProfile, SimDuration};
+use std::sync::Arc;
+
+/// Coarse class of a model's marginal utility from faster GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelClass {
+    /// V100 speedup below ~1.5x (input- or memory-bound).
+    LowSpeedup,
+    /// V100 speedup between ~1.5x and ~3x.
+    MediumSpeedup,
+    /// V100 speedup above ~3x (compute-bound).
+    HighSpeedup,
+}
+
+/// One zoo entry: model plus its marginal-utility class.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// The model's ground-truth profile.
+    pub model: Arc<ModelProfile>,
+    /// Marginal-utility class.
+    pub class: ModelClass,
+}
+
+fn entry(
+    name: &str,
+    rates: [f64; 3],
+    ckpt_secs: u64,
+    restore_secs: u64,
+    class: ModelClass,
+) -> ZooEntry {
+    ZooEntry {
+        model: Arc::new(ModelProfile::new(
+            name,
+            rates.to_vec(),
+            SimDuration::from_secs(ckpt_secs),
+            SimDuration::from_secs(restore_secs),
+        )),
+        class,
+    }
+}
+
+/// The ten-model zoo used by the experiments, covering the paper's ~1.2x-5x
+/// V100/K80 speedup spread. Rates are `[K80, P100, V100]` with K80 = 1.0.
+pub fn zoo() -> Vec<ZooEntry> {
+    vec![
+        entry("VAE", [1.0, 1.12, 1.22], 5, 8, ModelClass::LowSpeedup),
+        entry(
+            "SuperResolution",
+            [1.0, 1.25, 1.45],
+            8,
+            10,
+            ModelClass::LowSpeedup,
+        ),
+        entry("GRU", [1.0, 1.45, 1.90], 12, 14, ModelClass::MediumSpeedup),
+        entry("LSTM", [1.0, 1.55, 2.00], 12, 15, ModelClass::MediumSpeedup),
+        entry(
+            "DCGAN",
+            [1.0, 1.60, 2.10],
+            10,
+            12,
+            ModelClass::MediumSpeedup,
+        ),
+        entry(
+            "Inception-v3",
+            [1.0, 2.20, 3.00],
+            20,
+            22,
+            ModelClass::MediumSpeedup,
+        ),
+        entry(
+            "ResNet-50",
+            [1.0, 2.40, 3.30],
+            25,
+            25,
+            ModelClass::HighSpeedup,
+        ),
+        entry(
+            "BERT-Base",
+            [1.0, 2.60, 4.10],
+            35,
+            35,
+            ModelClass::HighSpeedup,
+        ),
+        entry(
+            "Transformer",
+            [1.0, 2.80, 4.40],
+            30,
+            30,
+            ModelClass::HighSpeedup,
+        ),
+        entry(
+            "ResNeXt-50",
+            [1.0, 3.00, 5.00],
+            28,
+            28,
+            ModelClass::HighSpeedup,
+        ),
+    ]
+}
+
+/// Looks up a zoo model by name.
+pub fn zoo_by_name(name: &str) -> Option<Arc<ModelProfile>> {
+    zoo()
+        .into_iter()
+        .find(|e| e.model.name == name)
+        .map(|e| e.model)
+}
+
+/// Zoo entries of one class.
+pub fn zoo_of_class(class: ModelClass) -> Vec<ZooEntry> {
+    zoo().into_iter().filter(|e| e.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_types::{GenCatalog, GenId};
+
+    #[test]
+    fn zoo_has_ten_models_covering_the_catalog() {
+        let z = zoo();
+        assert_eq!(z.len(), 10);
+        let cat = GenCatalog::k80_p100_v100();
+        for e in &z {
+            assert!(e.model.covers(&cat), "{} misses generations", e.model.name);
+        }
+    }
+
+    #[test]
+    fn speedup_spread_matches_paper_claim() {
+        let z = zoo();
+        let v100 = GenId::new(2);
+        let min = z
+            .iter()
+            .map(|e| e.model.speedup(v100))
+            .fold(f64::INFINITY, f64::min);
+        let max = z
+            .iter()
+            .map(|e| e.model.speedup(v100))
+            .fold(f64::NEG_INFINITY, f64::max);
+        // The paper motivates trading with a ~1.2x-5x spread.
+        assert!(min <= 1.25, "min V100 speedup {min}");
+        assert!(max >= 4.5, "max V100 speedup {max}");
+    }
+
+    #[test]
+    fn classes_partition_by_v100_speedup() {
+        let v100 = GenId::new(2);
+        for e in zoo() {
+            let s = e.model.speedup(v100);
+            match e.class {
+                ModelClass::LowSpeedup => assert!(s < 1.5, "{}", e.model.name),
+                ModelClass::MediumSpeedup => {
+                    assert!((1.5..=3.0).contains(&s), "{}", e.model.name)
+                }
+                ModelClass::HighSpeedup => assert!(s > 3.0, "{}", e.model.name),
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(zoo_by_name("ResNet-50").is_some());
+        assert!(zoo_by_name("AlexNet").is_none());
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        assert!(!zoo_of_class(ModelClass::LowSpeedup).is_empty());
+        assert!(!zoo_of_class(ModelClass::MediumSpeedup).is_empty());
+        assert!(!zoo_of_class(ModelClass::HighSpeedup).is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let z = zoo();
+        let mut names: Vec<&str> = z.iter().map(|e| e.model.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), z.len());
+    }
+}

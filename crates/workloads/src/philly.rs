@@ -1,0 +1,351 @@
+//! Philly-like synthetic trace generation.
+//!
+//! Published analyses of Microsoft's Philly traces (and the paper's own
+//! workload description) give the shape this generator reproduces:
+//!
+//! * Poisson job arrivals (exponential inter-arrival times);
+//! * gang sizes that are powers of two, heavily skewed to 1-GPU jobs;
+//! * heavy-tailed (lognormal) job durations, minutes to many hours;
+//! * jobs drawn from a model mix whose GPU speedups vary widely.
+//!
+//! All sampling is driven by a caller-provided seed; the same parameters and
+//! seed produce byte-identical traces.
+
+use crate::models::{zoo, ModelClass, ZooEntry};
+use gfair_types::ids::IdAllocator;
+use gfair_types::{JobId, JobSpec, SimTime, UserId, UserSpec};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Parameters of a Philly-like trace.
+#[derive(Debug, Clone)]
+pub struct PhillyParams {
+    /// Total number of jobs to generate.
+    pub num_jobs: usize,
+    /// Mean arrival rate, jobs per hour (Poisson process).
+    pub jobs_per_hour: f64,
+    /// Weights over gang sizes 1, 2, 4, 8 (need not sum to 1).
+    pub gang_weights: [f64; 4],
+    /// Median job service demand in base-GPU minutes.
+    pub median_service_mins: f64,
+    /// Lognormal sigma of the service distribution (higher = heavier tail).
+    pub service_sigma: f64,
+    /// Service clamp range in base-GPU minutes, to keep experiments bounded.
+    pub service_clamp_mins: (f64, f64),
+}
+
+impl Default for PhillyParams {
+    fn default() -> Self {
+        PhillyParams {
+            num_jobs: 200,
+            jobs_per_hour: 40.0,
+            // Philly-style skew: most jobs use a single GPU.
+            gang_weights: [0.70, 0.12, 0.12, 0.06],
+            median_service_mins: 60.0,
+            service_sigma: 1.2,
+            service_clamp_mins: (5.0, 24.0 * 60.0),
+        }
+    }
+}
+
+/// Deterministic trace builder.
+///
+/// # Examples
+///
+/// ```
+/// use gfair_workloads::{PhillyParams, TraceBuilder};
+/// use gfair_types::UserSpec;
+///
+/// let users = UserSpec::equal_users(4, 100);
+/// let trace = TraceBuilder::new(PhillyParams::default(), 7).build(&users);
+/// assert_eq!(trace.len(), 200);
+/// // Deterministic: the same seed gives the same trace.
+/// let again = TraceBuilder::new(PhillyParams::default(), 7).build(&users);
+/// assert_eq!(trace.len(), again.len());
+/// assert!(trace.iter().zip(&again).all(|(a, b)| a.id == b.id
+///     && a.arrival == b.arrival && a.gang == b.gang));
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    params: PhillyParams,
+    rng: ChaCha8Rng,
+    ids: IdAllocator<JobId>,
+    /// Restrict the model mix; `None` samples the whole zoo.
+    class_filter: Option<ModelClass>,
+    /// Per-user model-class overrides (takes precedence over the filter).
+    user_classes: Vec<(UserId, ModelClass)>,
+}
+
+impl TraceBuilder {
+    /// Creates a builder with the given parameters and seed.
+    pub fn new(params: PhillyParams, seed: u64) -> Self {
+        TraceBuilder {
+            params,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            ids: IdAllocator::new(),
+            class_filter: None,
+            user_classes: Vec::new(),
+        }
+    }
+
+    /// Restricts all jobs to one marginal-utility class.
+    pub fn with_class(mut self, class: ModelClass) -> Self {
+        self.class_filter = Some(class);
+        self
+    }
+
+    /// Pins a user's jobs to one marginal-utility class (used by trading
+    /// experiments where "VAE users" trade with "ResNeXt users").
+    pub fn with_user_class(mut self, user: UserId, class: ModelClass) -> Self {
+        self.user_classes.push((user, class));
+        self
+    }
+
+    /// Generates the trace, assigning jobs to `users` uniformly at random.
+    ///
+    /// Jobs are returned sorted by arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is empty.
+    pub fn build(mut self, users: &[UserSpec]) -> Vec<JobSpec> {
+        assert!(!users.is_empty(), "trace needs at least one user");
+        let full_zoo = zoo();
+        let mut t = 0.0f64; // seconds
+        let mut out = Vec::with_capacity(self.params.num_jobs);
+        let mean_gap_secs = 3600.0 / self.params.jobs_per_hour;
+        for _ in 0..self.params.num_jobs {
+            // Exponential inter-arrival.
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            t += -u.ln() * mean_gap_secs;
+            let user = users[self.rng.gen_range(0..users.len())].id;
+            let gang = self.sample_gang();
+            let service_secs = self.sample_service_secs();
+            let model = self.sample_model(user, &full_zoo);
+            out.push(JobSpec::new(
+                self.ids.next(),
+                user,
+                model,
+                gang,
+                service_secs,
+                SimTime::from_micros((t * 1e6) as u64),
+            ));
+        }
+        out
+    }
+
+    fn sample_gang(&mut self) -> u32 {
+        const SIZES: [u32; 4] = [1, 2, 4, 8];
+        let total: f64 = self.params.gang_weights.iter().sum();
+        let mut draw = self.rng.gen_range(0.0..total);
+        for (w, &size) in self.params.gang_weights.iter().zip(&SIZES) {
+            if draw < *w {
+                return size;
+            }
+            draw -= w;
+        }
+        SIZES[3]
+    }
+
+    fn sample_service_secs(&mut self) -> f64 {
+        // Lognormal via Box-Muller: median * exp(sigma * z).
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let mins = self.params.median_service_mins * (self.params.service_sigma * z).exp();
+        let (lo, hi) = self.params.service_clamp_mins;
+        mins.clamp(lo, hi) * 60.0
+    }
+
+    fn sample_model(
+        &mut self,
+        user: UserId,
+        full_zoo: &[ZooEntry],
+    ) -> Arc<gfair_types::ModelProfile> {
+        let class = self
+            .user_classes
+            .iter()
+            .find(|(u, _)| *u == user)
+            .map(|(_, c)| *c)
+            .or(self.class_filter);
+        let pool: Vec<&ZooEntry> = match class {
+            Some(c) => full_zoo.iter().filter(|e| e.class == c).collect(),
+            None => full_zoo.iter().collect(),
+        };
+        Arc::clone(&pool[self.rng.gen_range(0..pool.len())].model)
+    }
+}
+
+/// Builds a fixed batch of identical jobs — the workhorse for
+/// micro-experiments that need a controlled job mix rather than a random
+/// trace.
+///
+/// `start_id` lets callers compose several batches without id collisions.
+pub fn uniform_batch(
+    start_id: u32,
+    user: UserId,
+    model: &Arc<gfair_types::ModelProfile>,
+    count: u32,
+    gang: u32,
+    service_secs: f64,
+    arrival: SimTime,
+) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            JobSpec::new(
+                JobId::new(start_id + i),
+                user,
+                Arc::clone(model),
+                gang,
+                service_secs,
+                arrival,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::zoo_by_name;
+    use gfair_types::GenId;
+
+    fn users(n: u32) -> Vec<UserSpec> {
+        UserSpec::equal_users(n, 100)
+    }
+
+    #[test]
+    fn trace_is_sorted_and_sized() {
+        let trace = TraceBuilder::new(PhillyParams::default(), 1).build(&users(3));
+        assert_eq!(trace.len(), 200);
+        for w in trace.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = TraceBuilder::new(PhillyParams::default(), 42).build(&users(3));
+        let b = TraceBuilder::new(PhillyParams::default(), 42).build(&users(3));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.user, y.user);
+            assert_eq!(x.gang, y.gang);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.service_secs, y.service_secs);
+            assert_eq!(x.model.name, y.model.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceBuilder::new(PhillyParams::default(), 1).build(&users(3));
+        let b = TraceBuilder::new(PhillyParams::default(), 2).build(&users(3));
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.arrival == y.arrival)
+            .count();
+        assert!(same < a.len() / 2, "seeds produced near-identical traces");
+    }
+
+    #[test]
+    fn gang_sizes_are_powers_of_two_and_skewed_small() {
+        let mut params = PhillyParams::default();
+        params.num_jobs = 2000;
+        let trace = TraceBuilder::new(params, 3).build(&users(2));
+        let singles = trace.iter().filter(|j| j.gang == 1).count();
+        assert!(trace.iter().all(|j| [1, 2, 4, 8].contains(&j.gang)));
+        let frac = singles as f64 / trace.len() as f64;
+        assert!(
+            (0.6..0.8).contains(&frac),
+            "single-GPU fraction {frac} should be ~0.7"
+        );
+    }
+
+    #[test]
+    fn service_is_clamped_and_heavy_tailed() {
+        let mut params = PhillyParams::default();
+        params.num_jobs = 3000;
+        let trace = TraceBuilder::new(params.clone(), 5).build(&users(2));
+        let (lo, hi) = params.service_clamp_mins;
+        let mut secs: Vec<f64> = trace.iter().map(|j| j.service_secs).collect();
+        assert!(secs
+            .iter()
+            .all(|&s| s >= lo * 60.0 - 1e-9 && s <= hi * 60.0 + 1e-9));
+        secs.sort_by(f64::total_cmp);
+        let median = secs[secs.len() / 2];
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        // Lognormal: mean well above median.
+        assert!(
+            mean > median * 1.3,
+            "tail too light: mean {mean} median {median}"
+        );
+        assert!(
+            (median / 60.0 - params.median_service_mins).abs() < 15.0,
+            "median {} mins drifted",
+            median / 60.0
+        );
+    }
+
+    #[test]
+    fn arrival_rate_matches_parameter() {
+        let mut params = PhillyParams::default();
+        params.num_jobs = 2000;
+        params.jobs_per_hour = 120.0;
+        let trace = TraceBuilder::new(params, 9).build(&users(2));
+        let span_hours = trace.last().unwrap().arrival.as_secs_f64() / 3600.0;
+        let rate = trace.len() as f64 / span_hours;
+        assert!(
+            (rate - 120.0).abs() < 12.0,
+            "observed rate {rate} jobs/hour"
+        );
+    }
+
+    #[test]
+    fn class_filter_restricts_models() {
+        let trace = TraceBuilder::new(PhillyParams::default(), 11)
+            .with_class(ModelClass::LowSpeedup)
+            .build(&users(2));
+        let v100 = GenId::new(2);
+        assert!(trace.iter().all(|j| j.model.speedup(v100) < 1.5));
+    }
+
+    #[test]
+    fn user_class_overrides_apply_per_user() {
+        let us = users(2);
+        let trace = TraceBuilder::new(PhillyParams::default(), 13)
+            .with_user_class(us[0].id, ModelClass::LowSpeedup)
+            .with_user_class(us[1].id, ModelClass::HighSpeedup)
+            .build(&us);
+        let v100 = GenId::new(2);
+        for j in &trace {
+            if j.user == us[0].id {
+                assert!(j.model.speedup(v100) < 1.5);
+            } else {
+                assert!(j.model.speedup(v100) > 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_batch_builds_identical_jobs() {
+        let m = zoo_by_name("VAE").unwrap();
+        let batch = uniform_batch(10, UserId::new(1), &m, 3, 2, 600.0, SimTime::from_secs(5));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].id, JobId::new(10));
+        assert_eq!(batch[2].id, JobId::new(12));
+        assert!(batch.iter().all(|j| j.gang == 2
+            && j.user == UserId::new(1)
+            && j.service_secs == 600.0
+            && j.arrival == SimTime::from_secs(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_users_panics() {
+        let _ = TraceBuilder::new(PhillyParams::default(), 1).build(&[]);
+    }
+}

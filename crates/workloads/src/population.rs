@@ -1,0 +1,141 @@
+//! User populations for multi-tenant experiments.
+//!
+//! The trading experiments need user *classes*: tenants whose jobs benefit
+//! little from fast GPUs (VAE-style) versus tenants whose jobs benefit a lot
+//! (ResNeXt-style). A [`UserPopulation`] assembles users with tickets and
+//! class labels and wires them into a [`crate::TraceBuilder`].
+
+use crate::models::ModelClass;
+use crate::philly::{PhillyParams, TraceBuilder};
+use gfair_types::{JobSpec, UserId, UserSpec};
+
+/// A user plus the model class their jobs draw from.
+#[derive(Debug, Clone)]
+pub struct UserClass {
+    /// The user.
+    pub user: UserSpec,
+    /// Their jobs' marginal-utility class; `None` means the full zoo.
+    pub class: Option<ModelClass>,
+}
+
+/// A set of users with optional model-class preferences.
+#[derive(Debug, Clone, Default)]
+pub struct UserPopulation {
+    members: Vec<UserClass>,
+}
+
+impl UserPopulation {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a user with `tickets` drawing models from the whole zoo.
+    pub fn user(mut self, name: &str, tickets: u64) -> Self {
+        let id = UserId::new(self.members.len() as u32);
+        self.members.push(UserClass {
+            user: UserSpec::new(id, name, tickets),
+            class: None,
+        });
+        self
+    }
+
+    /// Adds a user whose jobs come from one marginal-utility class.
+    pub fn user_of_class(mut self, name: &str, tickets: u64, class: ModelClass) -> Self {
+        let id = UserId::new(self.members.len() as u32);
+        self.members.push(UserClass {
+            user: UserSpec::new(id, name, tickets),
+            class: Some(class),
+        });
+        self
+    }
+
+    /// The user specs, in id order.
+    pub fn users(&self) -> Vec<UserSpec> {
+        self.members.iter().map(|m| m.user.clone()).collect()
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns true if no users were added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Looks up a member by name.
+    pub fn by_name(&self, name: &str) -> Option<&UserClass> {
+        self.members.iter().find(|m| m.user.name == name)
+    }
+
+    /// Generates a trace honoring each user's class preference.
+    pub fn trace(&self, params: PhillyParams, seed: u64) -> Vec<JobSpec> {
+        let mut builder = TraceBuilder::new(params, seed);
+        for m in &self.members {
+            if let Some(class) = m.class {
+                builder = builder.with_user_class(m.user.id, class);
+            }
+        }
+        builder.build(&self.users())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_types::GenId;
+
+    #[test]
+    fn population_assigns_sequential_ids() {
+        let pop = UserPopulation::new().user("alice", 100).user_of_class(
+            "bob",
+            200,
+            ModelClass::HighSpeedup,
+        );
+        assert_eq!(pop.len(), 2);
+        assert!(!pop.is_empty());
+        let users = pop.users();
+        assert_eq!(users[0].id, UserId::new(0));
+        assert_eq!(users[1].id, UserId::new(1));
+        assert_eq!(users[1].tickets, 200);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let pop = UserPopulation::new().user("alice", 100);
+        assert!(pop.by_name("alice").is_some());
+        assert!(pop.by_name("mallory").is_none());
+    }
+
+    #[test]
+    fn trace_honors_class_preferences() {
+        let pop = UserPopulation::new()
+            .user_of_class("vae-team", 100, ModelClass::LowSpeedup)
+            .user_of_class("cnn-team", 100, ModelClass::HighSpeedup);
+        let mut params = PhillyParams::default();
+        params.num_jobs = 100;
+        let trace = pop.trace(params, 17);
+        let v100 = GenId::new(2);
+        for j in &trace {
+            if j.user == UserId::new(0) {
+                assert!(j.model.speedup(v100) < 1.5, "{}", j.model.name);
+            } else {
+                assert!(j.model.speedup(v100) > 3.0, "{}", j.model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unclassed_users_draw_from_full_zoo() {
+        let pop = UserPopulation::new().user("any", 100);
+        let mut params = PhillyParams::default();
+        params.num_jobs = 300;
+        let trace = pop.trace(params, 23);
+        let v100 = GenId::new(2);
+        let has_low = trace.iter().any(|j| j.model.speedup(v100) < 1.5);
+        let has_high = trace.iter().any(|j| j.model.speedup(v100) > 3.0);
+        assert!(has_low && has_high, "full-zoo sampling looks filtered");
+    }
+}

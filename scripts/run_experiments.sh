@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the reconstructed evaluation.
+# Usage: scripts/run_experiments.sh [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SEED="${1:-42}"
+cargo build --release -p gfair-bench --bins
+for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
+           exp_f4_efficiency exp_f5_trading exp_f6_load_balance \
+           exp_f7_scale exp_f8_quantum_sweep exp_f9_failure \
+           exp_t2_migration_overhead exp_t3_fairness_summary \
+           exp_a1_price_ablation exp_a2_split_stride exp_a3_lottery_variance; do
+  echo "### $exp"
+  "./target/release/$exp" --seed "$SEED"
+  echo
+done

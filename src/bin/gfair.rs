@@ -1,0 +1,278 @@
+//! `gfair` — command-line front end for the Gandiva_fair reproduction.
+//!
+//! ```text
+//! gfair simulate [OPTIONS]   run a simulation and print a summary
+//! gfair zoo                  print the model zoo (true per-generation speedups)
+//! gfair help                 this text
+//!
+//! simulate options:
+//!   --cluster <paper|trading|homogeneous:<servers>x<gpus>>   (default paper)
+//!   --scheduler <gandiva-fair|gandiva-like|static|drf|fifo|lottery>
+//!                                                            (default gandiva-fair)
+//!   --users <n>              number of equal-ticket users    (default 4)
+//!   --jobs <n>               trace length                    (default 200)
+//!   --jobs-per-hour <x>      Poisson arrival rate            (default 60)
+//!   --median-mins <x>        median job service demand       (default 60)
+//!   --seed <n>               RNG seed                        (default 42)
+//!   --horizon-hours <h>      stop after h simulated hours    (default: run to completion)
+//!   --no-trading             disable the trading market (gandiva-fair only)
+//!   --no-balancing           disable migration-based balancing (gandiva-fair only)
+//!   --save-trace <path>      write the generated trace as JSON
+//!   --load-trace <path>      replay a trace saved earlier (overrides generation)
+//!   --json <path>            write the full SimReport as JSON
+//! ```
+
+use gfair::metrics::fairness::normalized_shares;
+use gfair::metrics::mean_slowdown;
+use gfair::prelude::*;
+use gfair::sim::ClusterScheduler;
+use gfair::workloads::{load_trace, save_trace};
+use std::process::ExitCode;
+
+/// Minimal argv reader: `value_of("--seed")`.
+struct Args(Vec<String>);
+
+impl Args {
+    fn value_of(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value_of(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {key}: {v}")),
+        }
+    }
+}
+
+fn parse_cluster(spec: &str) -> Result<ClusterSpec, String> {
+    match spec {
+        "paper" => Ok(ClusterSpec::paper_testbed()),
+        "trading" => Ok(ClusterSpec::build(
+            GenCatalog::k80_p100_v100(),
+            &[("K80", 10, 8), ("V100", 3, 4)],
+        )),
+        other => {
+            let rest = other
+                .strip_prefix("homogeneous:")
+                .ok_or_else(|| format!("unknown cluster spec: {other}"))?;
+            let (servers, gpus) = rest
+                .split_once('x')
+                .ok_or_else(|| format!("expected homogeneous:<servers>x<gpus>, got {other}"))?;
+            let servers: u32 = servers
+                .parse()
+                .map_err(|_| "bad server count".to_string())?;
+            let gpus: u32 = gpus.parse().map_err(|_| "bad gpu count".to_string())?;
+            if servers == 0 || gpus == 0 {
+                return Err("cluster must have at least one server and GPU".into());
+            }
+            Ok(ClusterSpec::homogeneous(servers, gpus))
+        }
+    }
+}
+
+fn make_scheduler(
+    name: &str,
+    args: &Args,
+    cluster: &ClusterSpec,
+    users: &[UserSpec],
+    seed: u64,
+) -> Result<Box<dyn ClusterScheduler>, String> {
+    let mut cfg = GfairConfig::default();
+    if args.flag("--no-trading") {
+        cfg = cfg.without_trading();
+    }
+    if args.flag("--no-balancing") {
+        cfg = cfg.without_balancing();
+    }
+    Ok(match name {
+        "gandiva-fair" => Box::new(GandivaFair::new(cfg)),
+        "gandiva-like" => Box::new(GandivaLike::new()),
+        "static" => Box::new(StaticPartition::new(cluster, users)),
+        "drf" => Box::new(Drf::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "lottery" => Box::new(LotteryGang::new(seed)),
+        other => return Err(format!("unknown scheduler: {other}")),
+    })
+}
+
+fn cmd_zoo() {
+    let mut t = Table::new(vec![
+        "model",
+        "class",
+        "K80",
+        "P100",
+        "V100",
+        "ckpt+restore",
+    ]);
+    for e in gfair::workloads::zoo() {
+        t.row(vec![
+            e.model.name.clone(),
+            format!("{:?}", e.class),
+            "1.00".into(),
+            format!("{:.2}", e.model.rates[1]),
+            format!("{:.2}", e.model.rates[2]),
+            format!("{:.0}s", e.model.migration_cost().as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.parsed("--seed", 42)?;
+    let cluster = parse_cluster(args.value_of("--cluster").unwrap_or("paper"))?;
+    let n_users: u32 = args.parsed("--users", 4)?;
+    if n_users == 0 {
+        return Err("--users must be at least 1".into());
+    }
+    let users = UserSpec::equal_users(n_users, 100);
+
+    let trace = match args.value_of("--load-trace") {
+        Some(path) => load_trace(path).map_err(|e| format!("loading trace: {e}"))?,
+        None => {
+            let mut params = PhillyParams::default();
+            params.num_jobs = args.parsed("--jobs", 200usize)?;
+            params.jobs_per_hour = args.parsed("--jobs-per-hour", 60.0f64)?;
+            params.median_service_mins = args.parsed("--median-mins", 60.0f64)?;
+            // Gangs must fit the widest server: zero out infeasible sizes.
+            let max_gang = cluster.max_gang();
+            for (i, size) in [1u32, 2, 4, 8].iter().enumerate() {
+                if *size > max_gang {
+                    params.gang_weights[i] = 0.0;
+                }
+            }
+            TraceBuilder::new(params, seed).build(&users)
+        }
+    };
+    if let Some(path) = args.value_of("--save-trace") {
+        save_trace(path, &trace).map_err(|e| format!("saving trace: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+
+    let sched_name = args.value_of("--scheduler").unwrap_or("gandiva-fair");
+    let mut scheduler = make_scheduler(sched_name, args, &cluster, &users, seed)?;
+    let sim = Simulation::new(
+        cluster,
+        users.clone(),
+        trace,
+        SimConfig::default().with_seed(seed),
+    )
+    .map_err(|e| e.to_string())?;
+    let report = match args.value_of("--horizon-hours") {
+        Some(h) => {
+            let hours: u64 = h.parse().map_err(|_| "bad --horizon-hours")?;
+            sim.run_until(scheduler.as_mut(), SimTime::from_secs(hours * 3600))
+        }
+        None => sim.run(scheduler.as_mut()),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("scheduler         : {}", report.scheduler);
+    println!("simulated time    : {}", report.end);
+    println!("rounds            : {}", report.rounds);
+    println!(
+        "jobs finished     : {} / {}",
+        report.finished_jobs(),
+        report.jobs.len()
+    );
+    println!("GPU utilization   : {:.1}%", report.utilization() * 100.0);
+    println!(
+        "effective service : {:.1} base-GPU-hours",
+        report.total_base_secs() / 3600.0
+    );
+    println!("migrations        : {}", report.migrations);
+    if let Some(j) = JctStats::from_durations(&report.jcts()) {
+        println!(
+            "JCT               : mean {:.1} min, p50 {:.1}, p95 {:.1}",
+            j.mean_secs / 60.0,
+            j.p50_secs / 60.0,
+            j.p95_secs / 60.0
+        );
+    }
+    if let Some(s) = mean_slowdown(&report) {
+        println!("mean slowdown     : {s:.2}x");
+    }
+    let received: Vec<f64> = users.iter().map(|u| report.gpu_secs_of(u.id)).collect();
+    let jain = jain_index(&normalized_shares(&received, &vec![1.0; users.len()]));
+    println!("fairness (Jain)   : {jain:.3}");
+    println!();
+    let mut t = Table::new(vec!["user", "gpu-hours", "share"]);
+    let total: f64 = received.iter().sum();
+    for (u, r) in users.iter().zip(&received) {
+        t.row(vec![
+            u.name.clone(),
+            format!("{:.1}", r / 3600.0),
+            format!("{:.1}%", 100.0 * r / total.max(1e-9)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let Some(path) = args.value_of("--json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("report written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    let args = Args(argv.clone());
+    match cmd {
+        "zoo" => {
+            cmd_zoo();
+            ExitCode::SUCCESS
+        }
+        "simulate" => match cmd_simulate(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print!("{}", HELP);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+gfair - Gandiva_fair (EuroSys 2020) reproduction
+
+USAGE:
+  gfair simulate [OPTIONS]   run a simulation and print a summary
+  gfair zoo                  print the model zoo
+  gfair help                 this text
+
+SIMULATE OPTIONS:
+  --cluster <paper|trading|homogeneous:<servers>x<gpus>>  (default paper)
+  --scheduler <gandiva-fair|gandiva-like|static|drf|fifo|lottery>
+  --users <n>           equal-ticket users          (default 4)
+  --jobs <n>            trace length                (default 200)
+  --jobs-per-hour <x>   Poisson arrival rate        (default 60)
+  --median-mins <x>     median job service demand   (default 60)
+  --seed <n>            RNG seed                    (default 42)
+  --horizon-hours <h>   stop after h simulated hours
+  --no-trading          disable the trading market  (gandiva-fair)
+  --no-balancing        disable migration balancing (gandiva-fair)
+  --save-trace <path>   write the generated trace as JSON
+  --load-trace <path>   replay a previously saved trace
+  --json <path>         write the full report as JSON
+";
