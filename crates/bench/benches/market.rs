@@ -6,6 +6,7 @@ use gfair_core::{run_market, Entitlements};
 use gfair_types::{GenId, PriceStrategy, UserId};
 use std::collections::BTreeMap;
 
+#[allow(clippy::type_complexity)]
 fn market_inputs(
     users: usize,
 ) -> (

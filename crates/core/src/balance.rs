@@ -28,6 +28,7 @@
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
 use crate::profiler::Profiler;
+use gfair_obs::{Obs, Phase};
 use gfair_sim::{Action, JobInfo, SimView};
 use gfair_types::{GenId, JobId, ServerId, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -48,6 +49,21 @@ pub fn plan_migrations(
     planner.fairness_pass(ent);
     planner.spreading_pass();
     planner.actions
+}
+
+/// Observed [`plan_migrations`]: the whole search (all passes) is timed as
+/// one [`Phase::MigrationSearch`] span. The resulting `Migration` trace
+/// events are emitted by the engine when the moves are actually applied.
+pub fn plan_migrations_traced(
+    obs: &Obs,
+    view: &SimView<'_>,
+    ent: &Entitlements,
+    profiler: &Profiler,
+    cfg: &GfairConfig,
+) -> Vec<Action> {
+    obs.time(Phase::MigrationSearch, || {
+        plan_migrations(view, ent, profiler, cfg)
+    })
 }
 
 /// Working state for one balancing tick.

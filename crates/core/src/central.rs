@@ -15,15 +15,17 @@
 //!    entitlement on that server's generation.
 //! 4. Collect each server's gang-aware stride selection into the round plan.
 
-use crate::balance::plan_migrations;
+use crate::balance::plan_migrations_traced;
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
 use crate::local::LocalScheduler;
 use crate::profiler::Profiler;
-use crate::trade::{run_market, Trade};
+use crate::trade::{run_market_traced, Trade};
+use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, UserShare};
 use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
 use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The Gandiva_fair cluster scheduler.
 ///
@@ -58,6 +60,10 @@ pub struct GandivaFair {
     /// engine (placement callbacks run before the round boundary), so that
     /// simultaneous arrivals do not pile onto one server.
     inflight: BTreeMap<ServerId, u32>,
+    /// Observability pipeline: trade and profile-convergence events plus
+    /// self-profiling spans for the hot phases. Share the simulation's
+    /// instance via [`GandivaFair::with_obs`] to get one unified trace.
+    obs: SharedObs,
 }
 
 impl GandivaFair {
@@ -74,12 +80,21 @@ impl GandivaFair {
             next_balance: SimTime::ZERO,
             trade_log: Vec::new(),
             inflight: BTreeMap::new(),
+            obs: Arc::new(Obs::new()),
         }
     }
 
     /// Overrides the report name (used by ablation variants).
     pub fn with_name(mut self, name: &'static str) -> Self {
         self.name = name;
+        self
+    }
+
+    /// Attaches a shared observability pipeline. Pass the same instance to
+    /// `Simulation::with_obs` so scheduler-side events (trades, profile
+    /// convergence) and engine-side events land in one ordered trace.
+    pub fn with_obs(mut self, obs: SharedObs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -176,14 +191,16 @@ impl GandivaFair {
         if self.cfg.trading && !active.is_empty() {
             let speedups = self.user_speedups(view);
             let demand = Self::demands(view);
-            let trades = run_market(
+            let now = view.now();
+            let trades = run_market_traced(
+                &self.obs,
+                now,
                 &mut ent,
                 &speedups,
                 &demand,
                 view.config().price_strategy,
                 self.cfg.trade_margin,
             );
-            let now = view.now();
             self.trade_log.extend(trades.into_iter().map(|t| (now, t)));
         }
         self.ent = Some(ent);
@@ -270,11 +287,21 @@ impl ClusterScheduler for GandivaFair {
     fn on_profile_report(&mut self, view: &SimView<'_>, report: &ProfileReport) -> Vec<Action> {
         self.ensure_init(view);
         if let Some(info) = view.job(report.job) {
-            self.profiler.as_mut().expect("initialized").record(
-                &info.model,
-                report.gen,
-                report.rate,
-            );
+            let profiler = self.profiler.as_mut().expect("initialized");
+            let converged = profiler.record(&info.model, report.gen, report.rate);
+            if converged {
+                // The estimate just crossed the sample threshold: announce
+                // the inferred rate once per (model, generation).
+                self.obs.emit(TraceEvent::ProfileInferred {
+                    t: view.now(),
+                    model: info.model.to_string(),
+                    gen: report.gen,
+                    rate: profiler
+                        .rate(&info.model, report.gen)
+                        .expect("just recorded"),
+                    samples: profiler.samples(&info.model, report.gen),
+                });
+            }
         }
         Vec::new()
     }
@@ -300,7 +327,7 @@ impl ClusterScheduler for GandivaFair {
         if self.cfg.balancing && now >= self.next_balance {
             let ent = self.ent.as_ref().expect("refreshed above");
             let profiler = self.profiler.as_ref().expect("initialized");
-            actions = plan_migrations(view, ent, profiler, &self.cfg);
+            actions = plan_migrations_traced(&self.obs, view, ent, profiler, &self.cfg);
             self.next_balance = now + view.config().balance_interval;
         }
         // 3. Retry jobs whose placement failed earlier (e.g. every fitting
@@ -330,15 +357,41 @@ impl ClusterScheduler for GandivaFair {
             run: BTreeMap::new(),
             actions,
         };
-        for (&server, local) in &mut self.locals {
-            let gen = view.cluster().server(server).gen;
-            local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
-            let selected = local.plan();
-            if !selected.is_empty() {
-                plan.run.insert(server, selected);
+        let obs = Arc::clone(&self.obs);
+        obs.time(Phase::GangPacking, || {
+            for (&server, local) in &mut self.locals {
+                let gen = view.cluster().server(server).gen;
+                local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
+                let selected = local.plan();
+                if !selected.is_empty() {
+                    plan.run.insert(server, selected);
+                }
             }
-        }
+        });
         plan
+    }
+
+    fn user_shares(&self, _view: &SimView<'_>) -> Vec<UserShare> {
+        let Some(ent) = &self.ent else {
+            return Vec::new();
+        };
+        ent.users()
+            .map(|user| {
+                // The user's effective priority: the best (lowest) stride
+                // pass among their jobs anywhere in the cluster.
+                let pass = self
+                    .locals
+                    .values()
+                    .filter_map(|l| l.user_pass(user))
+                    .min_by(f64::total_cmp)
+                    .unwrap_or(0.0);
+                UserShare {
+                    user,
+                    tickets: ent.gpus_of(user),
+                    pass,
+                }
+            })
+            .collect()
     }
 }
 

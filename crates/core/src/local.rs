@@ -78,6 +78,12 @@ impl LocalScheduler {
     pub fn plan(&mut self) -> Vec<JobId> {
         self.split.plan_round().selected
     }
+
+    /// The user's effective stride pass on this server (minimum pass among
+    /// their jobs here), if they have any.
+    pub fn user_pass(&self, user: UserId) -> Option<f64> {
+        self.split.user_pass(user)
+    }
 }
 
 #[cfg(test)]

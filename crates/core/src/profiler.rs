@@ -54,12 +54,15 @@ impl Profiler {
         }
     }
 
-    /// Records one rate observation for `model` on `gen`.
+    /// Records one rate observation for `model` on `gen`. Returns `true`
+    /// exactly when this observation pushes the estimate over the sample
+    /// threshold — i.e. the profile was just inferred — so callers can emit
+    /// a single convergence notification per (model, generation).
     ///
     /// # Panics
     ///
     /// Panics if `gen` is out of range or `rate` is not positive and finite.
-    pub fn record(&mut self, model: &Arc<str>, gen: GenId, rate: f64) {
+    pub fn record(&mut self, model: &Arc<str>, gen: GenId, rate: f64) -> bool {
         assert!(gen.index() < self.num_gens, "generation out of range");
         assert!(
             rate.is_finite() && rate > 0.0,
@@ -72,6 +75,7 @@ impl Profiler {
         let e = &mut slots[gen.index()];
         e.sum += rate;
         e.count += 1;
+        e.count == self.min_samples
     }
 
     /// Mean observed rate of `model` on `gen`, if any observation exists.
@@ -158,6 +162,22 @@ mod tests {
         assert!(!p.is_profiled("VAE", GenId::new(0)));
         p.record(&m, GenId::new(0), 1.0);
         assert!(p.is_profiled("VAE", GenId::new(0)));
+    }
+
+    #[test]
+    fn record_signals_convergence_exactly_once_per_gen() {
+        let mut p = Profiler::new(2, 3);
+        let m = name("BERT");
+        assert!(!p.record(&m, GenId::new(0), 1.0));
+        assert!(!p.record(&m, GenId::new(0), 1.0));
+        // The min_samples-th observation crosses the threshold...
+        assert!(p.record(&m, GenId::new(0), 1.0));
+        // ...and further observations refine the estimate silently.
+        assert!(!p.record(&m, GenId::new(0), 1.0));
+        // Each generation converges independently.
+        assert!(!p.record(&m, GenId::new(1), 2.0));
+        assert!(!p.record(&m, GenId::new(1), 2.0));
+        assert!(p.record(&m, GenId::new(1), 2.0));
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! market never trades on guesses.
 
 use crate::entitlement::Entitlements;
-use gfair_types::{GenId, PriceStrategy, UserId};
+use gfair_obs::{Obs, Phase, TraceEvent};
+use gfair_types::{GenId, PriceStrategy, SimTime, UserId};
 use std::collections::BTreeMap;
 
 /// Amounts below this are treated as zero (floating-point dust).
@@ -61,6 +62,45 @@ pub struct Trade {
 ///
 /// Returns the executed trades in execution order.
 pub fn run_market(
+    ent: &mut Entitlements,
+    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
+    demand: &BTreeMap<UserId, f64>,
+    strategy: PriceStrategy,
+    margin: f64,
+) -> Vec<Trade> {
+    run_market_inner(ent, speedups, demand, strategy, margin)
+}
+
+/// Observed [`run_market`]: the matching pass is timed as a
+/// [`Phase::TradeMatching`] span and every executed trade is emitted as a
+/// [`TraceEvent::TradeExecuted`] stamped with `now`.
+pub fn run_market_traced(
+    obs: &Obs,
+    now: SimTime,
+    ent: &mut Entitlements,
+    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
+    demand: &BTreeMap<UserId, f64>,
+    strategy: PriceStrategy,
+    margin: f64,
+) -> Vec<Trade> {
+    let trades = obs.time(Phase::TradeMatching, || {
+        run_market_inner(ent, speedups, demand, strategy, margin)
+    });
+    for t in &trades {
+        obs.emit(TraceEvent::TradeExecuted {
+            t: now,
+            seller: t.seller,
+            buyer: t.buyer,
+            gen: t.gen,
+            fast_gpus: t.fast_gpus,
+            base_gpus: t.base_gpus,
+            price: t.price,
+        });
+    }
+    trades
+}
+
+fn run_market_inner(
     ent: &mut Entitlements,
     speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
     demand: &BTreeMap<UserId, f64>,
@@ -181,6 +221,7 @@ mod tests {
 
     /// The canonical paper scenario: a VAE-like user (1.25x) and a
     /// ResNeXt-like user (5x) with equal tickets and plenty of demand.
+    #[allow(clippy::type_complexity)]
     fn canonical() -> (
         Entitlements,
         BTreeMap<UserId, Vec<Option<f64>>>,
@@ -412,6 +453,7 @@ mod proptests {
 
     /// Builds market inputs from raw proptest vectors: up to 6 users with
     /// tickets, per-gen speedups (some unprofiled) and demands.
+    #[allow(clippy::type_complexity)]
     fn build(
         rows: &[(u16, f64, f64, f64, bool)],
         gpus: (u32, u32, u32),

@@ -1,0 +1,590 @@
+//! The online invariant auditor.
+//!
+//! Consumes the trace-event stream *during* the run and independently
+//! re-derives the properties the scheduler claims to enforce. It keeps its
+//! own residency and capacity state built purely from events — it never
+//! peeks at engine internals — so a bug anywhere in the decision path
+//! (scheduler, engine bookkeeping, or event emission) surfaces as a
+//! violation instead of silently skewing results.
+//!
+//! ## Invariants
+//!
+//! Fatal (abort the run):
+//! * **Gang atomicity** — a `GangPacked` grant's `width` equals the job's
+//!   declared gang size; partial gangs are never acceptable.
+//! * **No GPU overcommit** — per round, the gang widths granted on a server
+//!   sum to at most its GPU count.
+//! * **Residency** — a job runs only on the server it is resident on, and a
+//!   job is granted GPUs at most once per round.
+//! * **Ticket conservation** — when the scheduler reports per-user tickets
+//!   (post-trade entitlements), they sum to the cluster's physical GPU
+//!   supply: trading may move entitlement between users and generations but
+//!   can never mint or destroy it.
+//!
+//! Warn-only (counted, not fatal):
+//! * **Work conservation** — a round that grants no GPUs while resident
+//!   jobs exist. The deliberately naive `StrictNoBackfill` gang policy can
+//!   do this legitimately, so it warns rather than aborts.
+
+use crate::event::TraceEvent;
+use gfair_types::{JobId, ServerId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// How many of the current round's events are attached to a violation.
+const CONTEXT_CAP: usize = 256;
+
+/// Relative tolerance for floating-point conservation checks.
+const TICKET_TOL: f64 = 1e-6;
+
+/// The specific invariant an offending event broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// A gang was granted fewer (or more) GPUs than its declared size.
+    PartialGang {
+        /// Offending job.
+        job: JobId,
+        /// GPUs granted.
+        width: u32,
+        /// GPUs the gang requires.
+        gang: u32,
+    },
+    /// A server's granted widths exceed its GPU count.
+    Overcommit {
+        /// Offending server.
+        server: ServerId,
+        /// Sum of granted widths.
+        requested: u32,
+        /// GPUs installed.
+        gpus: u32,
+    },
+    /// A job was granted GPUs on a server it is not resident on.
+    NotResident {
+        /// Offending job.
+        job: JobId,
+        /// Server that granted it GPUs.
+        server: ServerId,
+    },
+    /// A job was granted GPUs more than once in one round.
+    DuplicateJob {
+        /// Offending job.
+        job: JobId,
+    },
+    /// GPUs were granted on a server that is down.
+    PackedOnDownServer {
+        /// Offending server.
+        server: ServerId,
+    },
+    /// An event referenced a job that never arrived.
+    UnknownJob {
+        /// Offending job.
+        job: JobId,
+    },
+    /// Per-user tickets do not sum to the cluster's GPU supply.
+    TicketConservation {
+        /// Expected total (physical GPUs).
+        expected: f64,
+        /// Actual sum of reported user tickets.
+        actual: f64,
+    },
+}
+
+/// One detected invariant violation, with the offending round's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The round in which the violation occurred (0 before the first round).
+    pub round: u64,
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// JSONL lines of the offending round's events, oldest first.
+    pub context: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invariant violated in round {}: {}",
+            self.round, self.message
+        )?;
+        writeln!(f, "offending round trace ({} events):", self.context.len())?;
+        for line in &self.context {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JobFacts {
+    gang: u32,
+}
+
+/// Online checker over the trace-event stream.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    /// GPU count per server, learned from `ServerUp` events.
+    capacity: BTreeMap<ServerId, u32>,
+    up: BTreeSet<ServerId>,
+    jobs: BTreeMap<JobId, JobFacts>,
+    residency: BTreeMap<JobId, ServerId>,
+    /// GPUs granted per server in the round being assembled.
+    packed: BTreeMap<ServerId, u32>,
+    /// Jobs granted GPUs in the round being assembled.
+    packed_jobs: BTreeSet<JobId>,
+    /// Events since the last round boundary (violation context).
+    round_events: VecDeque<String>,
+    current_round: u64,
+    violations: Vec<Violation>,
+    /// Index of the next violation [`Auditor::take_fatal`] will hand out.
+    next_fatal: usize,
+    warnings: u64,
+}
+
+impl Auditor {
+    /// Creates an auditor with no knowledge of the cluster; capacities are
+    /// learned from the event stream's `ServerUp` events.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// Total physical GPUs learned from the stream.
+    pub fn cluster_gpus(&self) -> u32 {
+        self.capacity.values().sum()
+    }
+
+    /// All violations detected so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Warn-level findings so far.
+    pub fn warnings(&self) -> u64 {
+        self.warnings
+    }
+
+    /// Hands out the next not-yet-taken violation, if any. The engine polls
+    /// this after each round to abort the run.
+    pub fn take_fatal(&mut self) -> Option<Violation> {
+        let v = self.violations.get(self.next_fatal).cloned();
+        if v.is_some() {
+            self.next_fatal += 1;
+        }
+        v
+    }
+
+    fn fail(&mut self, kind: ViolationKind, message: String) {
+        self.violations.push(Violation {
+            round: self.current_round,
+            kind,
+            message,
+            context: self.round_events.iter().cloned().collect(),
+        });
+    }
+
+    /// Feeds one event through every applicable check.
+    pub fn process(&mut self, event: &TraceEvent) {
+        if self.round_events.len() == CONTEXT_CAP {
+            self.round_events.pop_front();
+        }
+        self.round_events.push_back(event.to_json_line());
+
+        match event {
+            TraceEvent::ServerUp { server, gpus, .. } => {
+                self.capacity.insert(*server, *gpus);
+                self.up.insert(*server);
+            }
+            TraceEvent::ServerDown { server, .. } => {
+                self.up.remove(server);
+                // The failure evicts every resident job.
+                self.residency.retain(|_, s| s != server);
+            }
+            TraceEvent::JobArrive { job, gang, .. } => {
+                self.jobs.insert(*job, JobFacts { gang: *gang });
+            }
+            TraceEvent::JobFinish { job, .. } => {
+                self.residency.remove(job);
+                self.jobs.remove(job);
+            }
+            TraceEvent::Placement { job, server, .. } => {
+                self.residency.insert(*job, *server);
+            }
+            TraceEvent::Migration { job, .. } => {
+                // In flight: not resident anywhere until it lands (a
+                // `Placement` event at the destination).
+                self.residency.remove(job);
+            }
+            TraceEvent::GangPacked {
+                round,
+                server,
+                job,
+                width,
+                ..
+            } => {
+                self.current_round = *round;
+                let declared = match self.jobs.get(job) {
+                    Some(f) => f.gang,
+                    None => {
+                        self.fail(
+                            ViolationKind::UnknownJob { job: *job },
+                            format!("job {job} was granted GPUs but never arrived"),
+                        );
+                        *width
+                    }
+                };
+                if *width != declared {
+                    self.fail(
+                        ViolationKind::PartialGang {
+                            job: *job,
+                            width: *width,
+                            gang: declared,
+                        },
+                        format!(
+                            "gang atomicity: job {job} granted {width} GPUs but its gang needs {declared}"
+                        ),
+                    );
+                }
+                if !self.packed_jobs.insert(*job) {
+                    self.fail(
+                        ViolationKind::DuplicateJob { job: *job },
+                        format!("job {job} granted GPUs twice in round {round}"),
+                    );
+                }
+                if self.residency.get(job) != Some(server) {
+                    self.fail(
+                        ViolationKind::NotResident {
+                            job: *job,
+                            server: *server,
+                        },
+                        format!("job {job} ran on server {server} where it is not resident"),
+                    );
+                }
+                if !self.up.contains(server) {
+                    self.fail(
+                        ViolationKind::PackedOnDownServer { server: *server },
+                        format!("server {server} is down but was granted work"),
+                    );
+                }
+                let used = self.packed.entry(*server).or_insert(0);
+                *used += *width;
+                let gpus = self.capacity.get(server).copied().unwrap_or(0);
+                if *used > gpus {
+                    let requested = *used;
+                    self.fail(
+                        ViolationKind::Overcommit {
+                            server: *server,
+                            requested,
+                            gpus,
+                        },
+                        format!(
+                            "overcommit: server {server} granted {requested} GPUs but has {gpus}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::RoundPlanned {
+                round,
+                gpus_used,
+                tickets_total,
+                users,
+                ..
+            } => {
+                self.current_round = *round;
+                if !users.is_empty() {
+                    let actual: f64 = users.iter().map(|u| u.tickets).sum();
+                    let expected = *tickets_total;
+                    let tol = TICKET_TOL * expected.abs().max(1.0);
+                    if (actual - expected).abs() > tol {
+                        self.fail(
+                            ViolationKind::TicketConservation { expected, actual },
+                            format!(
+                                "ticket conservation: user entitlements sum to {actual} but the cluster supplies {expected} GPUs"
+                            ),
+                        );
+                    }
+                }
+                if *gpus_used == 0 && !self.residency.is_empty() {
+                    self.warnings += 1;
+                }
+                // Round boundary: reset per-round state and context.
+                self.packed.clear();
+                self.packed_jobs.clear();
+                self.round_events.clear();
+            }
+            TraceEvent::TradeExecuted { .. } | TraceEvent::ProfileInferred { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfair_types::{GenId, SimTime, UserId};
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn setup() -> Auditor {
+        let mut a = Auditor::new();
+        a.process(&TraceEvent::ServerUp {
+            t: t0(),
+            server: ServerId::new(0),
+            gen: GenId::new(0),
+            gpus: 4,
+        });
+        a.process(&TraceEvent::JobArrive {
+            t: t0(),
+            job: JobId::new(1),
+            user: UserId::new(0),
+            gang: 4,
+            service_secs: 100.0,
+        });
+        a.process(&TraceEvent::Placement {
+            t: t0(),
+            job: JobId::new(1),
+            server: ServerId::new(0),
+            gang: 4,
+        });
+        a
+    }
+
+    fn packed(job: u32, width: u32, gang: u32) -> TraceEvent {
+        TraceEvent::GangPacked {
+            t: t0(),
+            round: 1,
+            server: ServerId::new(0),
+            job: JobId::new(job),
+            user: UserId::new(0),
+            width,
+            gang,
+        }
+    }
+
+    #[test]
+    fn healthy_round_has_no_violations() {
+        let mut a = setup();
+        a.process(&packed(1, 4, 4));
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 1,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![],
+        });
+        assert!(a.violations().is_empty());
+        assert_eq!(a.warnings(), 0);
+        assert!(a.take_fatal().is_none());
+    }
+
+    #[test]
+    fn partial_gang_is_detected_with_round_context() {
+        let mut a = setup();
+        a.process(&packed(1, 2, 4));
+        let v = a.take_fatal().expect("violation");
+        assert_eq!(
+            v.kind,
+            ViolationKind::PartialGang {
+                job: JobId::new(1),
+                width: 2,
+                gang: 4
+            }
+        );
+        assert_eq!(v.round, 1);
+        assert!(!v.context.is_empty(), "offending round trace attached");
+        assert!(v.to_string().contains("gang atomicity"));
+        // The same violation is not handed out twice.
+        assert!(a.take_fatal().is_none());
+    }
+
+    #[test]
+    fn overcommit_is_detected() {
+        let mut a = setup();
+        a.process(&TraceEvent::JobArrive {
+            t: t0(),
+            job: JobId::new(2),
+            user: UserId::new(1),
+            gang: 2,
+            service_secs: 50.0,
+        });
+        a.process(&TraceEvent::Placement {
+            t: t0(),
+            job: JobId::new(2),
+            server: ServerId::new(0),
+            gang: 2,
+        });
+        a.process(&packed(1, 4, 4));
+        a.process(&packed(2, 2, 2));
+        let v = a.take_fatal().expect("violation");
+        assert_eq!(
+            v.kind,
+            ViolationKind::Overcommit {
+                server: ServerId::new(0),
+                requested: 6,
+                gpus: 4
+            }
+        );
+    }
+
+    #[test]
+    fn non_resident_job_is_detected() {
+        let mut a = setup();
+        // Job 1 migrates away and has not landed.
+        a.process(&TraceEvent::Migration {
+            t: t0(),
+            job: JobId::new(1),
+            from: ServerId::new(0),
+            to: ServerId::new(1),
+            outage_secs: 30.0,
+        });
+        a.process(&packed(1, 4, 4));
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::NotResident { .. }));
+    }
+
+    #[test]
+    fn duplicate_grant_is_detected() {
+        let mut a = setup();
+        a.process(&packed(1, 4, 4));
+        a.process(&packed(1, 4, 4));
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::DuplicateJob { .. }));
+    }
+
+    #[test]
+    fn ticket_conservation_is_checked() {
+        use crate::event::UserShare;
+        let mut a = setup();
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 0,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![
+                UserShare {
+                    user: UserId::new(0),
+                    tickets: 3.0,
+                    pass: 0.0,
+                },
+                UserShare {
+                    user: UserId::new(1),
+                    tickets: 2.0,
+                    pass: 0.0,
+                },
+            ],
+        });
+        let v = a.take_fatal().expect("violation");
+        assert_eq!(
+            v.kind,
+            ViolationKind::TicketConservation {
+                expected: 4.0,
+                actual: 5.0
+            }
+        );
+    }
+
+    #[test]
+    fn conserving_tickets_pass_within_tolerance() {
+        use crate::event::UserShare;
+        let mut a = setup();
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 0,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![
+                UserShare {
+                    user: UserId::new(0),
+                    tickets: 1.0 + 1e-9,
+                    pass: 0.0,
+                },
+                UserShare {
+                    user: UserId::new(1),
+                    tickets: 3.0 - 1e-9,
+                    pass: 0.0,
+                },
+            ],
+        });
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn idle_round_with_resident_jobs_warns() {
+        let mut a = setup();
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 0,
+            gpus_used: 0,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![],
+        });
+        assert!(a.violations().is_empty(), "work conservation is warn-only");
+        assert_eq!(a.warnings(), 1);
+    }
+
+    #[test]
+    fn down_server_eviction_clears_residency() {
+        let mut a = setup();
+        a.process(&TraceEvent::ServerDown {
+            t: t0(),
+            server: ServerId::new(0),
+            evicted: 1,
+        });
+        a.process(&packed(1, 4, 4));
+        // Both not-resident and down-server fire.
+        let kinds: Vec<_> = a.violations().iter().map(|v| &v.kind).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ViolationKind::NotResident { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ViolationKind::PackedOnDownServer { .. })));
+    }
+
+    #[test]
+    fn unknown_job_is_detected() {
+        let mut a = Auditor::new();
+        a.process(&TraceEvent::ServerUp {
+            t: t0(),
+            server: ServerId::new(0),
+            gen: GenId::new(0),
+            gpus: 8,
+        });
+        a.process(&packed(99, 1, 1));
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::UnknownJob { .. }));
+    }
+
+    #[test]
+    fn per_round_state_resets_at_round_boundary() {
+        let mut a = setup();
+        a.process(&packed(1, 4, 4));
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 1,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![],
+        });
+        // Same grant next round: no duplicate, no overcommit.
+        a.process(&packed(1, 4, 4));
+        assert!(a.violations().is_empty());
+    }
+}

@@ -1,0 +1,481 @@
+//! The structured trace-event model.
+//!
+//! Every scheduler decision the engine applies is narrated as a
+//! [`TraceEvent`] and pushed through the installed [`crate::Tracer`] sinks
+//! and the [`crate::Auditor`]. Events carry *simulated* time only — never
+//! wall-clock readings — so two runs with the same seed serialize to
+//! byte-identical JSONL.
+//!
+//! The JSONL encoding is hand-rolled rather than derived: field order is
+//! frozen (stable across compiler and shim versions), floats use Rust's
+//! shortest round-trip formatting, and the `kind` discriminator always comes
+//! first so line-oriented tools can dispatch without a full parse.
+
+use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
+use std::fmt::Write as _;
+
+/// One user's scheduling state inside a [`TraceEvent::RoundPlanned`] event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserShare {
+    /// The user.
+    pub user: UserId,
+    /// Tickets backing the user this round (for Gandiva_fair: the user's
+    /// post-trade GPU entitlement summed over generations).
+    pub tickets: f64,
+    /// The user's minimum stride pass value across local schedulers (0.0
+    /// when the scheduler does not expose passes).
+    pub pass: f64,
+}
+
+/// A structured record of one scheduler decision or cluster incident.
+///
+/// The `t` field is simulated time. `ServerUp` is also emitted once per
+/// server at simulation start so a trace is self-describing: the auditor
+/// reconstructs cluster capacity from the stream alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A server came online (or was online at simulation start).
+    ServerUp {
+        /// Simulated time.
+        t: SimTime,
+        /// The server.
+        server: ServerId,
+        /// The server's GPU generation.
+        gen: GenId,
+        /// GPUs installed.
+        gpus: u32,
+    },
+    /// A server failed; resident jobs were evicted.
+    ServerDown {
+        /// Simulated time.
+        t: SimTime,
+        /// The server.
+        server: ServerId,
+        /// Number of jobs evicted by the failure.
+        evicted: u32,
+    },
+    /// A job entered the system.
+    JobArrive {
+        /// Simulated time.
+        t: SimTime,
+        /// The job.
+        job: JobId,
+        /// Its owner.
+        user: UserId,
+        /// Gang size (GPUs required, all-or-nothing).
+        gang: u32,
+        /// Service demand in base-generation GPU-seconds.
+        service_secs: f64,
+    },
+    /// A job completed its service demand.
+    JobFinish {
+        /// Simulated time.
+        t: SimTime,
+        /// The job.
+        job: JobId,
+        /// Its owner.
+        user: UserId,
+    },
+    /// A job became resident on a server (initial placement or migration
+    /// landing).
+    Placement {
+        /// Simulated time.
+        t: SimTime,
+        /// The job.
+        job: JobId,
+        /// Where it now resides.
+        server: ServerId,
+        /// Gang size.
+        gang: u32,
+    },
+    /// A job started a checkpoint/restore move between servers.
+    Migration {
+        /// Simulated time.
+        t: SimTime,
+        /// The job.
+        job: JobId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+        /// Checkpoint/restore outage in seconds.
+        outage_secs: f64,
+    },
+    /// One job was granted its gang on a server for the coming quantum.
+    ///
+    /// `width` is the allocation actually granted and `gang` the job's
+    /// declared requirement; the auditor flags any mismatch (partial gang).
+    GangPacked {
+        /// Simulated time.
+        t: SimTime,
+        /// Scheduling round number (1-based).
+        round: u64,
+        /// The server.
+        server: ServerId,
+        /// The job.
+        job: JobId,
+        /// The job's owner.
+        user: UserId,
+        /// GPUs granted this quantum.
+        width: u32,
+        /// GPUs the job's gang requires.
+        gang: u32,
+    },
+    /// Summary of one scheduling round, emitted after its `GangPacked`
+    /// events.
+    RoundPlanned {
+        /// Simulated time.
+        t: SimTime,
+        /// Scheduling round number (1-based).
+        round: u64,
+        /// Jobs granted GPUs this quantum.
+        scheduled: u32,
+        /// GPUs in use this quantum.
+        gpus_used: u32,
+        /// GPUs currently online.
+        gpus_up: u32,
+        /// Jobs waiting for a placement.
+        pending: u32,
+        /// Cluster-wide ticket supply (total physical GPUs, the quantity
+        /// per-user entitlements must sum to under ticket conservation).
+        tickets_total: f64,
+        /// Per-user pass/tickets, when the scheduler exposes them (empty
+        /// for baselines without a ticket economy).
+        users: Vec<UserShare>,
+    },
+    /// The trading market matched a seller and a buyer.
+    TradeExecuted {
+        /// Simulated time.
+        t: SimTime,
+        /// User selling fast-GPU entitlement.
+        seller: UserId,
+        /// User buying fast-GPU entitlement.
+        buyer: UserId,
+        /// The fast generation traded.
+        gen: GenId,
+        /// Fast GPUs moved from seller to buyer.
+        fast_gpus: f64,
+        /// Base GPUs moved from buyer to seller in payment.
+        base_gpus: f64,
+        /// Price in base GPUs per fast GPU.
+        price: f64,
+    },
+    /// A (model, generation) throughput estimate crossed the sample
+    /// threshold and is now trusted by the trading market.
+    ProfileInferred {
+        /// Simulated time.
+        t: SimTime,
+        /// Model name.
+        model: String,
+        /// The generation profiled.
+        gen: GenId,
+        /// Mean observed rate on that generation.
+        rate: f64,
+        /// Observations aggregated so far.
+        samples: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `kind` discriminator as it appears in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ServerUp { .. } => "server_up",
+            TraceEvent::ServerDown { .. } => "server_down",
+            TraceEvent::JobArrive { .. } => "job_arrive",
+            TraceEvent::JobFinish { .. } => "job_finish",
+            TraceEvent::Placement { .. } => "placement",
+            TraceEvent::Migration { .. } => "migration",
+            TraceEvent::GangPacked { .. } => "gang_packed",
+            TraceEvent::RoundPlanned { .. } => "round_planned",
+            TraceEvent::TradeExecuted { .. } => "trade_executed",
+            TraceEvent::ProfileInferred { .. } => "profile_inferred",
+        }
+    }
+
+    /// The event's simulated time.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::ServerUp { t, .. }
+            | TraceEvent::ServerDown { t, .. }
+            | TraceEvent::JobArrive { t, .. }
+            | TraceEvent::JobFinish { t, .. }
+            | TraceEvent::Placement { t, .. }
+            | TraceEvent::Migration { t, .. }
+            | TraceEvent::GangPacked { t, .. }
+            | TraceEvent::RoundPlanned { t, .. }
+            | TraceEvent::TradeExecuted { t, .. }
+            | TraceEvent::ProfileInferred { t, .. } => *t,
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    ///
+    /// Times serialize as integer microseconds (`t_us`) so encoding never
+    /// loses precision; every id is a bare integer.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let t = self.time().as_micros();
+        let _ = write!(s, "{{\"kind\":\"{}\",\"t_us\":{t}", self.kind());
+        match self {
+            TraceEvent::ServerUp {
+                server, gen, gpus, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"server\":{},\"gen\":{},\"gpus\":{gpus}",
+                    server.index(),
+                    gen.index()
+                );
+            }
+            TraceEvent::ServerDown {
+                server, evicted, ..
+            } => {
+                let _ = write!(s, ",\"server\":{},\"evicted\":{evicted}", server.index());
+            }
+            TraceEvent::JobArrive {
+                job,
+                user,
+                gang,
+                service_secs,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"user\":{},\"gang\":{gang},\"service_secs\":{}",
+                    job.index(),
+                    user.index(),
+                    fmt_f64(*service_secs)
+                );
+            }
+            TraceEvent::JobFinish { job, user, .. } => {
+                let _ = write!(s, ",\"job\":{},\"user\":{}", job.index(), user.index());
+            }
+            TraceEvent::Placement {
+                job, server, gang, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"server\":{},\"gang\":{gang}",
+                    job.index(),
+                    server.index()
+                );
+            }
+            TraceEvent::Migration {
+                job,
+                from,
+                to,
+                outage_secs,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"from\":{},\"to\":{},\"outage_secs\":{}",
+                    job.index(),
+                    from.index(),
+                    to.index(),
+                    fmt_f64(*outage_secs)
+                );
+            }
+            TraceEvent::GangPacked {
+                round,
+                server,
+                job,
+                user,
+                width,
+                gang,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"server\":{},\"job\":{},\"user\":{},\"width\":{width},\"gang\":{gang}",
+                    server.index(),
+                    job.index(),
+                    user.index()
+                );
+            }
+            TraceEvent::RoundPlanned {
+                round,
+                scheduled,
+                gpus_used,
+                gpus_up,
+                pending,
+                tickets_total,
+                users,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"scheduled\":{scheduled},\"gpus_used\":{gpus_used},\"gpus_up\":{gpus_up},\"pending\":{pending},\"tickets_total\":{},\"users\":[",
+                    fmt_f64(*tickets_total)
+                );
+                for (i, u) in users.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"user\":{},\"tickets\":{},\"pass\":{}}}",
+                        u.user.index(),
+                        fmt_f64(u.tickets),
+                        fmt_f64(u.pass)
+                    );
+                }
+                s.push(']');
+            }
+            TraceEvent::TradeExecuted {
+                seller,
+                buyer,
+                gen,
+                fast_gpus,
+                base_gpus,
+                price,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"seller\":{},\"buyer\":{},\"gen\":{},\"fast_gpus\":{},\"base_gpus\":{},\"price\":{}",
+                    seller.index(),
+                    buyer.index(),
+                    gen.index(),
+                    fmt_f64(*fast_gpus),
+                    fmt_f64(*base_gpus),
+                    fmt_f64(*price)
+                );
+            }
+            TraceEvent::ProfileInferred {
+                model,
+                gen,
+                rate,
+                samples,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"model\":\"{}\",\"gen\":{},\"rate\":{},\"samples\":{samples}",
+                    escape_json(model),
+                    gen.index(),
+                    fmt_f64(*rate)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Formats a float so the JSON value stays a float (integral values get a
+/// `.0`), using Rust's shortest round-trip representation otherwise.
+fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        // Traces never carry non-finite values; clamp rather than emit
+        // invalid JSON if an upstream bug produces one.
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_strings_are_stable() {
+        let ev = TraceEvent::JobArrive {
+            t: SimTime::from_secs(1),
+            job: JobId::new(7),
+            user: UserId::new(2),
+            gang: 4,
+            service_secs: 3600.0,
+        };
+        assert_eq!(ev.kind(), "job_arrive");
+        assert_eq!(ev.time(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn json_lines_have_kind_first_and_integer_times() {
+        let ev = TraceEvent::Migration {
+            t: SimTime::from_secs(60),
+            job: JobId::new(3),
+            from: ServerId::new(0),
+            to: ServerId::new(5),
+            outage_secs: 42.5,
+        };
+        let line = ev.to_json_line();
+        assert!(line.starts_with("{\"kind\":\"migration\",\"t_us\":60000000,"));
+        assert!(line.contains("\"outage_secs\":42.5"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn round_planned_renders_user_list() {
+        let ev = TraceEvent::RoundPlanned {
+            t: SimTime::ZERO,
+            round: 9,
+            scheduled: 2,
+            gpus_used: 6,
+            gpus_up: 8,
+            pending: 1,
+            tickets_total: 8.0,
+            users: vec![
+                UserShare {
+                    user: UserId::new(0),
+                    tickets: 5.0,
+                    pass: 1.25,
+                },
+                UserShare {
+                    user: UserId::new(1),
+                    tickets: 3.0,
+                    pass: 2.5,
+                },
+            ],
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"users\":[{\"user\":0,\"tickets\":5.0,\"pass\":1.25},"));
+        assert!(line.contains("{\"user\":1,\"tickets\":3.0,\"pass\":2.5}]"));
+    }
+
+    #[test]
+    fn model_names_are_escaped() {
+        let ev = TraceEvent::ProfileInferred {
+            t: SimTime::ZERO,
+            model: "we\"ird\\name".to_string(),
+            gen: GenId::new(1),
+            rate: 2.0,
+            samples: 3,
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"model\":\"we\\\"ird\\\\name\""));
+    }
+
+    #[test]
+    fn floats_keep_json_float_shape() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(-3.0), "-3.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,293 @@
+//! The metrics registry: counters, gauges, and histograms.
+//!
+//! All metric updates are driven by the trace-event stream (see
+//! [`crate::Obs::emit`]), so the registry and a trace of the same run can
+//! never disagree. Everything here is a function of simulated events only —
+//! no wall clocks — which keeps [`ObsSummary`] deterministic and safe to
+//! embed in `SimReport` (runs with equal seeds still compare equal).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A monotonically increasing event count.
+pub type Counter = u64;
+
+/// Deterministic quantile sketch: a decimating reservoir that keeps at most
+/// `MAX_SAMPLES` values by dropping every other retained sample (and
+/// doubling its keep-stride) when full. No randomness, so same input
+/// sequence ⇒ same summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    stride: u64,
+    seen: u64,
+    max: f64,
+    sum: f64,
+}
+
+const MAX_SAMPLES: usize = 4096;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            stride: 1,
+            seen: 0,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == MAX_SAMPLES {
+                // Decimate: keep every other sample, double the stride.
+                let kept: Vec<f64> = self.samples.iter().copied().step_by(2).collect();
+                self.samples = kept;
+                self.stride *= 2;
+            }
+            if self.seen.is_multiple_of(self.stride) {
+                self.samples.push(value);
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Total observations recorded (not just retained).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// The `q`-quantile (0.0–1.0) over the retained sample, or None when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Largest observation, or None when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Mean of all observations, or None when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.sum / self.seen as f64)
+        }
+    }
+}
+
+/// Serializable summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Counters, gauges, and histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Increments a counter by `by`.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Adds `delta` to a gauge (creating it at 0.0).
+    pub fn add_gauge(&mut self, name: &'static str, delta: f64) {
+        *self.gauges.entry(name).or_insert(0.0) += delta;
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Snapshot of every metric.
+    pub fn snapshot(
+        &self,
+    ) -> (
+        BTreeMap<String, u64>,
+        BTreeMap<String, f64>,
+        Vec<HistogramSummary>,
+    ) {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(&k, h)| HistogramSummary {
+                name: k.to_string(),
+                count: h.count(),
+                mean: h.mean().unwrap_or(0.0),
+                p50: h.quantile(0.5).unwrap_or(0.0),
+                p99: h.quantile(0.99).unwrap_or(0.0),
+                max: h.max().unwrap_or(0.0),
+            })
+            .collect();
+        (counters, gauges, histograms)
+    }
+}
+
+/// Deterministic observability snapshot embedded in `SimReport`.
+///
+/// Contains only quantities derived from simulated events; wall-clock span
+/// timings live in [`crate::PhaseStats`] and are reported separately (they
+/// would break report determinism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSummary {
+    /// Total trace events emitted.
+    pub events: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries, by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Fatal invariant violations detected by the auditor (0 on any healthy
+    /// run — a violation aborts the simulation).
+    pub violations: u64,
+    /// Warn-level audit findings (e.g. idle GPUs with runnable jobs under a
+    /// deliberately non-work-conserving gang policy).
+    pub warnings: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut m = MetricsRegistry::default();
+        m.inc("rounds", 1);
+        m.inc("rounds", 2);
+        m.set_gauge("queue_depth", 4.0);
+        m.add_gauge("trade_gpu_volume", 1.5);
+        m.add_gauge("trade_gpu_volume", 2.5);
+        assert_eq!(m.counter("rounds"), 3);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.gauge("queue_depth"), Some(4.0));
+        assert_eq!(m.gauge("trade_gpu_volume"), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_track_data() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((45.0..=55.0).contains(&p50), "p50 {p50}");
+        assert_eq!(h.max(), Some(100.0));
+        assert!((h.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_decimates_but_keeps_count_and_max() {
+        let mut h = Histogram::default();
+        let n = 3 * MAX_SAMPLES as u64;
+        for i in 0..n {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), n);
+        assert_eq!(h.max(), Some((n - 1) as f64));
+        assert!(h.samples.len() <= MAX_SAMPLES);
+        // Quantiles remain sane after decimation.
+        let p50 = h.quantile(0.5).unwrap();
+        let mid = n as f64 / 2.0;
+        assert!((p50 - mid).abs() / mid < 0.1, "p50 {p50} vs mid {mid}");
+    }
+
+    #[test]
+    fn histogram_is_deterministic() {
+        let run = || {
+            let mut h = Histogram::default();
+            for i in 0..10_000u64 {
+                h.observe((i % 97) as f64);
+            }
+            (h.quantile(0.5), h.quantile(0.99), h.count())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_skips_empty_histograms() {
+        let mut m = MetricsRegistry::default();
+        m.observe("used", 1.0);
+        let (_, _, hists) = m.snapshot();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].name, "used");
+        assert_eq!(hists[0].count, 1);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Self-profiling spans for the scheduler's hot phases.
+//!
+//! Wall-clock timings of the four expensive phases — round planning, gang
+//! packing, trade matching, migration search — aggregated into p50/p99
+//! summaries. Timings are *never* written into trace events or `SimReport`
+//! (they vary run to run and would break determinism guarantees); they are
+//! surfaced through [`PhaseStats`] for `--obs-summary` and the benchmark
+//! trajectories.
+
+use crate::metrics::Histogram;
+use std::time::Duration;
+
+/// The instrumented scheduler phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The engine's whole `plan_round` call into the scheduler.
+    RoundPlanning,
+    /// Per-server gang-aware stride selection (inside Gandiva_fair).
+    GangPacking,
+    /// The entitlement trading market.
+    TradeMatching,
+    /// Migration planning (profiling / realization / spreading passes).
+    MigrationSearch,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 4] = [
+    Phase::RoundPlanning,
+    Phase::GangPacking,
+    Phase::TradeMatching,
+    Phase::MigrationSearch,
+];
+
+impl Phase {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::RoundPlanning => "round_planning",
+            Phase::GangPacking => "gang_packing",
+            Phase::TradeMatching => "trade_matching",
+            Phase::MigrationSearch => "migration_search",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::RoundPlanning => 0,
+            Phase::GangPacking => 1,
+            Phase::TradeMatching => 2,
+            Phase::MigrationSearch => 3,
+        }
+    }
+}
+
+/// Wall-clock summary of one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// The phase.
+    pub phase: Phase,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total wall-clock time in milliseconds.
+    pub total_ms: f64,
+    /// Median span in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile span in microseconds.
+    pub p99_us: f64,
+    /// Longest span in microseconds.
+    pub max_us: f64,
+}
+
+/// Per-phase span aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStats {
+    phases: [Histogram; 4],
+}
+
+impl SpanStats {
+    /// Records one span of `phase`.
+    pub fn observe(&mut self, phase: Phase, dur: Duration) {
+        self.phases[phase.index()].observe(dur.as_secs_f64() * 1e6);
+    }
+
+    /// Summaries for every phase with at least one span, in display order.
+    pub fn stats(&self) -> Vec<PhaseStats> {
+        PHASES
+            .iter()
+            .filter_map(|&phase| {
+                let h = &self.phases[phase.index()];
+                if h.count() == 0 {
+                    return None;
+                }
+                Some(PhaseStats {
+                    phase,
+                    count: h.count(),
+                    total_ms: h.mean().unwrap_or(0.0) * h.count() as f64 / 1e3,
+                    p50_us: h.quantile(0.5).unwrap_or(0.0),
+                    p99_us: h.quantile(0.99).unwrap_or(0.0),
+                    max_us: h.max().unwrap_or(0.0),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_per_phase() {
+        let mut s = SpanStats::default();
+        for us in [100u64, 200, 300] {
+            s.observe(Phase::RoundPlanning, Duration::from_micros(us));
+        }
+        s.observe(Phase::TradeMatching, Duration::from_micros(50));
+        let stats = s.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].phase, Phase::RoundPlanning);
+        assert_eq!(stats[0].count, 3);
+        assert!((stats[0].p50_us - 200.0).abs() < 1.0);
+        assert!((stats[0].max_us - 300.0).abs() < 1.0);
+        assert_eq!(stats[1].phase, Phase::TradeMatching);
+        assert_eq!(stats[1].count, 1);
+    }
+
+    #[test]
+    fn silent_phases_are_omitted() {
+        let s = SpanStats::default();
+        assert!(s.stats().is_empty());
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = PHASES.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "round_planning",
+                "gang_packing",
+                "trade_matching",
+                "migration_search"
+            ]
+        );
+    }
+}

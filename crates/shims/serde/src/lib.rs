@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serde replacement sufficient for this project: a JSON-shaped
+//! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits defined over it,
+//! and `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! sibling `serde_derive` shim). `serde_json` (also vendored) renders and
+//! parses the tree.
+//!
+//! ## Data model
+//!
+//! * structs with named fields -> JSON objects (declaration order)
+//! * one-field tuple structs (newtypes) -> their inner value
+//! * multi-field tuple structs and tuples -> JSON arrays
+//! * unit enum variants -> the variant name as a string
+//! * maps -> JSON objects with stringified keys (numeric keys round-trip)
+//! * `Option` -> value or `null`; absent struct fields deserialize to `None`
+//!
+//! The `#[serde(with = "module")]` field attribute is supported; the named
+//! module must provide `to_value(&T) -> Value` and
+//! `from_value(&Value) -> Result<T, DeError>`.
+
+mod de;
+mod ser;
+mod value;
+
+pub use de::{field, DeError, Deserialize};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

@@ -1,0 +1,115 @@
+//! The JSON-shaped value tree all (de)serialization flows through.
+
+/// A dynamically-typed JSON value.
+///
+/// Objects preserve insertion order so serialized output is deterministic
+/// and matches struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative numbers and anything fitting `i64`).
+    Int(i64),
+    /// Unsigned integer (used for values above `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers convert losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (linear scan; objects are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// One-word description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders and parses JSON against the vendored serde shim's [`Value`]
+//! tree. Numbers round-trip exactly: integers are emitted verbatim and
+//! floats use Rust's shortest round-trippable `Display` form.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+pub use serde::Value as JsonValue;
+
+/// Errors from serialization or deserialization.
+pub type Error = DeError;
+
+/// A `Result` alias matching upstream's shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float (JSON has no
+/// representation for NaN or infinities).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+/// Escapes and writes a JSON string literal.
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(DeError::msg("cannot serialize non-finite float as JSON"));
+            }
+            // Rust's Display for f64 is the shortest string that parses
+            // back to the same value; integral floats gain a `.0` so the
+            // number re-parses as a float.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_value(item, out, indent, depth + 1)?;
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1)?;
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem encountered.
+pub fn parse(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(DeError::msg(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(DeError::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(DeError::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(DeError::msg("lone leading surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(DeError::msg("invalid trailing surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::msg("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| DeError::msg("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 consumed pos already
+                        }
+                        other => {
+                            return Err(DeError::msg(format!(
+                                "invalid escape {:?}",
+                                other.map(|b| b as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| DeError::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(DeError::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| DeError::msg("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| DeError::msg("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::msg("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| DeError::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&u64::MAX).unwrap(), "18446744073709551615");
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        let s: String = from_str("\"hey \\u00e9\\n\"").unwrap();
+        assert_eq!(s, "hey \u{e9}\n");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 6.02e23, -0.0, 12.5, 3.0] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {json}");
+        }
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        let back: f64 = from_str("3.0").unwrap();
+        assert_eq!(back, 3.0);
+    }
+
+    #[test]
+    fn maps_round_trip_with_numeric_keys() {
+        let mut m: BTreeMap<u32, f64> = BTreeMap::new();
+        m.insert(3, 1.5);
+        m.insert(1, 2.5);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"1\":2.5,\"3\":1.5}");
+        let back: BTreeMap<u32, f64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v: Vec<(u32, String, Option<f64>)> =
+            vec![(1, "a".into(), Some(0.5)), (2, "b\"quoted\"".into(), None)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(u32, String, Option<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let mut m: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        m.insert("xs".into(), vec![1, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains("\n  \"xs\": [\n    1,\n    2\n  ]"));
+        let back: BTreeMap<String, Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

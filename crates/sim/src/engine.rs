@@ -28,6 +28,7 @@ use crate::job::{JobRecord, JobRt};
 use crate::report::{SimReport, WindowSample};
 use crate::sched::{Action, ClusterScheduler, ProfileReport, RoundPlan};
 use crate::view::SimView;
+use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, Violation, ViolationKind};
 use gfair_types::{
     ClusterSpec, GfairError, JobId, JobSpec, JobState, Result, ServerId, SimConfig, SimDuration,
     SimTime, UserSpec,
@@ -35,6 +36,7 @@ use gfair_types::{
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Safety limit on scheduling rounds; prevents schedulers that never place
 /// jobs from spinning forever in [`Simulation::run`].
@@ -71,6 +73,9 @@ pub struct Simulation {
     /// pays the suspend/resume overhead before making progress.
     warm: BTreeSet<JobId>,
     round_limit: u64,
+    /// Observability pipeline: every lifecycle and scheduling decision is
+    /// emitted through it, and its online auditor can abort the run.
+    obs: SharedObs,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -168,7 +173,21 @@ impl Simulation {
             server_gpu_secs: BTreeMap::new(),
             warm: BTreeSet::new(),
             round_limit: MAX_ROUNDS,
+            obs: Arc::new(Obs::new()),
         })
+    }
+
+    /// Attaches a shared observability pipeline (trace sinks, metrics, the
+    /// invariant auditor). A fresh pipeline with no sinks is used when this
+    /// is never called; the auditor is always active either way.
+    pub fn with_obs(mut self, obs: SharedObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability pipeline this simulation emits into.
+    pub fn obs(&self) -> SharedObs {
+        Arc::clone(&self.obs)
     }
 
     /// Overrides the round safety limit (mostly for tests; the default is
@@ -260,6 +279,16 @@ impl Simulation {
         scheduler: &mut dyn ClusterScheduler,
         horizon: Option<SimTime>,
     ) -> Result<SimReport> {
+        // Announce every server up front so a trace is self-describing: the
+        // auditor (and any consumer) learns capacities from the stream alone.
+        for srv in &self.cluster.servers {
+            self.obs.emit(TraceEvent::ServerUp {
+                t: SimTime::ZERO,
+                server: srv.id,
+                gen: srv.gen,
+                gpus: srv.num_gpus,
+            });
+        }
         while let Some(ev) = self.queue.pop() {
             if let Some(h) = horizon {
                 if ev.time > h {
@@ -308,13 +337,23 @@ impl Simulation {
     }
 
     fn on_arrival(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
+        {
+            let j = &self.jobs[&job];
+            self.obs.emit(TraceEvent::JobArrive {
+                t: self.now,
+                job,
+                user: j.spec.user,
+                gang: j.spec.gang,
+                service_secs: j.spec.service_secs,
+            });
+        }
         let actions = scheduler.on_job_arrival(&self.view(), job);
         self.pending_actions.extend(actions);
         self.arm_round(self.now);
     }
 
     fn on_finish(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
-        {
+        let user = {
             let j = self.jobs.get_mut(&job).expect("finish for known job");
             debug_assert!(j.finishing, "finish event without finishing flag");
             j.info.state = JobState::Finished;
@@ -325,7 +364,13 @@ impl Simulation {
                 }
             }
             j.info.server = None;
-        }
+            j.info.user
+        };
+        self.obs.emit(TraceEvent::JobFinish {
+            t: self.now,
+            job,
+            user,
+        });
         let actions = scheduler.on_job_finish(&self.view(), job);
         self.pending_actions.extend(actions);
     }
@@ -340,7 +385,7 @@ impl Simulation {
                 // job is stranded and must be re-placed.
                 j.info.state = JobState::Pending;
                 j.info.server = None;
-                false
+                None
             } else {
                 j.info.state = JobState::Resident;
                 j.info.last_migration = Some(self.now);
@@ -348,10 +393,16 @@ impl Simulation {
                     .get_mut(&dst)
                     .expect("destination exists")
                     .insert(job);
-                true
+                Some((dst, j.info.gang))
             }
         };
-        let actions = if landed {
+        let actions = if let Some((server, gang)) = landed {
+            self.obs.emit(TraceEvent::Placement {
+                t: self.now,
+                job,
+                server,
+                gang,
+            });
             scheduler.on_migration_done(&self.view(), job)
         } else {
             scheduler.on_job_evicted(&self.view(), job)
@@ -378,6 +429,11 @@ impl Simulation {
             // service before the failure instant) stay pending and simply
             // finish when the event fires; they are not re-dispatched.
         }
+        self.obs.emit(TraceEvent::ServerDown {
+            t: self.now,
+            server,
+            evicted: evicted.len() as u32,
+        });
         for &job in &evicted {
             if self.jobs[&job].finishing {
                 continue;
@@ -394,6 +450,13 @@ impl Simulation {
         if !self.down.remove(&server) {
             return; // was not down
         }
+        let srv = self.cluster.server(server);
+        self.obs.emit(TraceEvent::ServerUp {
+            t: self.now,
+            server,
+            gen: srv.gen,
+            gpus: srv.num_gpus,
+        });
         let actions = scheduler.on_server_up(&self.view(), server);
         self.pending_actions.extend(actions);
     }
@@ -419,6 +482,7 @@ impl Simulation {
                         // Raced with a failure; the job stays pending and
                         // the scheduler's retry path re-places it.
                         self.stale_migrations += 1;
+                        self.obs.inc("stale_migrations", 1);
                         return Ok(());
                     }
                     return Err(GfairError::ServerDown(server));
@@ -439,10 +503,17 @@ impl Simulation {
                 }
                 j.info.state = JobState::Resident;
                 j.info.server = Some(server);
+                let gang = j.info.gang;
                 self.residents
                     .get_mut(&server)
                     .expect("server exists")
                     .insert(job);
+                self.obs.emit(TraceEvent::Placement {
+                    t: self.now,
+                    job,
+                    server,
+                    gang,
+                });
                 Ok(())
             }
             Action::Migrate { job, to } => {
@@ -454,6 +525,7 @@ impl Simulation {
                 if self.down.contains(&to) {
                     if queued {
                         self.stale_migrations += 1;
+                        self.obs.inc("stale_migrations", 1);
                         return Ok(());
                     }
                     return Err(GfairError::ServerDown(to));
@@ -464,6 +536,7 @@ impl Simulation {
                     // Stale: the job finished or started moving since the
                     // decision was made. Skip quietly but keep count.
                     self.stale_migrations += 1;
+                    self.obs.inc("stale_migrations", 1);
                     return Ok(());
                 }
                 if j.info.gang > gpus {
@@ -489,6 +562,13 @@ impl Simulation {
                 j.migrations += 1;
                 self.migrations += 1;
                 self.migration_outage += cost;
+                self.obs.emit(TraceEvent::Migration {
+                    t: self.now,
+                    job,
+                    from: src,
+                    to,
+                    outage_secs: cost.as_secs_f64(),
+                });
                 self.queue
                     .push(self.now + cost, EventKind::MigrationDone(job));
                 Ok(())
@@ -508,6 +588,7 @@ impl Simulation {
         let reports = std::mem::take(&mut self.pending_reports);
         for report in reports {
             self.profile_reports += 1;
+            self.obs.inc("profile_reports", 1);
             let actions = scheduler.on_profile_report(&self.view(), &report);
             self.pending_actions.extend(actions);
         }
@@ -518,14 +599,20 @@ impl Simulation {
             self.apply_action(action, true)?;
         }
 
-        // 3. Ask the policy for this quantum's plan.
-        let plan: RoundPlan = scheduler.plan_round(&self.view());
+        // 3. Ask the policy for this quantum's plan (self-profiled: the
+        // whole call is one round-planning span).
+        let obs = Arc::clone(&self.obs);
+        let plan: RoundPlan = obs.time(Phase::RoundPlanning, || scheduler.plan_round(&self.view()));
         for action in &plan.actions {
             self.apply_action(*action, false)?;
         }
 
-        // 4. Validate and execute the run sets.
+        // 4. Validate and execute the run sets. Each grant is emitted as a
+        // GangPacked event so the auditor independently re-checks the same
+        // invariants the inline validation enforces.
         let mut seen: BTreeSet<JobId> = BTreeSet::new();
+        let mut scheduled = 0u32;
+        let mut gpus_used = 0u32;
         for (&server, run) in &plan.run {
             let srv = self
                 .cluster
@@ -545,6 +632,17 @@ impl Simulation {
                     return Err(GfairError::JobNotResident { job, server });
                 }
                 requested += j.info.gang;
+                let (user, gang) = (j.info.user, j.info.gang);
+                self.obs.emit(TraceEvent::GangPacked {
+                    t: self.now,
+                    round: self.rounds,
+                    server,
+                    job,
+                    user,
+                    width: gang,
+                    gang,
+                });
+                scheduled += 1;
             }
             if requested > srv.num_gpus {
                 return Err(GfairError::ServerOvercommitted {
@@ -553,6 +651,37 @@ impl Simulation {
                     gpus: srv.num_gpus,
                 });
             }
+            gpus_used += requested;
+        }
+
+        // Round summary: who got what, the queue depth, and the per-user
+        // ticket/pass state backing the decision. The auditor checks ticket
+        // conservation against the cluster's physical supply.
+        let gpus_up: u32 = self
+            .cluster
+            .servers
+            .iter()
+            .filter(|s| !self.down.contains(&s.id))
+            .map(|s| s.num_gpus)
+            .sum();
+        let pending = self
+            .jobs
+            .values()
+            .filter(|j| j.info.state == JobState::Pending && !j.finishing)
+            .count() as u32;
+        let users = scheduler.user_shares(&self.view());
+        self.obs.emit(TraceEvent::RoundPlanned {
+            t: self.now,
+            round: self.rounds,
+            scheduled,
+            gpus_used,
+            gpus_up,
+            pending,
+            tickets_total: self.cluster.total_gpus() as f64,
+            users,
+        });
+        if let Some(v) = self.obs.take_fatal() {
+            return Err(violation_to_error(v));
         }
 
         // 5. Accrue progress for this quantum.
@@ -704,7 +833,7 @@ impl Simulation {
                 )
             })
             .collect();
-        SimReport {
+        let report = SimReport {
             scheduler: scheduler.to_string(),
             end: self.now,
             rounds: self.rounds,
@@ -720,6 +849,34 @@ impl Simulation {
             gpu_secs_capacity: self.now.as_secs_f64() * self.cluster.total_gpus() as f64,
             profile_reports: self.profile_reports,
             stale_migrations: self.stale_migrations,
+            obs: Some(self.obs.summary()),
+        };
+        self.obs.flush();
+        report
+    }
+}
+
+/// Maps an auditor violation onto the workspace error type. Violations that
+/// mirror an inline engine check reuse its variant; novel checks (partial
+/// gangs, ticket conservation) surface as [`GfairError::InvariantViolation`]
+/// carrying the auditor's full report, offending-round trace included.
+fn violation_to_error(v: Violation) -> GfairError {
+    match v.kind {
+        ViolationKind::Overcommit {
+            server,
+            requested,
+            gpus,
+        } => GfairError::ServerOvercommitted {
+            server,
+            requested,
+            gpus,
+        },
+        ViolationKind::NotResident { job, server } => GfairError::JobNotResident { job, server },
+        ViolationKind::DuplicateJob { job } => GfairError::DuplicateJobInPlan(job),
+        ViolationKind::UnknownJob { job } => GfairError::UnknownJob(job),
+        ViolationKind::PackedOnDownServer { server } => GfairError::ServerDown(server),
+        ViolationKind::PartialGang { .. } | ViolationKind::TicketConservation { .. } => {
+            GfairError::InvariantViolation(v.to_string())
         }
     }
 }

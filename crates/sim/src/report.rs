@@ -6,6 +6,7 @@
 //! the currency in which heterogeneity-aware fairness is judged.
 
 use crate::job::JobRecord;
+use gfair_obs::ObsSummary;
 use gfair_types::{GenId, JobId, SimDuration, SimTime, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -74,6 +75,10 @@ pub struct SimReport {
     /// Migrations that were skipped because the job had finished or moved
     /// by the time the decision was applied.
     pub stale_migrations: u32,
+    /// Deterministic observability snapshot (event counts, counters,
+    /// gauges, histograms, auditor findings). `None` only for reports
+    /// deserialized from runs predating the observability layer.
+    pub obs: Option<ObsSummary>,
 }
 
 impl SimReport {
@@ -122,22 +127,17 @@ impl SimReport {
 /// be strings, so the map round-trips through a sequence of triples.
 mod tuple_key_map {
     use gfair_types::{GenId, UserId};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{DeError, Deserialize, Serialize, Value};
     use std::collections::BTreeMap;
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(UserId, GenId), f64>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn to_value(map: &BTreeMap<(UserId, GenId), f64>) -> Value {
         let entries: Vec<(UserId, GenId, f64)> =
             map.iter().map(|(&(u, g), &v)| (u, g, v)).collect();
-        entries.serialize(ser)
+        entries.to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(UserId, GenId), f64>, D::Error> {
-        let entries = Vec::<(UserId, GenId, f64)>::deserialize(de)?;
+    pub fn from_value(v: &Value) -> Result<BTreeMap<(UserId, GenId), f64>, DeError> {
+        let entries = Vec::<(UserId, GenId, f64)>::from_value(v)?;
         Ok(entries.into_iter().map(|(u, g, v)| ((u, g), v)).collect())
     }
 }
@@ -163,6 +163,7 @@ mod tests {
             gpu_secs_capacity: 0.0,
             profile_reports: 0,
             stale_migrations: 0,
+            obs: None,
         }
     }
 

@@ -129,6 +129,14 @@ pub trait ClusterScheduler {
 
     /// Called once per quantum: decide which resident jobs run this round.
     fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan;
+
+    /// Per-user tickets and stride passes backing the plan just produced,
+    /// reported for tracing and audit (the auditor checks that tickets sum
+    /// to the cluster's GPU supply). Policies without a per-user ticket
+    /// economy return an empty list, which disables the check.
+    fn user_shares(&self, _view: &SimView<'_>) -> Vec<gfair_obs::UserShare> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

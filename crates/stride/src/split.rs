@@ -182,6 +182,23 @@ impl<U: Copy + Ord, J: Copy + Ord> SplitStride<U, J> {
         self.inner.tickets_of(j)
     }
 
+    /// Stride pass of job `j`, if registered.
+    pub fn job_pass(&self, j: J) -> Option<f64> {
+        self.inner.pass_of(j)
+    }
+
+    /// The user's effective stride pass on this server: the minimum pass
+    /// among their registered jobs (lower pass runs sooner). `None` for
+    /// unknown users or users with no jobs here.
+    pub fn user_pass(&self, u: U) -> Option<f64> {
+        self.users
+            .get(&u)?
+            .jobs
+            .iter()
+            .filter_map(|&j| self.inner.pass_of(j))
+            .min_by(f64::total_cmp)
+    }
+
     /// Plans one quantum (see [`GangScheduler::plan_round`]).
     pub fn plan_round(&mut self) -> RoundOutcome<J> {
         self.inner.plan_round()
@@ -236,6 +253,33 @@ mod tests {
             }
         }
         acc
+    }
+
+    #[test]
+    fn user_pass_is_the_min_over_the_users_jobs() {
+        let mut s = SplitStride::new(4, GangPolicy::GangAware);
+        s.set_user_weight(0, 100.0);
+        s.add_job(0, 1, 1);
+        s.add_job(0, 2, 1);
+        assert_eq!(s.user_pass(9), None, "unknown user has no pass");
+        let u = s.user_pass(0).expect("registered user");
+        let min_job = [1, 2]
+            .iter()
+            .filter_map(|&j| s.job_pass(j))
+            .min_by(f64::total_cmp)
+            .unwrap();
+        assert_eq!(u, min_job);
+        // After some rounds the invariant still holds.
+        for _ in 0..5 {
+            s.plan_round();
+        }
+        let u = s.user_pass(0).expect("registered user");
+        let min_job = [1, 2]
+            .iter()
+            .filter_map(|&j| s.job_pass(j))
+            .min_by(f64::total_cmp)
+            .unwrap();
+        assert_eq!(u, min_job);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub enum GfairError {
     RoundLimitExceeded(u64),
     /// A decision targeted a server that is currently failed.
     ServerDown(ServerId),
+    /// The online auditor detected a scheduler invariant violation that has
+    /// no dedicated variant (e.g. a partial gang or non-conserved tickets).
+    /// The payload carries the auditor's report, including the offending
+    /// round's trace.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for GfairError {
@@ -92,6 +97,9 @@ impl fmt::Display for GfairError {
                 write!(f, "simulation exceeded the round safety limit of {n}")
             }
             GfairError::ServerDown(s) => write!(f, "server {s} is down"),
+            GfairError::InvariantViolation(report) => {
+                write!(f, "scheduler invariant violated: {report}")
+            }
         }
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: formatting, lints, release build,
+# and the whole test suite. CI (.github/workflows/ci.yml) runs exactly this.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "### cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "### cargo clippy (deny warnings)"
+# field_reassign_with_default is allowed: tests and examples configure
+# PhillyParams by mutating a default, which reads better than struct-update
+# syntax for one or two fields.
+cargo clippy --workspace --all-targets -- -D warnings \
+    -A clippy::field_reassign_with_default
+
+echo "### cargo build --release"
+cargo build --release
+
+echo "### cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -20,7 +20,15 @@
 //!   --save-trace <path>      write the generated trace as JSON
 //!   --load-trace <path>      replay a trace saved earlier (overrides generation)
 //!   --json <path>            write the full SimReport as JSON
+//!   --trace <path.jsonl>     stream every scheduler decision as JSONL
+//!   --obs-summary            print per-phase wall-clock p50/p99, counters,
+//!                            and auditor findings after the run
+//!   --fail <s>@<h1>[-<h2>]   fail server s at hour h1 (recover at h2)
 //! ```
+//!
+//! The online invariant auditor is always on: every run re-derives cluster
+//! state from the decision stream and aborts on gang-atomicity, overcommit,
+//! residency, or ticket-conservation violations.
 
 use gfair::metrics::fairness::normalized_shares;
 use gfair::metrics::mean_slowdown;
@@ -28,6 +36,7 @@ use gfair::prelude::*;
 use gfair::sim::ClusterScheduler;
 use gfair::workloads::{load_trace, save_trace};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Minimal argv reader: `value_of("--seed")`.
 struct Args(Vec<String>);
@@ -81,12 +90,43 @@ fn parse_cluster(spec: &str) -> Result<ClusterSpec, String> {
     }
 }
 
+/// Parses `--fail <server>@<down-hours>[-<up-hours>]`, e.g. `0@2-5`.
+fn parse_failure(spec: &str) -> Result<(ServerId, u64, Option<u64>), String> {
+    let (server, when) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("expected --fail <server>@<down-hours>[-<up-hours>], got {spec}"))?;
+    let server: u32 = server
+        .parse()
+        .map_err(|_| format!("bad server id in --fail: {server}"))?;
+    let (down, up) = match when.split_once('-') {
+        Some((d, u)) => (d, Some(u)),
+        None => (when, None),
+    };
+    let down: u64 = down
+        .parse()
+        .map_err(|_| format!("bad failure hour in --fail: {down}"))?;
+    let up = match up {
+        Some(u) => {
+            let u: u64 = u
+                .parse()
+                .map_err(|_| format!("bad recovery hour in --fail: {u}"))?;
+            if u <= down {
+                return Err("--fail: recovery hour must be after failure hour".into());
+            }
+            Some(u)
+        }
+        None => None,
+    };
+    Ok((ServerId::new(server), down, up))
+}
+
 fn make_scheduler(
     name: &str,
     args: &Args,
     cluster: &ClusterSpec,
     users: &[UserSpec],
     seed: u64,
+    obs: &SharedObs,
 ) -> Result<Box<dyn ClusterScheduler>, String> {
     let mut cfg = GfairConfig::default();
     if args.flag("--no-trading") {
@@ -96,7 +136,7 @@ fn make_scheduler(
         cfg = cfg.without_balancing();
     }
     Ok(match name {
-        "gandiva-fair" => Box::new(GandivaFair::new(cfg)),
+        "gandiva-fair" => Box::new(GandivaFair::new(cfg).with_obs(Arc::clone(obs))),
         "gandiva-like" => Box::new(GandivaLike::new()),
         "static" => Box::new(StaticPartition::new(cluster, users)),
         "drf" => Box::new(Drf::new()),
@@ -159,15 +199,38 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         eprintln!("trace written to {path}");
     }
 
+    let obs: SharedObs = Arc::new(Obs::new());
+    if let Some(path) = args.value_of("--trace") {
+        obs.jsonl(path)
+            .map_err(|e| format!("opening trace file {path}: {e}"))?;
+    }
+
     let sched_name = args.value_of("--scheduler").unwrap_or("gandiva-fair");
-    let mut scheduler = make_scheduler(sched_name, args, &cluster, &users, seed)?;
-    let sim = Simulation::new(
+    let mut scheduler = make_scheduler(sched_name, args, &cluster, &users, seed, &obs)?;
+    let failure = match args.value_of("--fail") {
+        Some(spec) => {
+            let parsed = parse_failure(spec)?;
+            if parsed.0.index() >= cluster.servers.len() {
+                return Err(format!("--fail: unknown server {}", parsed.0));
+            }
+            Some(parsed)
+        }
+        None => None,
+    };
+    let mut sim = Simulation::new(
         cluster,
         users.clone(),
         trace,
         SimConfig::default().with_seed(seed),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| e.to_string())?
+    .with_obs(Arc::clone(&obs));
+    if let Some((server, down_hours, up_hours)) = failure {
+        sim = sim.with_server_failure(server, SimTime::from_secs(down_hours * 3600));
+        if let Some(up) = up_hours {
+            sim = sim.with_server_recovery(server, SimTime::from_secs(up * 3600));
+        }
+    }
     let report = match args.value_of("--horizon-hours") {
         Some(h) => {
             let hours: u64 = h.parse().map_err(|_| "bad --horizon-hours")?;
@@ -217,12 +280,63 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
     println!("{}", t.render());
 
+    if args.flag("--obs-summary") {
+        print_obs_summary(&obs);
+    }
+    if let Some(path) = args.value_of("--trace") {
+        eprintln!("decision trace written to {path}");
+    }
+
     if let Some(path) = args.value_of("--json") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("report written to {path}");
     }
     Ok(())
+}
+
+fn print_obs_summary(obs: &SharedObs) {
+    let stats = obs.phase_stats();
+    println!("observability");
+    println!("-------------");
+    if stats.is_empty() {
+        println!("no instrumented phases ran (baseline schedulers time round planning only)");
+    }
+    if !stats.is_empty() {
+        let mut t = Table::new(vec![
+            "phase", "spans", "total ms", "p50 us", "p99 us", "max us",
+        ]);
+        for s in &stats {
+            t.row(vec![
+                s.phase.name().to_string(),
+                s.count.to_string(),
+                format!("{:.2}", s.total_ms),
+                format!("{:.1}", s.p50_us),
+                format!("{:.1}", s.p99_us),
+                format!("{:.1}", s.max_us),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    let summary = obs.summary();
+    let mut t = Table::new(vec!["counter", "value"]);
+    for (name, value) in &summary.counters {
+        t.row(vec![name.clone(), value.to_string()]);
+    }
+    println!("{}", t.render());
+
+    if summary.violations == 0 {
+        println!(
+            "auditor: OK ({} events checked, {} warnings)",
+            summary.events, summary.warnings
+        );
+    } else {
+        println!("auditor: {} VIOLATIONS", summary.violations);
+        for v in obs.violations() {
+            println!("{v}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -275,4 +389,12 @@ SIMULATE OPTIONS:
   --save-trace <path>   write the generated trace as JSON
   --load-trace <path>   replay a previously saved trace
   --json <path>         write the full report as JSON
+  --trace <path.jsonl>  stream scheduler decisions as JSONL events
+  --obs-summary         print phase p50/p99 timings, counters, and
+                        auditor findings after the run
+  --fail <s>@<h1>[-<h2>]  fail server s at hour h1 (recover at h2)
+
+The invariant auditor always runs: gang atomicity, GPU overcommit,
+residency, and ticket conservation are checked online and violations
+abort the run with the offending round's trace.
 ";

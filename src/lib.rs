@@ -19,6 +19,8 @@
 //!   partitioning, DRF, FIFO).
 //! * [`workloads`] — the model zoo and Philly-like trace generation.
 //! * [`metrics`] — fairness indices, JCT statistics, report tables.
+//! * [`obs`] — structured decision tracing, metrics, self-profiling, and
+//!   the online invariant auditor.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 pub use gfair_baselines as baselines;
 pub use gfair_core as core;
 pub use gfair_metrics as metrics;
+pub use gfair_obs as obs;
 pub use gfair_sim as sim;
 pub use gfair_stride as stride;
 pub use gfair_types as types;
@@ -51,6 +54,7 @@ pub mod prelude {
     pub use gfair_baselines::{Drf, Fifo, GandivaLike, LotteryGang, StaticPartition};
     pub use gfair_core::{GandivaFair, GfairConfig};
     pub use gfair_metrics::{jain_index, max_min_ratio, JctStats, Table};
+    pub use gfair_obs::{Obs, ObsSummary, SharedObs, TraceEvent};
     pub use gfair_sim::{ClusterScheduler, SimReport, Simulation};
     pub use gfair_types::{
         ClusterSpec, GenCatalog, GenId, JobId, JobSpec, ModelProfile, PriceStrategy, ServerId,
