@@ -1,0 +1,201 @@
+//! End-to-end simulator throughput benchmark: the tracked perf baseline.
+//!
+//! Runs the full Gandiva_fair stack over long Philly-style traces at three
+//! cluster scales (32 / 200 / 1000 GPUs) and reports, per scale:
+//!
+//! * **simulated GPU-hours per wall-clock second** — how much cluster time
+//!   the simulator chews through per real second (the headline number), and
+//! * **rounds per wall-clock second** — scheduler decision throughput.
+//!
+//! Results are written as JSON (default `BENCH_sim.json` in the repo root)
+//! so the perf trajectory is tracked in-tree; `scripts/bench.sh` regenerates
+//! the artifact and CI runs the `--quick` variant as a smoke test.
+//!
+//! Usage: `bench_sim [--quick] [--out PATH] [--seed N]`
+
+use gfair_core::{GandivaFair, GfairConfig};
+use gfair_sim::Simulation;
+use gfair_types::{ClusterSpec, GenCatalog, SimConfig, SimTime, UserSpec};
+use gfair_workloads::{PhillyParams, TraceBuilder};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark configuration (a cluster scale plus its trace shape).
+struct Scale {
+    name: &'static str,
+    cluster: fn() -> ClusterSpec,
+    users: u32,
+    num_jobs: usize,
+    jobs_per_hour: f64,
+    horizon_hours: u64,
+}
+
+/// The full-size ladder. Trace lengths are chosen so the cluster runs at
+/// moderate utilization for many hours: most jobs finish long before the
+/// horizon, which is exactly the regime where any per-round cost that scales
+/// with *all jobs ever submitted* (rather than live jobs) dominates.
+fn scales(quick: bool) -> Vec<Scale> {
+    if quick {
+        vec![
+            Scale {
+                name: "32gpu",
+                cluster: || ClusterSpec::homogeneous(4, 8),
+                users: 8,
+                num_jobs: 300,
+                jobs_per_hour: 100.0,
+                horizon_hours: 5,
+            },
+            Scale {
+                name: "200gpu-long",
+                cluster: ClusterSpec::paper_testbed,
+                users: 16,
+                num_jobs: 1500,
+                jobs_per_hour: 400.0,
+                horizon_hours: 6,
+            },
+            Scale {
+                name: "1000gpu",
+                cluster: cluster_1000,
+                users: 32,
+                num_jobs: 2000,
+                jobs_per_hour: 2000.0,
+                horizon_hours: 3,
+            },
+        ]
+    } else {
+        vec![
+            Scale {
+                name: "32gpu",
+                cluster: || ClusterSpec::homogeneous(4, 8),
+                users: 8,
+                num_jobs: 4000,
+                jobs_per_hour: 64.0,
+                horizon_hours: 66,
+            },
+            Scale {
+                name: "200gpu-long",
+                cluster: ClusterSpec::paper_testbed,
+                users: 16,
+                num_jobs: 20000,
+                jobs_per_hour: 400.0,
+                horizon_hours: 52,
+            },
+            Scale {
+                name: "1000gpu",
+                cluster: cluster_1000,
+                users: 32,
+                num_jobs: 20000,
+                jobs_per_hour: 2000.0,
+                horizon_hours: 12,
+            },
+        ]
+    }
+}
+
+/// A 1000-GPU heterogeneous cluster with the paper's generation mix.
+fn cluster_1000() -> ClusterSpec {
+    ClusterSpec::build(
+        GenCatalog::k80_p100_v100(),
+        &[("K80", 63, 8), ("P100", 31, 8), ("V100", 31, 8)],
+    )
+}
+
+/// Per-scale benchmark result, serialized into `BENCH_sim.json`.
+#[derive(Serialize)]
+struct ScaleResult {
+    name: String,
+    gpus: u32,
+    trace_jobs: usize,
+    horizon_hours: u64,
+    rounds: u64,
+    finished_jobs: usize,
+    wall_secs: f64,
+    sim_gpu_hours: f64,
+    gpu_hours_per_wall_sec: f64,
+    rounds_per_sec: f64,
+}
+
+/// The artifact root.
+#[derive(Serialize)]
+struct BenchReport {
+    schema: String,
+    mode: String,
+    seed: u64,
+    scales: Vec<ScaleResult>,
+}
+
+fn run_scale(s: &Scale, seed: u64) -> ScaleResult {
+    let cluster = (s.cluster)();
+    let gpus = cluster.total_gpus();
+    let users = UserSpec::equal_users(s.users, 100);
+    let mut params = PhillyParams::default();
+    params.num_jobs = s.num_jobs;
+    params.jobs_per_hour = s.jobs_per_hour;
+    params.median_service_mins = 8.0;
+    params.service_clamp_mins = (2.0, 45.0);
+    params.gang_weights = [0.6, 0.2, 0.15, 0.05];
+    let trace = TraceBuilder::new(params, seed).build(&users);
+    let sim = Simulation::new(cluster, users, trace, SimConfig::default().with_seed(seed))
+        .expect("valid benchmark setup");
+    let mut sched = GandivaFair::new(GfairConfig::default());
+    let start = Instant::now();
+    let report = sim
+        .run_until(&mut sched, SimTime::from_secs(s.horizon_hours * 3600))
+        .expect("valid benchmark run");
+    let wall_secs = start.elapsed().as_secs_f64();
+    let sim_gpu_hours = report.gpu_secs_used / 3600.0;
+    ScaleResult {
+        name: s.name.to_string(),
+        gpus,
+        trace_jobs: s.num_jobs,
+        horizon_hours: s.horizon_hours,
+        rounds: report.rounds,
+        finished_jobs: report.finished_jobs(),
+        wall_secs,
+        sim_gpu_hours,
+        gpu_hours_per_wall_sec: sim_gpu_hours / wall_secs,
+        rounds_per_sec: report.rounds as f64 / wall_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("bench_sim: mode={mode} seed={seed} out={out}");
+    let mut results = Vec::new();
+    for s in scales(quick) {
+        eprintln!(
+            "  {} ({} jobs, {}h horizon) ...",
+            s.name, s.num_jobs, s.horizon_hours
+        );
+        let r = run_scale(&s, seed);
+        eprintln!(
+            "    {:.1} sim GPU-hours in {:.2}s wall = {:.1} GPU-h/s, {:.0} rounds/s",
+            r.sim_gpu_hours, r.wall_secs, r.gpu_hours_per_wall_sec, r.rounds_per_sec
+        );
+        results.push(r);
+    }
+    let report = BenchReport {
+        schema: "gfair-bench-sim/v1".to_string(),
+        mode: mode.to_string(),
+        seed,
+        scales: results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out, json + "\n").expect("writable output path");
+    eprintln!("bench_sim: wrote {out}");
+}

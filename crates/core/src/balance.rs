@@ -242,6 +242,19 @@ impl<'a, 'v> Planner<'a, 'v> {
     fn fairness_pass(&mut self, ent: &Entitlements) {
         let gens: Vec<GenId> = self.view.cluster().catalog.ids().collect();
         let users: Vec<gfair_types::UserId> = ent.users().collect();
+        // Per-user demand, computed once for the whole pass: by server, and
+        // totaled by generation. The old code rescanned the user's job list
+        // for every (generation, user) pair.
+        let mut user_server_demand: BTreeMap<(gfair_types::UserId, ServerId), f64> =
+            BTreeMap::new();
+        let mut user_gen_demand: BTreeMap<(gfair_types::UserId, GenId), f64> = BTreeMap::new();
+        for job in self.view.active_jobs() {
+            if let Some(srv) = job.server {
+                let gen = self.view.cluster().server(srv).gen;
+                *user_server_demand.entry((job.user, srv)).or_insert(0.0) += job.gang as f64;
+                *user_gen_demand.entry((job.user, gen)).or_insert(0.0) += job.gang as f64;
+            }
+        }
         for gen in gens {
             if self.budget == 0 {
                 return;
@@ -265,17 +278,9 @@ impl<'a, 'v> Planner<'a, 'v> {
                 if alloc <= 0.0 {
                     continue;
                 }
-                // Per-server demand of this user.
-                let mut demand: BTreeMap<ServerId, f64> = BTreeMap::new();
-                let mut total = 0.0f64;
-                for j in self.view.jobs_of_user(user) {
-                    if let Some(srv) = j.server {
-                        if self.view.cluster().server(srv).gen == gen {
-                            *demand.entry(srv).or_insert(0.0) += j.gang as f64;
-                            total += j.gang as f64;
-                        }
-                    }
-                }
+                // This user's demand on this generation, from the per-pass
+                // precomputed maps.
+                let total = user_gen_demand.get(&(user, gen)).copied().unwrap_or(0.0);
                 if total <= 0.0 {
                     continue;
                 }
@@ -287,7 +292,7 @@ impl<'a, 'v> Planner<'a, 'v> {
                 let mut under: Option<(ServerId, f64)> = None;
                 for &(srv, gpus) in &servers {
                     let target = spreadable * gpus as f64 / gen_gpus as f64;
-                    let have = demand.get(&srv).copied().unwrap_or(0.0);
+                    let have = user_server_demand.get(&(user, srv)).copied().unwrap_or(0.0);
                     let excess = have - target;
                     if excess > 0.5 && over.map(|(_, e)| excess > e).unwrap_or(true) {
                         over = Some((srv, excess));

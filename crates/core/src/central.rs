@@ -265,6 +265,21 @@ impl GandivaFair {
     }
 }
 
+/// Resolves the configured planning-worker count against the machine and
+/// the number of servers: `0` means auto-size from available parallelism,
+/// and the pool never exceeds the server count (an idle worker is pure
+/// spawn overhead).
+fn planning_workers(configured: usize, servers: usize) -> usize {
+    let requested = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    requested.min(servers).max(1)
+}
+
 impl ClusterScheduler for GandivaFair {
     fn name(&self) -> &'static str {
         self.name
@@ -357,12 +372,55 @@ impl ClusterScheduler for GandivaFair {
             run: BTreeMap::new(),
             actions,
         };
+        let workers = planning_workers(self.cfg.planning_workers, self.locals.len());
+        let locals = &mut self.locals;
         let obs = Arc::clone(&self.obs);
         obs.time(Phase::GangPacking, || {
-            for (&server, local) in &mut self.locals {
-                let gen = view.cluster().server(server).gen;
-                local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
-                let selected = local.plan();
+            if workers <= 1 {
+                for (&server, local) in locals.iter_mut() {
+                    let gen = view.cluster().server(server).gen;
+                    local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
+                    let selected = local.plan();
+                    if !selected.is_empty() {
+                        plan.run.insert(server, selected);
+                    }
+                }
+                return;
+            }
+            // Parallel fan-out. Each server's local scheduler is an
+            // independent piece of state and the weight function is pure, so
+            // per-server planning commutes; workers take contiguous chunks
+            // of the id-ordered server list and the merge below re-inserts
+            // in that same order — the resulting plan is byte-identical to
+            // the sequential path no matter the worker count.
+            let cluster = view.cluster();
+            let departing = &departing;
+            let mut work: Vec<(ServerId, &mut LocalScheduler)> =
+                locals.iter_mut().map(|(&s, l)| (s, l)).collect();
+            let chunk = work.len().div_ceil(workers);
+            let results: Vec<Vec<(ServerId, Vec<JobId>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .chunks_mut(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter_mut()
+                                .map(|(server, local)| {
+                                    let gen = cluster.server(*server).gen;
+                                    local
+                                        .sync(view, departing, |u| ent.get(u, gen).max(min_weight));
+                                    (*server, local.plan())
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("planning worker panicked"))
+                    .collect()
+            });
+            for (server, selected) in results.into_iter().flatten() {
                 if !selected.is_empty() {
                     plan.run.insert(server, selected);
                 }

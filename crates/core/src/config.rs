@@ -33,6 +33,13 @@ pub struct GfairConfig {
     /// Minimum profile samples per (model, generation) before the estimate
     /// is considered trustworthy for trading.
     pub min_profile_samples: u64,
+    /// Worker threads for per-server round planning: `0` sizes the pool from
+    /// the machine's available parallelism, `1` forces the sequential path,
+    /// higher values pin the fan-out width. Per-server planning is
+    /// independent and results are merged in server-id order, so every
+    /// setting produces byte-identical plans (asserted by the determinism
+    /// tests).
+    pub planning_workers: usize,
 }
 
 impl Default for GfairConfig {
@@ -46,6 +53,7 @@ impl Default for GfairConfig {
             trade_margin: 0.2,
             min_weight: 1e-3,
             min_profile_samples: 2,
+            planning_workers: 0,
         }
     }
 }
@@ -67,6 +75,13 @@ impl GfairConfig {
     /// Overrides the gang policy (builder-style, used by ablations).
     pub fn with_gang_policy(mut self, policy: GangPolicy) -> Self {
         self.gang_policy = policy;
+        self
+    }
+
+    /// Overrides the planning worker count (builder-style): `0` = auto,
+    /// `1` = sequential, `n > 1` = fan out across up to `n` threads.
+    pub fn with_planning_workers(mut self, workers: usize) -> Self {
+        self.planning_workers = workers;
         self
     }
 }
@@ -92,5 +107,7 @@ mod tests {
         assert!(!c.profiling_migrations);
         let c = GfairConfig::default().with_gang_policy(GangPolicy::StrictNoBackfill);
         assert_eq!(c.gang_policy, GangPolicy::StrictNoBackfill);
+        let c = GfairConfig::default().with_planning_workers(4);
+        assert_eq!(c.planning_workers, 4);
     }
 }

@@ -24,6 +24,7 @@
 //! and skipped. All other invalid decisions are hard errors.
 
 use crate::event::{EventKind, EventQueue};
+use crate::index::ClusterIndex;
 use crate::job::{JobRecord, JobRt};
 use crate::report::{SimReport, WindowSample};
 use crate::sched::{Action, ClusterScheduler, ProfileReport, RoundPlan};
@@ -49,6 +50,9 @@ pub struct Simulation {
     config: SimConfig,
     jobs: BTreeMap<JobId, JobRt>,
     residents: BTreeMap<ServerId, BTreeSet<JobId>>,
+    /// Materialized indexes over `jobs`/`residents`, updated on every state
+    /// transition so view queries run in O(answer); see [`crate::index`].
+    index: ClusterIndex,
     down: BTreeSet<ServerId>,
     queue: EventQueue,
     now: SimTime,
@@ -112,6 +116,7 @@ impl Simulation {
         let user_ids: BTreeSet<_> = users.iter().map(|u| u.id).collect();
         let mut queue = EventQueue::new();
         let mut jobs = BTreeMap::new();
+        let mut arrivals = Vec::new();
         for spec in trace {
             if spec.gang > max_gang {
                 return Err(GfairError::InvalidConfig(format!(
@@ -133,18 +138,22 @@ impl Simulation {
                     cluster.catalog.len()
                 )));
             }
-            queue.push(spec.arrival, EventKind::Arrival(spec.id));
+            arrivals.push((spec.arrival, EventKind::Arrival(spec.id)));
             if jobs.insert(spec.id, JobRt::new(spec)).is_some() {
                 return Err(GfairError::InvalidConfig(
                     "duplicate job id in trace".to_string(),
                 ));
             }
         }
-        let residents = cluster
+        // Stage the trace instead of front-loading the heap: the heap then
+        // only carries the live working set (finishes, migrations, rounds).
+        queue.stage(arrivals);
+        let residents: BTreeMap<ServerId, BTreeSet<JobId>> = cluster
             .servers
             .iter()
             .map(|s| (s.id, BTreeSet::new()))
             .collect();
+        let index = ClusterIndex::new(residents.keys().copied());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         Ok(Simulation {
             cluster,
@@ -152,6 +161,7 @@ impl Simulation {
             config,
             jobs,
             residents,
+            index,
             down: BTreeSet::new(),
             queue,
             now: SimTime::ZERO,
@@ -324,6 +334,7 @@ impl Simulation {
             users: &self.users,
             jobs: &self.jobs,
             residents: &self.residents,
+            index: &self.index,
             down: &self.down,
             config: &self.config,
         }
@@ -339,6 +350,7 @@ impl Simulation {
     fn on_arrival(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
         {
             let j = &self.jobs[&job];
+            self.index.on_arrive(job, j.info.user);
             self.obs.emit(TraceEvent::JobArrive {
                 t: self.now,
                 job,
@@ -360,10 +372,13 @@ impl Simulation {
             j.finish = Some(self.now);
             if let Some(server) = j.info.server {
                 if let Some(set) = self.residents.get_mut(&server) {
-                    set.remove(&job);
+                    if set.remove(&job) {
+                        self.index.sub_demand(server, j.info.gang);
+                    }
                 }
             }
             j.info.server = None;
+            self.index.on_finish(job, j.info.user);
             j.info.user
         };
         self.obs.emit(TraceEvent::JobFinish {
@@ -385,6 +400,7 @@ impl Simulation {
                 // job is stranded and must be re-placed.
                 j.info.state = JobState::Pending;
                 j.info.server = None;
+                self.index.on_evict(job);
                 None
             } else {
                 j.info.state = JobState::Resident;
@@ -393,6 +409,7 @@ impl Simulation {
                     .get_mut(&dst)
                     .expect("destination exists")
                     .insert(job);
+                self.index.add_demand(dst, j.info.gang);
                 Some((dst, j.info.gang))
             }
         };
@@ -425,10 +442,12 @@ impl Simulation {
             let j = self.jobs.get_mut(&job).expect("resident job is known");
             j.info.state = JobState::Pending;
             j.info.server = None;
+            self.index.on_evict(job);
             // Jobs with a pending Finish event (they banked their last
             // service before the failure instant) stay pending and simply
             // finish when the event fires; they are not re-dispatched.
         }
+        self.index.clear_demand(server);
         self.obs.emit(TraceEvent::ServerDown {
             t: self.now,
             server,
@@ -508,6 +527,7 @@ impl Simulation {
                     .get_mut(&server)
                     .expect("server exists")
                     .insert(job);
+                self.index.on_place(job, server, gang);
                 self.obs.emit(TraceEvent::Placement {
                     t: self.now,
                     job,
@@ -556,6 +576,7 @@ impl Simulation {
                     .get_mut(&src)
                     .expect("source exists")
                     .remove(&job);
+                self.index.sub_demand(src, j.info.gang);
                 j.info.state = JobState::Migrating;
                 j.info.server = Some(to);
                 let cost = j.info.migration_cost;
@@ -665,9 +686,10 @@ impl Simulation {
             .map(|s| s.num_gpus)
             .sum();
         let pending = self
-            .jobs
-            .values()
-            .filter(|j| j.info.state == JobState::Pending && !j.finishing)
+            .index
+            .pending
+            .iter()
+            .filter(|id| !self.jobs[id].finishing)
             .count() as u32;
         let users = scheduler.user_shares(&self.view());
         self.obs.emit(TraceEvent::RoundPlanned {
@@ -706,10 +728,10 @@ impl Simulation {
             .flat_map(|jobs| jobs.iter().copied())
             .collect();
 
-        // 7. Keep the clock ticking while anything is alive.
-        let any_active = self.jobs.values().any(|j| j.info.state.is_active());
+        // 7. Keep the clock ticking while anything is alive. Not-yet-arrived
+        // jobs don't count: their arrival events restart the clock.
         self.round_armed = false;
-        if any_active {
+        if !self.index.active.is_empty() {
             self.arm_round(self.now + quantum);
         }
         Ok(())

@@ -73,9 +73,20 @@ impl PartialOrd for Event {
 }
 
 /// Deterministic event queue.
+///
+/// Runtime events (finishes, migrations, rounds) live in a binary heap. The
+/// trace's arrivals — known in full before the run starts — are *staged* in
+/// a sorted side list instead of being front-loaded into the heap: the heap
+/// then only ever holds the near-future working set, so its operations stay
+/// logarithmic in live events rather than in the whole remaining trace.
+/// `pop`/`peek` merge the two sources under the same total order, so the
+/// delivery sequence is identical to a single heap holding everything.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
+    /// Staged events, sorted with the earliest-firing event **last** so the
+    /// next one pops in O(1).
+    staged: Vec<Event>,
     next_seq: u64,
 }
 
@@ -92,24 +103,48 @@ impl EventQueue {
         self.heap.push(Event { time, seq, kind });
     }
 
+    /// Stages a batch of events without touching the heap (used for the
+    /// full arrival trace at simulation construction). Sequence numbers are
+    /// assigned in iteration order, exactly as a `push` loop would, so the
+    /// global delivery order is unchanged.
+    pub fn stage(&mut self, batch: impl IntoIterator<Item = (SimTime, EventKind)>) {
+        for (time, kind) in batch {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.staged.push(Event { time, seq, kind });
+        }
+        // `Event`'s Ord is inverted (min-first for the max-heap), so an
+        // ascending sort puts the earliest-firing event last.
+        self.staged.sort();
+    }
+
     /// Pops the next event in deterministic order.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        match (self.heap.peek(), self.staged.last()) {
+            // Inverted Ord: "greater" means "fires earlier".
+            (Some(h), Some(s)) if h > s => self.heap.pop(),
+            (Some(_), None) => self.heap.pop(),
+            _ => self.staged.pop(),
+        }
     }
 
     /// Peeks at the next event without removing it.
     pub fn peek(&self) -> Option<&Event> {
-        self.heap.peek()
+        match (self.heap.peek(), self.staged.last()) {
+            (Some(h), Some(s)) => Some(if h > s { h } else { s }),
+            (Some(h), None) => Some(h),
+            (None, s) => s,
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending events (staged ones included).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.staged.len()
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.staged.is_empty()
     }
 }
 
@@ -164,6 +199,43 @@ mod tests {
         assert_eq!(q.peek().unwrap().kind, EventKind::Round);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn staged_and_pushed_events_merge_in_global_order() {
+        // A staged trace plus runtime pushes must pop exactly as if every
+        // event had gone through one heap.
+        let mut q = EventQueue::new();
+        q.stage(vec![
+            (SimTime::from_secs(10), EventKind::Arrival(JobId::new(1))),
+            (SimTime::from_secs(30), EventKind::Arrival(JobId::new(2))),
+            (SimTime::from_secs(20), EventKind::Arrival(JobId::new(3))),
+        ]);
+        q.push(SimTime::from_secs(20), EventKind::Finish(JobId::new(9)));
+        q.push(SimTime::from_secs(5), EventKind::Round);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Round);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(1)));
+        // At t=20 the Finish outranks the Arrival by kind priority.
+        assert_eq!(q.pop().unwrap().kind, EventKind::Finish(JobId::new(9)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(3)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(2)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn staged_ties_keep_staging_order() {
+        // Equal-time staged events keep their staging (trace) order, just as
+        // insertion order broke the tie when everything was pushed.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        q.stage(vec![
+            (t, EventKind::Arrival(JobId::new(5))),
+            (t, EventKind::Arrival(JobId::new(3))),
+        ]);
+        assert_eq!(q.peek().unwrap().kind, EventKind::Arrival(JobId::new(5)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(5)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(JobId::new(3)));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Materialized indexes over simulation state.
+//!
+//! Every [`crate::SimView`] query used to re-derive its answer by scanning
+//! the full job table — including every job that finished hours of simulated
+//! time ago — which makes long runs quadratic in trace length. The engine
+//! instead maintains this index incrementally: each state transition
+//! (arrival, placement, migration, finish, failure) updates the handful of
+//! sets it affects, and the view answers queries in O(answer).
+//!
+//! ## Invariants
+//!
+//! With `J` the engine's job table and `R` its residency map:
+//!
+//! * `arrived` — jobs whose `Arrival` event has fired. Monotone; jobs with a
+//!   future arrival are never present.
+//! * `active` — `{ j ∈ arrived : J[j].state.is_active() }`.
+//! * `pending` — `{ j ∈ arrived : J[j].state == Pending }`.
+//! * `by_user[u]` — `{ j ∈ active : J[j].user == u }`; users with no active
+//!   job carry no entry, so the key set *is* the active-user set.
+//! * `demand[s]` — `Σ gang(j) for j ∈ R[s]`; every server has an entry.
+//!
+//! [`ClusterIndex::verify`] re-derives all of this from scratch and is the
+//! oracle for the differential property tests.
+
+use crate::job::JobRt;
+use gfair_types::{JobId, JobState, ServerId, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Incrementally maintained indexes over jobs and residency.
+#[derive(Debug, Default)]
+pub(crate) struct ClusterIndex {
+    /// Jobs whose arrival event has fired, in id order.
+    pub(crate) arrived: BTreeSet<JobId>,
+    /// Arrived jobs that are not finished (pending, resident or migrating).
+    pub(crate) active: BTreeSet<JobId>,
+    /// Arrived jobs awaiting placement.
+    pub(crate) pending: BTreeSet<JobId>,
+    /// Active jobs per user; empty sets are removed, so the key set is
+    /// exactly the set of users with at least one active job.
+    pub(crate) by_user: BTreeMap<UserId, BTreeSet<JobId>>,
+    /// GPUs demanded by resident jobs, per server (sum of gang widths).
+    pub(crate) demand: BTreeMap<ServerId, u32>,
+}
+
+impl ClusterIndex {
+    /// Creates an index for a cluster with the given servers, all empty.
+    pub(crate) fn new(servers: impl IntoIterator<Item = ServerId>) -> Self {
+        ClusterIndex {
+            demand: servers.into_iter().map(|s| (s, 0)).collect(),
+            ..ClusterIndex::default()
+        }
+    }
+
+    /// A job's arrival event fired: it becomes visible and starts pending.
+    pub(crate) fn on_arrive(&mut self, job: JobId, user: UserId) {
+        self.arrived.insert(job);
+        self.active.insert(job);
+        self.pending.insert(job);
+        self.by_user.entry(user).or_default().insert(job);
+    }
+
+    /// A job finished (from any active state; evicted jobs can finish while
+    /// pending).
+    pub(crate) fn on_finish(&mut self, job: JobId, user: UserId) {
+        self.active.remove(&job);
+        self.pending.remove(&job);
+        if let Some(set) = self.by_user.get_mut(&user) {
+            set.remove(&job);
+            if set.is_empty() {
+                self.by_user.remove(&user);
+            }
+        }
+    }
+
+    /// A pending job became resident on `server`.
+    pub(crate) fn on_place(&mut self, job: JobId, server: ServerId, gang: u32) {
+        self.pending.remove(&job);
+        self.add_demand(server, gang);
+    }
+
+    /// A resident or migrating job fell back to pending (eviction on server
+    /// failure, or a migration stranded by a destination failure).
+    pub(crate) fn on_evict(&mut self, job: JobId) {
+        self.pending.insert(job);
+    }
+
+    /// Adds a resident gang's GPUs to a server's demand.
+    pub(crate) fn add_demand(&mut self, server: ServerId, gang: u32) {
+        *self.demand.get_mut(&server).expect("known server") += gang;
+    }
+
+    /// Removes a resident gang's GPUs from a server's demand.
+    pub(crate) fn sub_demand(&mut self, server: ServerId, gang: u32) {
+        let d = self.demand.get_mut(&server).expect("known server");
+        debug_assert!(*d >= gang, "demand underflow on {server}");
+        *d -= gang;
+    }
+
+    /// A server failed and its residents were all evicted at once.
+    pub(crate) fn clear_demand(&mut self, server: ServerId) {
+        *self.demand.get_mut(&server).expect("known server") = 0;
+    }
+
+    /// Recomputes every index from scratch and compares: the differential
+    /// oracle. `arrived` is authoritative (only the event loop knows which
+    /// arrivals fired), so it is sanity-checked against job metadata and the
+    /// derived sets are recomputed relative to it.
+    pub(crate) fn verify(
+        &self,
+        now: gfair_types::SimTime,
+        jobs: &BTreeMap<JobId, JobRt>,
+        residents: &BTreeMap<ServerId, BTreeSet<JobId>>,
+    ) -> Result<(), String> {
+        // Sanity: arrivals never fire early, and any job that has changed
+        // state, run, or finished must have arrived.
+        for (&id, j) in jobs {
+            if self.arrived.contains(&id) {
+                if j.info.arrival > now {
+                    return Err(format!("job {id} marked arrived before its arrival time"));
+                }
+            } else if j.info.state != JobState::Pending || j.first_run.is_some() {
+                return Err(format!("job {id} progressed without being arrived"));
+            }
+        }
+        // Derived sets, recomputed naively.
+        let mut active = BTreeSet::new();
+        let mut pending = BTreeSet::new();
+        let mut by_user: BTreeMap<UserId, BTreeSet<JobId>> = BTreeMap::new();
+        for &id in &self.arrived {
+            let j = jobs.get(&id).ok_or_else(|| format!("unknown job {id}"))?;
+            if j.info.state.is_active() {
+                active.insert(id);
+                by_user.entry(j.info.user).or_default().insert(id);
+            }
+            if j.info.state == JobState::Pending {
+                pending.insert(id);
+            }
+        }
+        if active != self.active {
+            return Err(format!(
+                "active index diverged: naive {active:?} vs index {:?}",
+                self.active
+            ));
+        }
+        if pending != self.pending {
+            return Err(format!(
+                "pending index diverged: naive {pending:?} vs index {:?}",
+                self.pending
+            ));
+        }
+        if by_user != self.by_user {
+            return Err(format!(
+                "by_user index diverged: naive {by_user:?} vs index {:?}",
+                self.by_user
+            ));
+        }
+        let demand: BTreeMap<ServerId, u32> = residents
+            .iter()
+            .map(|(&s, set)| (s, set.iter().map(|id| jobs[id].info.gang).sum::<u32>()))
+            .collect();
+        if demand != self.demand {
+            return Err(format!(
+                "demand index diverged: naive {demand:?} vs index {:?}",
+                self.demand
+            ));
+        }
+        Ok(())
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod engine;
 pub mod event;
+mod index;
 pub mod job;
 pub mod report;
 pub mod sched;

@@ -4,19 +4,23 @@
 //! topology, job metadata, residency, states — and nothing it couldn't
 //! (ground-truth rates, exact remaining work).
 
+use crate::index::ClusterIndex;
 use crate::job::{JobInfo, JobRt};
-use gfair_types::{
-    ClusterSpec, JobId, JobState, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec,
-};
+use gfair_types::{ClusterSpec, JobId, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Read-only snapshot of simulation state at a callback.
+///
+/// Job- and residency-centric queries answer from the engine's materialized
+/// [`ClusterIndex`] in O(answer) — they never scan finished jobs or the full
+/// job table.
 pub struct SimView<'a> {
     pub(crate) now: SimTime,
     pub(crate) cluster: &'a ClusterSpec,
     pub(crate) users: &'a [UserSpec],
     pub(crate) jobs: &'a BTreeMap<JobId, JobRt>,
     pub(crate) residents: &'a BTreeMap<ServerId, BTreeSet<JobId>>,
+    pub(crate) index: &'a ClusterIndex,
     pub(crate) down: &'a BTreeSet<ServerId>,
     pub(crate) config: &'a SimConfig,
 }
@@ -70,24 +74,23 @@ impl<'a> SimView<'a> {
 
     /// All jobs submitted so far, in id order.
     ///
-    /// Jobs whose arrival time lies in the future are invisible — a real
+    /// Jobs whose arrival event has not fired yet are invisible — a real
     /// scheduler cannot see tomorrow's submissions.
     pub fn jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
-        let now = self.now;
-        self.jobs
-            .values()
-            .map(|j| &j.info)
-            .filter(move |j| j.arrival <= now)
+        let jobs = self.jobs;
+        self.index.arrived.iter().map(move |id| &jobs[id].info)
     }
 
     /// Jobs that have arrived and are not finished, in id order.
     pub fn active_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
-        self.jobs().filter(|j| j.state.is_active())
+        let jobs = self.jobs;
+        self.index.active.iter().map(move |id| &jobs[id].info)
     }
 
     /// Arrived jobs awaiting placement, in id order.
     pub fn pending_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
-        self.jobs().filter(|j| j.state == JobState::Pending)
+        let jobs = self.jobs;
+        self.index.pending.iter().map(move |id| &jobs[id].info)
     }
 
     /// Ids of jobs resident on `server`, in id order.
@@ -100,10 +103,7 @@ impl<'a> SimView<'a> {
 
     /// Number of GPUs demanded by jobs resident on `server` (sum of gangs).
     pub fn resident_demand(&self, server: ServerId) -> u32 {
-        self.resident(server)
-            .filter_map(|id| self.job(id))
-            .map(|j| j.gang)
-            .sum()
+        self.index.demand.get(&server).copied().unwrap_or(0)
     }
 
     /// Demand-to-capacity ratio of `server` (the paper's load signal for
@@ -115,15 +115,26 @@ impl<'a> SimView<'a> {
 
     /// Users that currently have at least one active job, in id order.
     pub fn active_users(&self) -> Vec<UserId> {
-        let mut active: BTreeSet<UserId> = BTreeSet::new();
-        for j in self.active_jobs() {
-            active.insert(j.user);
-        }
-        active.into_iter().collect()
+        self.index.by_user.keys().copied().collect()
     }
 
     /// Active jobs belonging to `user`, in id order.
     pub fn jobs_of_user(&self, user: UserId) -> impl Iterator<Item = &'a JobInfo> + '_ {
-        self.active_jobs().filter(move |j| j.user == user)
+        let jobs = self.jobs;
+        self.index
+            .by_user
+            .get(&user)
+            .into_iter()
+            .flat_map(move |set| set.iter().map(move |id| &jobs[id].info))
+    }
+
+    /// Re-derives every materialized index from the raw job/residency tables
+    /// and compares, returning a description of the first divergence.
+    ///
+    /// This is the oracle for the differential property tests; it is not
+    /// part of the scheduler-facing API.
+    #[doc(hidden)]
+    pub fn audit_indexes(&self) -> Result<(), String> {
+        self.index.verify(self.now, self.jobs, self.residents)
     }
 }

@@ -23,7 +23,33 @@
 //! no starvation, while still backfilling smaller jobs.
 
 use crate::STRIDE1;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pass value as a totally ordered key (`f64::total_cmp` semantics), so
+/// runnable clients can live in a sorted structure keyed by `(pass, key)` —
+/// the exact order [`GangScheduler::plan_round`] scans in.
+#[derive(Debug, Clone, Copy)]
+struct Pass(f64);
+
+impl PartialEq for Pass {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for Pass {}
+
+impl PartialOrd for Pass {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pass {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 /// How the scheduler handles gangs that do not fit the remaining capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,6 +122,12 @@ pub struct GangScheduler<K> {
     capacity: u32,
     policy: GangPolicy,
     clients: BTreeMap<K, GangClient>,
+    /// Runnable clients keyed by `(pass, key)` — the scan order of
+    /// [`plan_round`](Self::plan_round). Kept in lockstep with `clients`:
+    /// contains exactly the runnable ones, under their current pass. A round
+    /// then reads the order off the tree and re-keys only the clients whose
+    /// pass advanced, instead of re-sorting the full client set.
+    order: BTreeSet<(Pass, K)>,
     global_pass: f64,
     total_tickets: f64,
 }
@@ -112,6 +144,7 @@ impl<K: Copy + Ord> GangScheduler<K> {
             capacity,
             policy,
             clients: BTreeMap::new(),
+            order: BTreeSet::new(),
             global_pass: 0.0,
             total_tickets: 0.0,
         }
@@ -185,6 +218,7 @@ impl<K: Copy + Ord> GangScheduler<K> {
             },
         );
         assert!(prev.is_none(), "client joined twice");
+        self.order.insert((Pass(pass), k));
         self.total_tickets += tickets;
     }
 
@@ -192,6 +226,9 @@ impl<K: Copy + Ord> GangScheduler<K> {
     pub fn leave(&mut self, k: K) -> bool {
         match self.clients.remove(&k) {
             Some(c) => {
+                if c.runnable {
+                    self.order.remove(&(Pass(c.pass), k));
+                }
                 self.total_tickets -= c.tickets;
                 if self.clients.is_empty() {
                     self.total_tickets = 0.0;
@@ -219,7 +256,13 @@ impl<K: Copy + Ord> GangScheduler<K> {
         let scaled = remain * (c.tickets / tickets);
         self.total_tickets += tickets - c.tickets;
         c.tickets = tickets;
+        let (old_pass, runnable) = (c.pass, c.runnable);
         c.pass = global + scaled;
+        let new_pass = c.pass;
+        if runnable {
+            self.order.remove(&(Pass(old_pass), k));
+            self.order.insert((Pass(new_pass), k));
+        }
     }
 
     /// Marks a client runnable or not (e.g. suspended for migration).
@@ -230,7 +273,17 @@ impl<K: Copy + Ord> GangScheduler<K> {
     ///
     /// Panics if the client is unknown.
     pub fn set_runnable(&mut self, k: K, runnable: bool) {
-        self.clients.get_mut(&k).expect("unknown client").runnable = runnable;
+        let c = self.clients.get_mut(&k).expect("unknown client");
+        if c.runnable == runnable {
+            return;
+        }
+        c.runnable = runnable;
+        let pass = c.pass;
+        if runnable {
+            self.order.insert((Pass(pass), k));
+        } else {
+            self.order.remove(&(Pass(pass), k));
+        }
     }
 
     /// Plans one quantum: selects the gangs to run and advances pass values.
@@ -238,22 +291,12 @@ impl<K: Copy + Ord> GangScheduler<K> {
     /// Selection depends on the policy; see the module docs. Returns the
     /// selected clients (in selection order) and GPU usage for the round.
     pub fn plan_round(&mut self) -> RoundOutcome<K> {
-        // Deterministic pass order: (pass, key).
-        let mut order: Vec<K> = self
-            .clients
-            .iter()
-            .filter(|(_, c)| c.runnable)
-            .map(|(k, _)| *k)
-            .collect();
-        order.sort_by(|a, b| {
-            let ca = &self.clients[a];
-            let cb = &self.clients[b];
-            ca.pass.total_cmp(&cb.pass).then(a.cmp(b))
-        });
-
+        // Scan the pass-ordered index — already sorted by (pass, key), the
+        // exact order the former full sort produced. The scan touches only
+        // the clients up to the stop condition; nothing is re-sorted.
         let mut free = self.capacity;
         let mut selected = Vec::new();
-        for k in order {
+        for &(_, k) in &self.order {
             let width = self.clients[&k].width;
             if width <= free {
                 selected.push(k);
@@ -270,7 +313,8 @@ impl<K: Copy + Ord> GangScheduler<K> {
             // the minimum and will head the scan of a future round.
         }
 
-        // Advance passes for the scheduled clients.
+        // Advance passes for the scheduled clients, re-keying only them in
+        // the order index (a skipped client's pass — and key — is unchanged).
         let mut used = 0u32;
         for &k in &selected {
             let c = self.clients.get_mut(&k).expect("selected client exists");
@@ -278,8 +322,12 @@ impl<K: Copy + Ord> GangScheduler<K> {
                 GangPolicy::JobLevelStride => 1.0,
                 GangPolicy::GangAware | GangPolicy::StrictNoBackfill => c.width as f64,
             };
+            let old_pass = c.pass;
             c.pass += c.stride() * quanta;
+            let new_pass = c.pass;
             used += c.width;
+            self.order.remove(&(Pass(old_pass), k));
+            self.order.insert((Pass(new_pass), k));
         }
         // Advance global virtual time by the GPU-quanta actually dispensed.
         if self.total_tickets > 0.0 && used > 0 {

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates the tracked simulator benchmark baseline (BENCH_sim.json).
+# Full mode runs the three scales on long traces and takes ~5-30s depending
+# on the machine; pass extra args (e.g. --seed 7 --out /tmp/b.json) through.
+# Usage: scripts/bench.sh [bench_sim args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p gfair-bench --bin bench_sim -- "$@"

@@ -21,4 +21,13 @@ cargo build --release
 echo "### cargo test"
 cargo test --workspace -q
 
+echo "### bench smoke"
+# Criterion micro-benches in test mode (one iteration, no measurement) and a
+# quick pass of the simulator throughput bench. The JSON goes under target/
+# so CI never dirties the tracked BENCH_sim.json baseline; regenerate that
+# deliberately with scripts/bench.sh.
+cargo bench --workspace -- --test
+cargo run --release -p gfair-bench --bin bench_sim -- --quick \
+    --out target/BENCH_sim.quick.json
+
 echo "CI gate passed."

@@ -1,0 +1,63 @@
+//! Parallel round planning must be invisible: for the same seed, any
+//! `planning_workers` setting (sequential, pinned fan-out, or auto-sized)
+//! must produce a byte-identical `SimReport` and a byte-identical JSONL
+//! trace. Per-server planning is independent and results are merged in
+//! server-id order, so parallelism only changes wall-clock time.
+
+use gfair::prelude::*;
+use std::sync::Arc;
+
+/// Runs one seeded simulation with `workers` planning threads and a JSONL
+/// sink; returns the serialized report and the raw trace bytes.
+fn run(seed: u64, workers: usize, tag: &str) -> (String, Vec<u8>) {
+    let path = std::env::temp_dir().join(format!(
+        "gfair-determinism-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let cluster = ClusterSpec::paper_testbed();
+    let users = UserSpec::equal_users(6, 100);
+    let mut params = PhillyParams::default();
+    params.num_jobs = 150;
+    params.jobs_per_hour = 120.0;
+    params.median_service_mins = 30.0;
+    let trace = TraceBuilder::new(params, seed).build(&users);
+    let obs: SharedObs = Arc::new(Obs::new());
+    obs.jsonl(&path).expect("trace file");
+    let sim = Simulation::new(cluster, users, trace, SimConfig::default().with_seed(seed))
+        .unwrap()
+        .with_server_failure(ServerId::new(2), SimTime::from_secs(2 * 3600))
+        .with_server_recovery(ServerId::new(2), SimTime::from_secs(4 * 3600))
+        .with_obs(Arc::clone(&obs));
+    let mut sched = GandivaFair::new(GfairConfig::default().with_planning_workers(workers))
+        .with_obs(Arc::clone(&obs));
+    let report = sim
+        .run_until(&mut sched, SimTime::from_secs(8 * 3600))
+        .expect("clean run");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    let bytes = std::fs::read(&path).expect("read trace");
+    let _ = std::fs::remove_file(&path);
+    (json, bytes)
+}
+
+#[test]
+fn parallel_planning_is_byte_identical_to_sequential() {
+    let (seq_report, seq_trace) = run(7, 1, "seq");
+    let (par_report, par_trace) = run(7, 4, "par");
+    assert!(!seq_trace.is_empty());
+    assert_eq!(
+        seq_report, par_report,
+        "parallel planning changed the report"
+    );
+    assert_eq!(seq_trace, par_trace, "parallel planning changed the trace");
+}
+
+#[test]
+fn auto_sized_planning_is_byte_identical_to_sequential() {
+    let (seq_report, seq_trace) = run(13, 1, "seq-auto");
+    let (auto_report, auto_trace) = run(13, 0, "auto");
+    assert_eq!(
+        seq_report, auto_report,
+        "auto worker count changed the report"
+    );
+    assert_eq!(seq_trace, auto_trace, "auto worker count changed the trace");
+}

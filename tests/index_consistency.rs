@@ -1,0 +1,188 @@
+//! Differential property tests for the simulator's materialized indexes.
+//!
+//! The engine answers `SimView` queries from incrementally maintained
+//! indexes (`crates/sim/src/index.rs`). These tests wrap the full
+//! Gandiva_fair stack in an auditing shim that, at **every** scheduler
+//! callback, (a) re-derives all indexes from the raw job/residency tables
+//! via `SimView::audit_indexes` and (b) cross-checks the indexed public
+//! queries against naive recomputations through the public API — across
+//! random traces, clusters, server failures/recoveries and the migrations
+//! the balancer plans along the way.
+
+use gfair::prelude::*;
+use gfair::sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
+use gfair::types::JobState;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Wraps a scheduler, validating every view it is handed.
+struct Audited<S>(S);
+
+impl<S> Audited<S> {
+    fn check(view: &SimView<'_>) {
+        // Oracle 1: internal from-scratch recomputation of every index.
+        view.audit_indexes()
+            .expect("indexes match naive recomputation");
+
+        // Oracle 2: indexed public queries vs naive public-API derivations.
+        for s in &view.cluster().servers {
+            let naive: u32 = view
+                .resident(s.id)
+                .filter_map(|id| view.job(id))
+                .map(|j| j.gang)
+                .sum();
+            assert_eq!(
+                view.resident_demand(s.id),
+                naive,
+                "resident_demand diverged on {}",
+                s.id
+            );
+            let gpus = view.cluster().server(s.id).num_gpus;
+            assert_eq!(view.server_load(s.id), naive as f64 / gpus as f64);
+        }
+        let active: Vec<JobId> = view.active_jobs().map(|j| j.id).collect();
+        let naive_active: Vec<JobId> = view
+            .jobs()
+            .filter(|j| j.state.is_active())
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(active, naive_active, "active_jobs diverged");
+        let pending: Vec<JobId> = view.pending_jobs().map(|j| j.id).collect();
+        let naive_pending: Vec<JobId> = view
+            .jobs()
+            .filter(|j| j.state == JobState::Pending)
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(pending, naive_pending, "pending_jobs diverged");
+        let users = view.active_users();
+        let naive_users: Vec<UserId> = {
+            let set: BTreeSet<UserId> = view.active_jobs().map(|j| j.user).collect();
+            set.into_iter().collect()
+        };
+        assert_eq!(users, naive_users, "active_users diverged");
+        for u in users {
+            let of_user: Vec<JobId> = view.jobs_of_user(u).map(|j| j.id).collect();
+            let naive_of: Vec<JobId> = view
+                .active_jobs()
+                .filter(|j| j.user == u)
+                .map(|j| j.id)
+                .collect();
+            assert_eq!(of_user, naive_of, "jobs_of_user({u}) diverged");
+        }
+    }
+}
+
+impl<S: ClusterScheduler> ClusterScheduler for Audited<S> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_job_arrival(view, job)
+    }
+    fn on_job_finish(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_job_finish(view, job)
+    }
+    fn on_migration_done(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_migration_done(view, job)
+    }
+    fn on_job_evicted(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_job_evicted(view, job)
+    }
+    fn on_server_down(&mut self, view: &SimView<'_>, server: ServerId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_server_down(view, server)
+    }
+    fn on_server_up(&mut self, view: &SimView<'_>, server: ServerId) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_server_up(view, server)
+    }
+    fn on_profile_report(&mut self, view: &SimView<'_>, report: &ProfileReport) -> Vec<Action> {
+        Self::check(view);
+        self.0.on_profile_report(view, report)
+    }
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        Self::check(view);
+        self.0.plan_round(view)
+    }
+    fn user_shares(&self, view: &SimView<'_>) -> Vec<gfair::obs::UserShare> {
+        self.0.user_shares(view)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random heterogeneous runs — arrivals, finishes, placements and
+    /// balancer migrations — keep every index equal to its naive
+    /// recomputation at every callback.
+    #[test]
+    fn indexes_match_naive_recomputation(
+        seed in 0u64..1000,
+        k80 in 1u32..4,
+        v100 in 1u32..3,
+        n_users in 1u32..5,
+        n_jobs in 1usize..50,
+    ) {
+        let cluster = ClusterSpec::build(
+            GenCatalog::k80_p100_v100(),
+            &[("K80", k80, 8), ("V100", v100, 8)],
+        );
+        let users = UserSpec::equal_users(n_users, 100);
+        let mut params = PhillyParams::default();
+        params.num_jobs = n_jobs;
+        params.jobs_per_hour = 200.0;
+        params.median_service_mins = 15.0;
+        params.service_clamp_mins = (2.0, 60.0);
+        let trace = TraceBuilder::new(params, seed).build(&users);
+        let sim = Simulation::new(
+            cluster,
+            users,
+            trace,
+            SimConfig::default().with_seed(seed),
+        )
+        .unwrap();
+        let mut sched = Audited(GandivaFair::new(GfairConfig::default()));
+        let report = sim
+            .run_until(&mut sched, SimTime::from_secs(8 * 3600))
+            .expect("clean run");
+        prop_assert!(report.rounds > 0);
+    }
+
+    /// Server failures (evicting whole resident sets at once) and
+    /// recoveries — the bulk index transitions — stay consistent too.
+    #[test]
+    fn indexes_survive_failures_and_recoveries(
+        seed in 0u64..1000,
+        fail_at_mins in 10u64..120,
+        down_mins in 5u64..120,
+        n_jobs in 5usize..40,
+    ) {
+        let cluster = ClusterSpec::homogeneous(3, 8);
+        let users = UserSpec::equal_users(3, 100);
+        let mut params = PhillyParams::default();
+        params.num_jobs = n_jobs;
+        params.jobs_per_hour = 150.0;
+        params.median_service_mins = 20.0;
+        params.service_clamp_mins = (2.0, 90.0);
+        let trace = TraceBuilder::new(params, seed).build(&users);
+        let fail_at = SimTime::from_secs(fail_at_mins * 60);
+        let sim = Simulation::new(
+            cluster,
+            users,
+            trace,
+            SimConfig::default().with_seed(seed),
+        )
+        .unwrap()
+        .with_server_failure(ServerId::new(1), fail_at)
+        .with_server_recovery(ServerId::new(1), fail_at + SimDuration::from_secs(down_mins * 60));
+        let mut sched = Audited(GandivaFair::new(GfairConfig::default()));
+        let report = sim
+            .run_until(&mut sched, SimTime::from_secs(8 * 3600))
+            .expect("clean run");
+        prop_assert!(report.rounds > 0);
+    }
+}
