@@ -24,6 +24,11 @@
 //!
 //! Every pass honors the per-job migration cooldown and never plans two
 //! moves for the same job in one tick.
+//!
+//! During a network partition the balancer degrades gracefully: partitioned
+//! servers are excluded both as migration targets (a restore request cannot
+//! be delivered) and as sources (jobs there cannot be checkpointed), so
+//! balancing continues among the reachable remainder of the cluster.
 
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
@@ -104,10 +109,17 @@ impl<'a, 'v> Planner<'a, 'v> {
         self.demand[&server] as f64 / gpus as f64
     }
 
-    /// Whether a job may move this tick.
+    /// Whether a job may move this tick. A job on a partitioned server is
+    /// frozen: the checkpoint request cannot be delivered, so the balancer
+    /// leaves it alone until the partition heals.
     fn eligible(&self, job: &JobInfo) -> bool {
         if self.moved.contains(&job.id) || !job.state.is_schedulable() {
             return false;
+        }
+        if let Some(server) = job.server {
+            if !self.view.is_reachable(server) {
+                return false;
+            }
         }
         match job.last_migration {
             Some(t) => t + self.view.config().migration_cooldown <= self.now,
@@ -115,11 +127,11 @@ impl<'a, 'v> Planner<'a, 'v> {
         }
     }
 
-    /// Least-loaded online server of `gen` that can host `gang`, by
+    /// Least-loaded reachable server of `gen` that can host `gang`, by
     /// projected load.
     fn target_in_gen(&self, gen: GenId, gang: u32) -> Option<ServerId> {
         self.view
-            .up_servers_of_gen(gen)
+            .reachable_servers_of_gen(gen)
             .filter(|s| s.num_gpus >= gang)
             .min_by(|a, b| {
                 self.load(a.id)
@@ -261,7 +273,7 @@ impl<'a, 'v> Planner<'a, 'v> {
             }
             let servers: Vec<(ServerId, u32)> = self
                 .view
-                .up_servers_of_gen(gen)
+                .reachable_servers_of_gen(gen)
                 .map(|s| (s.id, s.num_gpus))
                 .collect();
             if servers.len() < 2 {
@@ -329,8 +341,11 @@ impl<'a, 'v> Planner<'a, 'v> {
                 if self.budget == 0 {
                     return;
                 }
-                let servers: Vec<ServerId> =
-                    self.view.up_servers_of_gen(gen).map(|s| s.id).collect();
+                let servers: Vec<ServerId> = self
+                    .view
+                    .reachable_servers_of_gen(gen)
+                    .map(|s| s.id)
+                    .collect();
                 if servers.len() < 2 {
                     break;
                 }

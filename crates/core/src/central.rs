@@ -23,9 +23,23 @@ use crate::profiler::Profiler;
 use crate::trade::{run_market_traced, Trade};
 use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, UserShare};
 use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
-use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
+use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Recovery bookkeeping for one job whose migration (or queued placement)
+/// failed: how many attempts have failed, when the next one may be issued,
+/// and which generation the failed move was targeting.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// Failed attempts observed so far in this recovery episode.
+    attempts: u32,
+    /// Earliest time the next attempt may be issued (exponential backoff).
+    next_try: SimTime,
+    /// Generation the failed move was targeting; the retry re-targets the
+    /// least-loaded reachable server of this generation.
+    gen: GenId,
+}
 
 /// The Gandiva_fair cluster scheduler.
 ///
@@ -60,6 +74,13 @@ pub struct GandivaFair {
     /// engine (placement callbacks run before the round boundary), so that
     /// simultaneous arrivals do not pile onto one server.
     inflight: BTreeMap<ServerId, u32>,
+    /// Jobs whose migration failed and is being retried with backoff.
+    retry: BTreeMap<JobId, RetryState>,
+    /// Last per-user stride weights pushed to each server. A partitioned
+    /// server cannot receive entitlement updates, so its local scheduler
+    /// keeps running on the weights recorded here until the partition heals
+    /// (graceful degradation).
+    last_weights: BTreeMap<ServerId, BTreeMap<UserId, f64>>,
     /// Observability pipeline: trade and profile-convergence events plus
     /// self-profiling spans for the hot phases. Share the simulation's
     /// instance via [`GandivaFair::with_obs`] to get one unified trace.
@@ -80,6 +101,8 @@ impl GandivaFair {
             next_balance: SimTime::ZERO,
             trade_log: Vec::new(),
             inflight: BTreeMap::new(),
+            retry: BTreeMap::new(),
+            last_weights: BTreeMap::new(),
             obs: Arc::new(Obs::new()),
         }
     }
@@ -217,7 +240,9 @@ impl GandivaFair {
 
     /// Picks a server for an arriving job: prefer the generation where the
     /// user has the most entitlement slack, then the least-loaded server of
-    /// that generation that fits; fall back to least-loaded overall.
+    /// that generation that fits; fall back to least-loaded overall. Only
+    /// reachable servers are considered — a placement sent to a partitioned
+    /// server could not be delivered.
     fn choose_server(&self, view: &SimView<'_>, user: UserId, gang: u32) -> Option<ServerId> {
         // Current per-gen usage of this user.
         let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
@@ -233,14 +258,17 @@ impl GandivaFair {
                 if slack > 0.0 && best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
                     // Only generations with an online server wide enough
                     // for the gang.
-                    if view.up_servers_of_gen(gen).any(|s| s.num_gpus >= gang) {
+                    if view
+                        .reachable_servers_of_gen(gen)
+                        .any(|s| s.num_gpus >= gang)
+                    {
                         best_gen = Some((gen, slack));
                     }
                 }
             }
             if let Some((gen, _)) = best_gen {
                 let target = view
-                    .up_servers_of_gen(gen)
+                    .reachable_servers_of_gen(gen)
                     .filter(|s| s.num_gpus >= gang)
                     .min_by(|a, b| {
                         self.projected_load(view, a.id)
@@ -254,7 +282,7 @@ impl GandivaFair {
             }
         }
         // Work conservation fallback: least-loaded fitting server anywhere.
-        view.up_servers()
+        view.reachable_servers()
             .filter(|s| s.num_gpus >= gang)
             .min_by(|a, b| {
                 self.projected_load(view, a.id)
@@ -262,6 +290,71 @@ impl GandivaFair {
                     .then(a.id.cmp(&b.id))
             })
             .map(|s| s.id)
+    }
+
+    /// Re-issues failed migrations whose backoff window has expired.
+    ///
+    /// Pending jobs (restore failures, stranded mid-flight) are left to the
+    /// placement path, which honors the same backoff; in-flight jobs wait
+    /// for their `MigrationDone`; resident jobs already sitting on the
+    /// generation the failed move was targeting count as recovered.
+    fn plan_retries(&mut self, view: &SimView<'_>, actions: &mut Vec<Action>) {
+        if self.retry.is_empty() {
+            return;
+        }
+        let now = view.now();
+        let planned: BTreeSet<JobId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
+            })
+            .collect();
+        let due: Vec<(JobId, RetryState)> = self
+            .retry
+            .iter()
+            .filter(|(_, r)| r.next_try <= now)
+            .map(|(&j, &r)| (j, r))
+            .collect();
+        for (job, state) in due {
+            let Some(info) = view.job(job) else {
+                self.retry.remove(&job);
+                continue;
+            };
+            match info.state {
+                JobState::Finished => {
+                    self.retry.remove(&job);
+                }
+                // The placement path owns pending jobs; in-flight jobs are
+                // resolved by their MigrationDone (or the next failure).
+                JobState::Pending | JobState::Migrating => {}
+                JobState::Resident => {
+                    let cur = info.server.expect("resident job has a server");
+                    if view.cluster().server(cur).gen == state.gen {
+                        // The job already sits where the failed move was
+                        // headed (e.g. the balancer got there first).
+                        self.retry.remove(&job);
+                        continue;
+                    }
+                    if planned.contains(&job) {
+                        continue;
+                    }
+                    let target = view
+                        .reachable_servers_of_gen(state.gen)
+                        .filter(|s| s.num_gpus >= info.gang)
+                        .min_by(|a, b| {
+                            self.projected_load(view, a.id)
+                                .total_cmp(&self.projected_load(view, b.id))
+                                .then(a.id.cmp(&b.id))
+                        })
+                        .map(|s| s.id);
+                    if let Some(to) = target {
+                        if to != cur {
+                            actions.push(Action::Migrate { job, to });
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -321,6 +414,75 @@ impl ClusterScheduler for GandivaFair {
         Vec::new()
     }
 
+    fn on_migration_failed(
+        &mut self,
+        view: &SimView<'_>,
+        job: JobId,
+        to: ServerId,
+        _reason: MigrationFailReason,
+    ) -> Vec<Action> {
+        self.ensure_init(view);
+        let state = view.job(job).map(|j| j.state);
+        if state.is_none() || state == Some(JobState::Finished) {
+            self.retry.remove(&job);
+            return Vec::new();
+        }
+        let entry = self.retry.entry(job).or_insert(RetryState {
+            attempts: 0,
+            next_try: SimTime::ZERO,
+            gen: GenId::new(0),
+        });
+        entry.attempts += 1;
+        if entry.attempts > self.cfg.max_migration_retries {
+            // Retry budget exhausted: leave the job where the failure put
+            // it. Resident jobs stay at the source; pending jobs fall to
+            // the ordinary placement path with no backoff gate.
+            self.retry.remove(&job);
+            self.obs.inc("migration_retries_abandoned", 1);
+            return Vec::new();
+        }
+        let shift = (entry.attempts - 1).min(16);
+        entry.next_try = view.now() + self.cfg.backoff_base * (1u64 << shift);
+        entry.gen = view.cluster().server(to).gen;
+        Vec::new()
+    }
+
+    fn on_migration_done(&mut self, _view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        // A landed migration ends any recovery episode for the job.
+        self.retry.remove(&job);
+        Vec::new()
+    }
+
+    fn on_partition_heal(&mut self, view: &SimView<'_>, server: ServerId) -> Vec<Action> {
+        self.ensure_init(view);
+        // Reconcile: re-sync entitlements cluster-wide (clearing the active
+        // signature forces a refresh at the next round) and re-validate the
+        // healed server's residency against the local scheduler's
+        // last-known membership. The next sync() repairs any drift; the
+        // Reconcile event records how much there was.
+        self.active_sig.clear();
+        let local_jobs: BTreeSet<JobId> = self
+            .locals
+            .get(&server)
+            .map(|l| l.jobs().collect())
+            .unwrap_or_default();
+        let actual: BTreeSet<JobId> = view.resident(server).collect();
+        let drift = local_jobs.symmetric_difference(&actual).count() as u32;
+        let users_resynced = self
+            .ent
+            .as_ref()
+            .map(|e| e.users().count() as u32)
+            .unwrap_or(0);
+        self.obs.emit(TraceEvent::Reconcile {
+            t: view.now(),
+            server,
+            users_resynced,
+            jobs_revalidated: actual.len() as u32,
+            drift,
+        });
+        Vec::new()
+    }
+
     fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
         self.ensure_init(view);
         // Queued placements were applied before this callback.
@@ -345,19 +507,31 @@ impl ClusterScheduler for GandivaFair {
             actions = plan_migrations_traced(&self.obs, view, ent, profiler, &self.cfg);
             self.next_balance = now + view.config().balance_interval;
         }
-        // 3. Retry jobs whose placement failed earlier (e.g. every fitting
-        // server was down at arrival time).
+        // 3. Recovery: re-issue failed migrations whose backoff expired.
+        self.plan_retries(view, &mut actions);
+
+        // 4. Retry jobs whose placement failed earlier (e.g. every fitting
+        // server was down at arrival time). Jobs in a backoff window after
+        // a failed migration wait until their retry is due; once placed,
+        // the placement path owns them and the retry entry is dropped.
         let retries: Vec<(JobId, UserId, u32)> = view
             .pending_jobs()
+            .filter(|j| {
+                self.retry
+                    .get(&j.id)
+                    .map(|r| r.next_try <= now)
+                    .unwrap_or(true)
+            })
             .map(|j| (j.id, j.user, j.gang))
             .collect();
         for (job, user, gang) in retries {
             if let Some(server) = self.choose_server(view, user, gang) {
+                self.retry.remove(&job);
                 actions.push(Action::Place { job, server });
             }
         }
 
-        // 4. Sync locals and collect per-server selections. Jobs involved
+        // 5. Sync locals and collect per-server selections. Jobs involved
         // in this round's actions (migrating away or just being placed) are
         // excluded from the run sets.
         let departing: BTreeSet<JobId> = actions
@@ -366,20 +540,42 @@ impl ClusterScheduler for GandivaFair {
                 Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
             })
             .collect();
-        let ent = self.ent.as_ref().expect("refreshed above");
         let min_weight = self.cfg.min_weight;
+        // Refresh the weight cache for every reachable server; a partitioned
+        // server cannot receive updates, so its cache entry — and therefore
+        // its local scheduler — keeps the last weights it was sent until the
+        // partition heals (degraded mode).
+        {
+            let ent = self.ent.as_ref().expect("refreshed above");
+            for s in &view.cluster().servers {
+                if view.is_reachable(s.id) {
+                    let gen = s.gen;
+                    let w: BTreeMap<UserId, f64> = ent
+                        .users()
+                        .map(|u| (u, ent.get(u, gen).max(min_weight)))
+                        .collect();
+                    self.last_weights.insert(s.id, w);
+                }
+            }
+        }
         let mut plan = RoundPlan {
             run: BTreeMap::new(),
             actions,
         };
         let workers = planning_workers(self.cfg.planning_workers, self.locals.len());
         let locals = &mut self.locals;
+        let last_weights = &self.last_weights;
         let obs = Arc::clone(&self.obs);
         obs.time(Phase::GangPacking, || {
             if workers <= 1 {
                 for (&server, local) in locals.iter_mut() {
-                    let gen = view.cluster().server(server).gen;
-                    local.sync(view, &departing, |u| ent.get(u, gen).max(min_weight));
+                    let weights = last_weights.get(&server);
+                    local.sync(view, &departing, |u| {
+                        weights
+                            .and_then(|m| m.get(&u))
+                            .copied()
+                            .unwrap_or(min_weight)
+                    });
                     let selected = local.plan();
                     if !selected.is_empty() {
                         plan.run.insert(server, selected);
@@ -393,7 +589,6 @@ impl ClusterScheduler for GandivaFair {
             // of the id-ordered server list and the merge below re-inserts
             // in that same order — the resulting plan is byte-identical to
             // the sequential path no matter the worker count.
-            let cluster = view.cluster();
             let departing = &departing;
             let mut work: Vec<(ServerId, &mut LocalScheduler)> =
                 locals.iter_mut().map(|(&s, l)| (s, l)).collect();
@@ -406,9 +601,13 @@ impl ClusterScheduler for GandivaFair {
                             slice
                                 .iter_mut()
                                 .map(|(server, local)| {
-                                    let gen = cluster.server(*server).gen;
-                                    local
-                                        .sync(view, departing, |u| ent.get(u, gen).max(min_weight));
+                                    let weights = last_weights.get(server);
+                                    local.sync(view, departing, |u| {
+                                        weights
+                                            .and_then(|m| m.get(&u))
+                                            .copied()
+                                            .unwrap_or(min_weight)
+                                    });
                                     (*server, local.plan())
                                 })
                                 .collect()

@@ -5,6 +5,7 @@
 //! toggles (used by the ablation experiments) and tuning constants.
 
 use gfair_stride::GangPolicy;
+use gfair_types::SimDuration;
 
 /// Policy toggles and tuning constants for [`crate::GandivaFair`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +41,14 @@ pub struct GfairConfig {
     /// setting produces byte-identical plans (asserted by the determinism
     /// tests).
     pub planning_workers: usize,
+    /// Maximum times a failed migration is retried before the job is left
+    /// where the failure stranded it (resident at the source for checkpoint
+    /// failures, pending for restore failures — the placement path then
+    /// owns it). `0` disables retries entirely.
+    pub max_migration_retries: u32,
+    /// Base delay of the exponential backoff between migration retries:
+    /// attempt `n` waits `backoff_base * 2^(n-1)`.
+    pub backoff_base: SimDuration,
 }
 
 impl Default for GfairConfig {
@@ -54,6 +63,8 @@ impl Default for GfairConfig {
             min_weight: 1e-3,
             min_profile_samples: 2,
             planning_workers: 0,
+            max_migration_retries: 3,
+            backoff_base: SimDuration::from_secs(60),
         }
     }
 }
@@ -84,6 +95,15 @@ impl GfairConfig {
         self.planning_workers = workers;
         self
     }
+
+    /// Overrides the migration retry policy (builder-style): at most
+    /// `retries` attempts after the first failure, spaced by exponential
+    /// backoff starting at `base`.
+    pub fn with_migration_retry(mut self, retries: u32, base: SimDuration) -> Self {
+        self.max_migration_retries = retries;
+        self.backoff_base = base;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +129,8 @@ mod tests {
         assert_eq!(c.gang_policy, GangPolicy::StrictNoBackfill);
         let c = GfairConfig::default().with_planning_workers(4);
         assert_eq!(c.planning_workers, 4);
+        let c = GfairConfig::default().with_migration_retry(5, SimDuration::from_secs(30));
+        assert_eq!(c.max_migration_retries, 5);
+        assert_eq!(c.backoff_base, SimDuration::from_secs(30));
     }
 }

@@ -37,6 +37,14 @@ impl LocalScheduler {
         self.split.num_jobs()
     }
 
+    /// Ids of the jobs currently registered, in iteration order of the
+    /// underlying split-stride instance. Used by the post-partition
+    /// reconciliation to diff the local scheduler's membership against the
+    /// cluster's ground-truth residency.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.split.jobs()
+    }
+
     /// Synchronizes membership with the simulator's residency view and
     /// applies per-user `weights`, excluding `departing` jobs (ones the
     /// central scheduler decided to migrate away this round).

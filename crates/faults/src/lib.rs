@@ -1,0 +1,26 @@
+//! Deterministic fault injection for the gfair simulator.
+//!
+//! Gandiva_fair's mechanisms — checkpoint/restore migration, central ticket
+//! accounting, per-server local schedulers — each have failure modes that a
+//! fairness claim must survive. This crate describes those failures as
+//! data: a [`FaultPlan`] declares *what* can break (migration checkpoint or
+//! restore failures, checkpoint/restore slowdowns, per-server network
+//! partitions, server flapping), *when* (scripted windows and exact
+//! job/attempt pairs), and *how often* (seeded probabilities). The
+//! simulation engine interprets the plan; `gfair-core` supplies the
+//! recovery policies (bounded retry with backoff, degraded-mode scheduling
+//! during partitions, reconcile on heal).
+//!
+//! Determinism is the design center: randomized draws are keyed on
+//! `(seed, job, attempt)` with a counter-based hash, so the same plan and
+//! seed produce byte-identical traces regardless of event interleaving or
+//! planner thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+
+pub use inject::{FaultInjector, MigrationFault};
+pub use plan::{FaultKind, FaultPlan, FlapSpec, PartitionWindow, ScriptedFault};

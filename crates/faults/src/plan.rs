@@ -1,0 +1,576 @@
+//! Fault plans: what can break, when, and how often.
+//!
+//! A [`FaultPlan`] is a declarative, fully deterministic description of the
+//! faults a simulation run should experience. It combines *randomized*
+//! faults (per-migration failure probabilities drawn from a seeded hash, so
+//! the draw for a given job/attempt never depends on event interleaving)
+//! with *scripted* faults (exact job/attempt pairs) and *windowed* faults
+//! (network partitions and server flapping on a fixed timeline).
+
+use gfair_types::{JobId, ServerId, SimDuration, SimTime};
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Every category of fault a [`FaultPlan`] can construct.
+///
+/// The DESIGN.md fault-model table must enumerate exactly these variants;
+/// a test cross-checks the doc against [`FaultKind::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Checkpoint write fails on the source server: the migration aborts
+    /// and the job keeps running where it was.
+    CheckpointFail,
+    /// Restore fails on the destination server: the job's GPU time on the
+    /// wire is lost and it re-enters the pending queue.
+    RestoreFail,
+    /// Checkpoint/restore runs but is transiently slow: the migration
+    /// outage is multiplied by the plan's slowdown factor.
+    MigrationSlowdown,
+    /// Network partition: for a time window the central scheduler cannot
+    /// reach one server's local scheduler (the server keeps running).
+    Partition,
+    /// Server flapping: a server repeatedly fails and recovers on a cycle.
+    ServerFlap,
+}
+
+impl FaultKind {
+    /// All constructible fault kinds, in declaration order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CheckpointFail,
+        FaultKind::RestoreFail,
+        FaultKind::MigrationSlowdown,
+        FaultKind::Partition,
+        FaultKind::ServerFlap,
+    ];
+
+    /// Stable snake_case name used in plan files and documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CheckpointFail => "checkpoint_fail",
+            FaultKind::RestoreFail => "restore_fail",
+            FaultKind::MigrationSlowdown => "migration_slowdown",
+            FaultKind::Partition => "partition",
+            FaultKind::ServerFlap => "server_flap",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// True for kinds that describe a single migration attempt (and are
+    /// therefore valid in [`ScriptedFault`]); partition and flap faults are
+    /// windowed and configured separately.
+    pub fn is_migration_stage(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CheckpointFail | FaultKind::RestoreFail | FaultKind::MigrationSlowdown
+        )
+    }
+}
+
+/// A window during which the central scheduler cannot reach `server`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The unreachable server.
+    pub server: ServerId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive) — the heal instant.
+    pub until: SimTime,
+}
+
+/// A scripted fail/recover cycle for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapSpec {
+    /// The flapping server.
+    pub server: ServerId,
+    /// Time of the first failure.
+    pub first_fail: SimTime,
+    /// How long each outage lasts.
+    pub down: SimDuration,
+    /// How long the server stays up between outages.
+    pub up: SimDuration,
+    /// Number of fail/recover cycles.
+    pub cycles: u32,
+}
+
+/// An exact fault pinned to one migration attempt of one job.
+///
+/// Scripted faults override the randomized draw for that (job, attempt)
+/// pair; `kind` must be a migration-stage kind (see
+/// [`FaultKind::is_migration_stage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// The job whose migration is targeted.
+    pub job: JobId,
+    /// Which attempt fails (1 = the job's first migration attempt ever).
+    pub attempt: u32,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Declarative, seedable description of every fault a run should see.
+///
+/// The default plan injects nothing; builders opt into each fault class.
+/// Randomized migration faults are drawn per (job, attempt) from a
+/// counter-based hash of `seed`, so the outcome of any given attempt is
+/// independent of event ordering and thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the randomized per-migration draws.
+    pub seed: u64,
+    /// Probability a migration fails at the checkpoint stage.
+    pub checkpoint_fail_rate: f64,
+    /// Probability a migration fails at the restore stage.
+    pub restore_fail_rate: f64,
+    /// Probability a migration is slowed down (but succeeds).
+    pub slowdown_rate: f64,
+    /// Outage multiplier applied by a slowdown fault (≥ 1).
+    pub slowdown_factor: f64,
+    /// Network-partition windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// Server fail/recover cycles.
+    pub flaps: Vec<FlapSpec>,
+    /// Exact faults pinned to specific (job, attempt) pairs.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            checkpoint_fail_rate: 0.0,
+            restore_fail_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown_factor: 3.0,
+            partitions: Vec::new(),
+            flaps: Vec::new(),
+            scripted: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the seed for randomized draws.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the checkpoint- and restore-stage failure probabilities.
+    pub fn with_migration_fail_rates(mut self, checkpoint: f64, restore: f64) -> Self {
+        self.checkpoint_fail_rate = checkpoint;
+        self.restore_fail_rate = restore;
+        self
+    }
+
+    /// Sets the slowdown probability and outage multiplier.
+    pub fn with_slowdown(mut self, rate: f64, factor: f64) -> Self {
+        self.slowdown_rate = rate;
+        self.slowdown_factor = factor;
+        self
+    }
+
+    /// Adds a partition window for `server` over `[from, until)`.
+    pub fn with_partition(mut self, server: ServerId, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(PartitionWindow {
+            server,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a fail/recover flap cycle for one server.
+    pub fn with_flap(
+        mut self,
+        server: ServerId,
+        first_fail: SimTime,
+        down: SimDuration,
+        up: SimDuration,
+        cycles: u32,
+    ) -> Self {
+        self.flaps.push(FlapSpec {
+            server,
+            first_fail,
+            down,
+            up,
+            cycles,
+        });
+        self
+    }
+
+    /// Pins `kind` to `job`'s `attempt`-th migration attempt.
+    pub fn with_scripted(mut self, job: JobId, attempt: u32, kind: FaultKind) -> Self {
+        self.scripted.push(ScriptedFault { job, attempt, kind });
+        self
+    }
+
+    /// True when the plan injects nothing at all (the engine skips the
+    /// fault path entirely for such plans).
+    pub fn is_noop(&self) -> bool {
+        self.checkpoint_fail_rate == 0.0
+            && self.restore_fail_rate == 0.0
+            && self.slowdown_rate == 0.0
+            && self.partitions.is_empty()
+            && self.flaps.is_empty()
+            && self.scripted.is_empty()
+    }
+
+    /// Validates internal consistency, returning one message per problem.
+    ///
+    /// An empty result means the plan is well-formed. Server ids are
+    /// validated against the cluster by the engine, which knows the
+    /// topology.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (name, rate) in [
+            ("checkpoint_fail_rate", self.checkpoint_fail_rate),
+            ("restore_fail_rate", self.restore_fail_rate),
+            ("slowdown_rate", self.slowdown_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                errs.push(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        let sum = self.checkpoint_fail_rate + self.restore_fail_rate + self.slowdown_rate;
+        if sum > 1.0 + 1e-9 {
+            errs.push(format!(
+                "fault rates must sum to at most 1 (a migration has one outcome), got {sum}"
+            ));
+        }
+        if !self.slowdown_factor.is_finite() || self.slowdown_factor < 1.0 {
+            errs.push(format!(
+                "slowdown_factor must be a finite value ≥ 1, got {}",
+                self.slowdown_factor
+            ));
+        }
+        for p in &self.partitions {
+            if p.until <= p.from {
+                errs.push(format!(
+                    "partition window for {} must end after it starts ({} ≤ {})",
+                    p.server,
+                    p.until.as_secs(),
+                    p.from.as_secs()
+                ));
+            }
+        }
+        for f in &self.flaps {
+            if f.cycles == 0 {
+                errs.push(format!("flap for {} has zero cycles", f.server));
+            }
+            if f.down.is_zero() {
+                errs.push(format!("flap for {} has a zero-length outage", f.server));
+            }
+            if f.up.is_zero() && f.cycles > 1 {
+                errs.push(format!(
+                    "flap for {} has zero up-time between {} outages",
+                    f.server, f.cycles
+                ));
+            }
+        }
+        for s in &self.scripted {
+            if !s.kind.is_migration_stage() {
+                errs.push(format!(
+                    "scripted fault for {} attempt {} has kind {:?}; only migration-stage kinds \
+                     (checkpoint_fail, restore_fail, migration_slowdown) can be scripted",
+                    s.job,
+                    s.attempt,
+                    s.kind.name()
+                ));
+            }
+            if s.attempt == 0 {
+                errs.push(format!(
+                    "scripted fault for {} targets attempt 0; attempts are numbered from 1",
+                    s.job
+                ));
+            }
+        }
+        errs
+    }
+
+    /// Serializes the plan to a stable, human-editable JSON document.
+    ///
+    /// Times and durations are expressed in whole seconds.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            s,
+            "  \"checkpoint_fail_rate\": {},",
+            fmt_rate(self.checkpoint_fail_rate)
+        );
+        let _ = writeln!(
+            s,
+            "  \"restore_fail_rate\": {},",
+            fmt_rate(self.restore_fail_rate)
+        );
+        let _ = writeln!(s, "  \"slowdown_rate\": {},", fmt_rate(self.slowdown_rate));
+        let _ = writeln!(
+            s,
+            "  \"slowdown_factor\": {},",
+            fmt_rate(self.slowdown_factor)
+        );
+        s.push_str("  \"partitions\": [");
+        for (i, p) in self.partitions.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"server\": {}, \"from_secs\": {}, \"until_secs\": {}}}",
+                p.server.raw(),
+                p.from.as_secs(),
+                p.until.as_secs()
+            );
+        }
+        s.push_str(if self.partitions.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"flaps\": [");
+        for (i, f) in self.flaps.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"server\": {}, \"first_fail_secs\": {}, \"down_secs\": {}, \
+                 \"up_secs\": {}, \"cycles\": {}}}",
+                f.server.raw(),
+                f.first_fail.as_secs(),
+                f.down.as_secs(),
+                f.up.as_secs(),
+                f.cycles
+            );
+        }
+        s.push_str(if self.flaps.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"scripted\": [");
+        for (i, f) in self.scripted.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                s,
+                "{sep}\n    {{\"job\": {}, \"attempt\": {}, \"kind\": \"{}\"}}",
+                f.job.raw(),
+                f.attempt,
+                f.kind.name()
+            );
+        }
+        s.push_str(if self.scripted.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push('}');
+        s
+    }
+
+    /// Parses a plan from JSON; unknown fields are ignored and missing
+    /// fields take their defaults, so minimal plans stay minimal.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let value = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("fault plan must be a JSON object, got {}", value.kind()))?;
+        let mut plan = FaultPlan::default();
+        for (key, v) in obj {
+            match key.as_str() {
+                "seed" => plan.seed = need_u64(v, "seed")?,
+                "checkpoint_fail_rate" => {
+                    plan.checkpoint_fail_rate = need_f64(v, "checkpoint_fail_rate")?
+                }
+                "restore_fail_rate" => plan.restore_fail_rate = need_f64(v, "restore_fail_rate")?,
+                "slowdown_rate" => plan.slowdown_rate = need_f64(v, "slowdown_rate")?,
+                "slowdown_factor" => plan.slowdown_factor = need_f64(v, "slowdown_factor")?,
+                "partitions" => {
+                    for (i, item) in need_array(v, "partitions")?.iter().enumerate() {
+                        plan.partitions.push(parse_partition(item, i)?);
+                    }
+                }
+                "flaps" => {
+                    for (i, item) in need_array(v, "flaps")?.iter().enumerate() {
+                        plan.flaps.push(parse_flap(item, i)?);
+                    }
+                }
+                "scripted" => {
+                    for (i, item) in need_array(v, "scripted")?.iter().enumerate() {
+                        plan.scripted.push(parse_scripted(item, i)?);
+                    }
+                }
+                _ => {} // ignore unknown fields: plans stay forward-compatible
+            }
+        }
+        let errs = plan.validate();
+        if errs.is_empty() {
+            Ok(plan)
+        } else {
+            Err(errs.join("; "))
+        }
+    }
+}
+
+fn fmt_rate(x: f64) -> String {
+    if x == x.trunc() && x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn need_u64(v: &Value, field: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| {
+        format!(
+            "field {field} must be a non-negative integer, got {}",
+            v.kind()
+        )
+    })
+}
+
+fn need_u32(v: &Value, field: &str) -> Result<u32, String> {
+    let raw = need_u64(v, field)?;
+    u32::try_from(raw).map_err(|_| format!("field {field} does not fit in u32: {raw}"))
+}
+
+fn need_f64(v: &Value, field: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("field {field} must be a number, got {}", v.kind()))
+}
+
+fn need_array<'a>(v: &'a Value, field: &str) -> Result<&'a [Value], String> {
+    v.as_array()
+        .map(|a| a.as_slice())
+        .ok_or_else(|| format!("field {field} must be an array, got {}", v.kind()))
+}
+
+fn field<'a>(v: &'a Value, name: &str, what: &str, i: usize) -> Result<&'a Value, String> {
+    v.get(name)
+        .ok_or_else(|| format!("{what}[{i}] is missing field {name}"))
+}
+
+fn parse_partition(v: &Value, i: usize) -> Result<PartitionWindow, String> {
+    Ok(PartitionWindow {
+        server: ServerId::new(need_u32(field(v, "server", "partitions", i)?, "server")?),
+        from: SimTime::from_secs(need_u64(
+            field(v, "from_secs", "partitions", i)?,
+            "from_secs",
+        )?),
+        until: SimTime::from_secs(need_u64(
+            field(v, "until_secs", "partitions", i)?,
+            "until_secs",
+        )?),
+    })
+}
+
+fn parse_flap(v: &Value, i: usize) -> Result<FlapSpec, String> {
+    Ok(FlapSpec {
+        server: ServerId::new(need_u32(field(v, "server", "flaps", i)?, "server")?),
+        first_fail: SimTime::from_secs(need_u64(
+            field(v, "first_fail_secs", "flaps", i)?,
+            "first_fail_secs",
+        )?),
+        down: SimDuration::from_secs(need_u64(field(v, "down_secs", "flaps", i)?, "down_secs")?),
+        up: SimDuration::from_secs(need_u64(field(v, "up_secs", "flaps", i)?, "up_secs")?),
+        cycles: need_u32(field(v, "cycles", "flaps", i)?, "cycles")?,
+    })
+}
+
+fn parse_scripted(v: &Value, i: usize) -> Result<ScriptedFault, String> {
+    let kind_name = field(v, "kind", "scripted", i)?
+        .as_str()
+        .ok_or_else(|| format!("scripted[{i}].kind must be a string"))?;
+    let kind = FaultKind::from_name(kind_name).ok_or_else(|| {
+        format!(
+            "scripted[{i}].kind {kind_name:?} is not a fault kind (expected one of: {})",
+            FaultKind::ALL.map(|k| k.name()).join(", ")
+        )
+    })?;
+    Ok(ScriptedFault {
+        job: JobId::new(need_u32(field(v, "job", "scripted", i)?, "job")?),
+        attempt: need_u32(field(v, "attempt", "scripted", i)?, "attempt")?,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        assert!(plan.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_bad_rates_and_windows() {
+        let plan = FaultPlan::default().with_migration_fail_rates(0.7, 0.6);
+        assert!(plan.validate().iter().any(|e| e.contains("sum")));
+        let plan = FaultPlan::default().with_migration_fail_rates(-0.1, 0.0);
+        assert!(!plan.validate().is_empty());
+        let plan = FaultPlan::default().with_slowdown(0.1, 0.5);
+        assert!(plan
+            .validate()
+            .iter()
+            .any(|e| e.contains("slowdown_factor")));
+        let plan = FaultPlan::default().with_partition(
+            ServerId::new(0),
+            SimTime::from_secs(100),
+            SimTime::from_secs(50),
+        );
+        assert!(plan.validate().iter().any(|e| e.contains("partition")));
+        let plan = FaultPlan::default().with_scripted(JobId::new(1), 1, FaultKind::Partition);
+        assert!(plan.validate().iter().any(|e| e.contains("scripted")));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_plan() {
+        let plan = FaultPlan::default()
+            .with_seed(42)
+            .with_migration_fail_rates(0.05, 0.05)
+            .with_slowdown(0.1, 3.5)
+            .with_partition(
+                ServerId::new(2),
+                SimTime::from_secs(3600),
+                SimTime::from_secs(7200),
+            )
+            .with_flap(
+                ServerId::new(1),
+                SimTime::from_secs(600),
+                SimDuration::from_secs(120),
+                SimDuration::from_secs(1800),
+                3,
+            )
+            .with_scripted(JobId::new(7), 1, FaultKind::RestoreFail);
+        let json = plan.to_json();
+        let parsed = FaultPlan::from_json(&json).expect("round trip");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let plan = FaultPlan::from_json("{\"checkpoint_fail_rate\": 0.1}").expect("minimal plan");
+        assert_eq!(plan.checkpoint_fail_rate, 0.1);
+        assert_eq!(plan.slowdown_factor, 3.0);
+        assert!(plan.partitions.is_empty());
+        assert!(FaultPlan::from_json("[1, 2]").is_err());
+        assert!(FaultPlan::from_json("{\"checkpoint_fail_rate\": 2.0}").is_err());
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+}

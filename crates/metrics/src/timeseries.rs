@@ -89,6 +89,7 @@ mod tests {
             gpu_secs_capacity: 0.0,
             profile_reports: 0,
             stale_migrations: 0,
+            migration_failures: 0,
             obs: None,
         }
     }

@@ -20,6 +20,15 @@
 //!   (post-trade entitlements), they sum to the cluster's physical GPU
 //!   supply: trading may move entitlement between users and generations but
 //!   can never mint or destroy it.
+//! * **Migration lifecycle** — across a failed migration no job is lost or
+//!   duplicated: every `Migration` resolves to exactly one `Placement` or
+//!   `MigrationFailed`, a failed job is either still resident or back in
+//!   the queue, and an in-flight job can neither start a second migration
+//!   nor finish.
+//! * **Heal conservation** — ticket conservation specifically re-checked at
+//!   the first planned round after a partition heals (stale partition-era
+//!   entitlements must not leak into the healed economy). Reported as its
+//!   own violation kind so fault experiments can tell the phases apart.
 //!
 //! Warn-only (counted, not fatal):
 //! * **Work conservation** — a round that grants no GPUs while resident
@@ -87,6 +96,20 @@ pub enum ViolationKind {
         /// Actual sum of reported user tickets.
         actual: f64,
     },
+    /// A job was lost or duplicated across a migration or migration
+    /// failure.
+    MigrationLifecycle {
+        /// Offending job.
+        job: JobId,
+    },
+    /// Ticket conservation failed at the first round after a partition
+    /// healed.
+    HealConservation {
+        /// Expected total (physical GPUs).
+        expected: f64,
+        /// Actual sum of reported user tickets.
+        actual: f64,
+    },
 }
 
 /// One detected invariant violation, with the offending round's trace.
@@ -130,6 +153,12 @@ pub struct Auditor {
     up: BTreeSet<ServerId>,
     jobs: BTreeMap<JobId, JobFacts>,
     residency: BTreeMap<JobId, ServerId>,
+    /// Migrations that have started but not yet resolved to a `Placement`
+    /// or a `MigrationFailed`, keyed by job → (source, destination).
+    in_flight: BTreeMap<JobId, (ServerId, ServerId)>,
+    /// A partition healed since the last planned round; the next ticket
+    /// conservation check reports as [`ViolationKind::HealConservation`].
+    heal_pending: bool,
     /// GPUs granted per server in the round being assembled.
     packed: BTreeMap<ServerId, u32>,
     /// Jobs granted GPUs in the round being assembled.
@@ -163,6 +192,13 @@ impl Auditor {
     /// Warn-level findings so far.
     pub fn warnings(&self) -> u64 {
         self.warnings
+    }
+
+    /// Migrations currently in flight (started, not yet landed or failed).
+    /// Zero at the end of a clean run: every migration resolved to exactly
+    /// one `Placement` or `MigrationFailed`.
+    pub fn open_migrations(&self) -> usize {
+        self.in_flight.len()
     }
 
     /// Hands out the next not-yet-taken violation, if any. The engine polls
@@ -205,16 +241,81 @@ impl Auditor {
                 self.jobs.insert(*job, JobFacts { gang: *gang });
             }
             TraceEvent::JobFinish { job, .. } => {
+                if self.in_flight.remove(job).is_some() {
+                    self.fail(
+                        ViolationKind::MigrationLifecycle { job: *job },
+                        format!("job {job} finished while its migration was still in flight"),
+                    );
+                }
                 self.residency.remove(job);
                 self.jobs.remove(job);
             }
             TraceEvent::Placement { job, server, .. } => {
+                if let Some((_, to)) = self.in_flight.remove(job) {
+                    if to != *server {
+                        self.fail(
+                            ViolationKind::MigrationLifecycle { job: *job },
+                            format!(
+                                "job {job} landed on server {server} but its migration targeted {to}"
+                            ),
+                        );
+                    }
+                }
                 self.residency.insert(*job, *server);
             }
-            TraceEvent::Migration { job, .. } => {
+            TraceEvent::Migration { job, from, to, .. } => {
                 // In flight: not resident anywhere until it lands (a
-                // `Placement` event at the destination).
+                // `Placement` event at the destination) or fails (a
+                // `MigrationFailed` event).
+                if self.in_flight.insert(*job, (*from, *to)).is_some() {
+                    self.fail(
+                        ViolationKind::MigrationLifecycle { job: *job },
+                        format!("job {job} started a second migration while one was in flight"),
+                    );
+                }
                 self.residency.remove(job);
+            }
+            TraceEvent::MigrationFailed { job, reason, .. } => {
+                let was_in_flight = self.in_flight.remove(job).is_some();
+                // A failed migration must leave the job accounted for; what
+                // that means depends on the failure stage.
+                match reason {
+                    gfair_types::MigrationFailReason::Checkpoint => {
+                        // The checkpoint failed on the source, so the job
+                        // never left: it must still be resident there.
+                        if !self.residency.contains_key(job) && self.jobs.contains_key(job) {
+                            self.fail(
+                                ViolationKind::MigrationLifecycle { job: *job },
+                                format!(
+                                    "job {job} lost across a checkpoint failure: it should have stayed resident at its source"
+                                ),
+                            );
+                        }
+                    }
+                    gfair_types::MigrationFailReason::Restore => {
+                        // A restore can only fail after the transfer
+                        // started, i.e. for an in-flight job.
+                        if !was_in_flight {
+                            self.fail(
+                                ViolationKind::MigrationLifecycle { job: *job },
+                                format!(
+                                    "restore failure reported for job {job}, which was not in flight"
+                                ),
+                            );
+                        }
+                    }
+                    gfair_types::MigrationFailReason::TargetDown
+                    | gfair_types::MigrationFailReason::Unreachable => {
+                        // Either a mid-flight strand (resolves the in-flight
+                        // record) or an undeliverable decision that left the
+                        // job untouched (resident or pending); both are
+                        // consistent.
+                    }
+                }
+            }
+            TraceEvent::PartitionStart { .. } | TraceEvent::Reconcile { .. } => {}
+            TraceEvent::PartitionEnd { .. } => {
+                self.heal_pending = true;
             }
             TraceEvent::GangPacked {
                 round,
@@ -297,13 +398,25 @@ impl Auditor {
                     let expected = *tickets_total;
                     let tol = TICKET_TOL * expected.abs().max(1.0);
                     if (actual - expected).abs() > tol {
-                        self.fail(
-                            ViolationKind::TicketConservation { expected, actual },
-                            format!(
-                                "ticket conservation: user entitlements sum to {actual} but the cluster supplies {expected} GPUs"
-                            ),
-                        );
+                        if self.heal_pending {
+                            self.fail(
+                                ViolationKind::HealConservation { expected, actual },
+                                format!(
+                                    "heal conservation: first round after a partition heal has user entitlements summing to {actual} but the cluster supplies {expected} GPUs"
+                                ),
+                            );
+                        } else {
+                            self.fail(
+                                ViolationKind::TicketConservation { expected, actual },
+                                format!(
+                                    "ticket conservation: user entitlements sum to {actual} but the cluster supplies {expected} GPUs"
+                                ),
+                            );
+                        }
                     }
+                    // The scheduler reported a full economy this round; any
+                    // pending heal check has now been performed.
+                    self.heal_pending = false;
                 }
                 if *gpus_used == 0 && !self.residency.is_empty() {
                     self.warnings += 1;
@@ -567,6 +680,203 @@ mod tests {
         a.process(&packed(99, 1, 1));
         let v = a.take_fatal().expect("violation");
         assert!(matches!(v.kind, ViolationKind::UnknownJob { .. }));
+    }
+
+    fn migration(job: u32, from: u32, to: u32) -> TraceEvent {
+        TraceEvent::Migration {
+            t: t0(),
+            job: JobId::new(job),
+            from: ServerId::new(from),
+            to: ServerId::new(to),
+            outage_secs: 30.0,
+        }
+    }
+
+    fn failed(
+        job: u32,
+        from: u32,
+        to: u32,
+        reason: gfair_types::MigrationFailReason,
+    ) -> TraceEvent {
+        TraceEvent::MigrationFailed {
+            t: t0(),
+            job: JobId::new(job),
+            from: ServerId::new(from),
+            to: ServerId::new(to),
+            reason,
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn failed_migration_of_in_flight_job_is_clean() {
+        use gfair_types::MigrationFailReason;
+        let mut a = setup();
+        a.process(&migration(1, 0, 1));
+        a.process(&failed(1, 0, 1, MigrationFailReason::Restore));
+        assert!(a.violations().is_empty());
+        // The job can be re-placed afterwards without complaint.
+        a.process(&TraceEvent::Placement {
+            t: t0(),
+            job: JobId::new(1),
+            server: ServerId::new(0),
+            gang: 4,
+        });
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_failure_of_resident_job_is_clean() {
+        use gfair_types::MigrationFailReason;
+        let mut a = setup();
+        // No Migration event: the checkpoint failed, the job never left.
+        a.process(&failed(1, 0, 1, MigrationFailReason::Checkpoint));
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn lost_job_across_failed_migration_is_detected() {
+        use gfair_types::MigrationFailReason;
+        let mut a = setup();
+        a.process(&migration(1, 0, 1));
+        // A buggy engine reports the restore failure twice: the second
+        // report finds the job not in flight — it was silently dropped.
+        a.process(&failed(1, 0, 1, MigrationFailReason::Restore));
+        assert!(a.violations().is_empty());
+        a.process(&failed(1, 0, 1, MigrationFailReason::Restore));
+        let v = a.take_fatal().expect("violation");
+        assert_eq!(
+            v.kind,
+            ViolationKind::MigrationLifecycle { job: JobId::new(1) }
+        );
+        assert!(v.message.contains("not in flight"));
+        assert_eq!(a.open_migrations(), 0);
+    }
+
+    #[test]
+    fn checkpoint_failure_of_missing_job_is_detected() {
+        use gfair_types::MigrationFailReason;
+        let mut a = setup();
+        // Take the job off its server (in flight), then claim a checkpoint
+        // failure: a checkpoint failure means it never left, contradiction.
+        a.process(&migration(1, 0, 1));
+        a.process(&failed(1, 0, 1, MigrationFailReason::Checkpoint));
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::MigrationLifecycle { .. }));
+        assert!(v.message.contains("checkpoint"));
+    }
+
+    #[test]
+    fn undeliverable_decisions_for_pending_jobs_are_clean() {
+        use gfair_types::MigrationFailReason;
+        let mut a = Auditor::new();
+        a.process(&TraceEvent::ServerUp {
+            t: t0(),
+            server: ServerId::new(0),
+            gen: GenId::new(0),
+            gpus: 4,
+        });
+        a.process(&TraceEvent::JobArrive {
+            t: t0(),
+            job: JobId::new(1),
+            user: UserId::new(0),
+            gang: 4,
+            service_secs: 100.0,
+        });
+        // A queued placement raced a server failure: the job is pending,
+        // was never in flight, and that is fine.
+        a.process(&failed(1, 0, 0, MigrationFailReason::TargetDown));
+        a.process(&failed(1, 0, 0, MigrationFailReason::Unreachable));
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn duplicated_migration_and_wrong_landing_are_detected() {
+        let mut a = setup();
+        a.process(&migration(1, 0, 1));
+        a.process(&migration(1, 0, 2));
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::MigrationLifecycle { .. }));
+        assert!(v.message.contains("second migration"));
+        // The surviving in-flight record targets server 2; landing on 3 is
+        // a lifecycle violation too.
+        a.process(&TraceEvent::Placement {
+            t: t0(),
+            job: JobId::new(1),
+            server: ServerId::new(3),
+            gang: 4,
+        });
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::MigrationLifecycle { .. }));
+        assert!(v.message.contains("targeted"));
+    }
+
+    #[test]
+    fn finish_while_in_flight_is_detected() {
+        let mut a = setup();
+        a.process(&migration(1, 0, 1));
+        a.process(&TraceEvent::JobFinish {
+            t: t0(),
+            job: JobId::new(1),
+            user: UserId::new(0),
+        });
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::MigrationLifecycle { .. }));
+        assert!(v.message.contains("finished"));
+    }
+
+    #[test]
+    fn heal_conservation_has_its_own_kind() {
+        use crate::event::UserShare;
+        let mut a = setup();
+        a.process(&TraceEvent::PartitionStart {
+            t: t0(),
+            server: ServerId::new(0),
+        });
+        a.process(&TraceEvent::PartitionEnd {
+            t: t0(),
+            server: ServerId::new(0),
+        });
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 1,
+            scheduled: 0,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![UserShare {
+                user: UserId::new(0),
+                tickets: 5.0,
+                pass: 0.0,
+            }],
+        });
+        let v = a.take_fatal().expect("violation");
+        assert_eq!(
+            v.kind,
+            ViolationKind::HealConservation {
+                expected: 4.0,
+                actual: 5.0
+            }
+        );
+        // The flag clears after the first reported round: a later mismatch
+        // is ordinary ticket conservation again.
+        a.process(&TraceEvent::RoundPlanned {
+            t: t0(),
+            round: 2,
+            scheduled: 0,
+            gpus_used: 4,
+            gpus_up: 4,
+            pending: 0,
+            tickets_total: 4.0,
+            users: vec![UserShare {
+                user: UserId::new(0),
+                tickets: 5.0,
+                pass: 0.0,
+            }],
+        });
+        let v = a.take_fatal().expect("violation");
+        assert!(matches!(v.kind, ViolationKind::TicketConservation { .. }));
     }
 
     #[test]

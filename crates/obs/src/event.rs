@@ -11,7 +11,7 @@
 //! shortest round-trip formatting, and the `kind` discriminator always comes
 //! first so line-oriented tools can dispatch without a full parse.
 
-use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
+use gfair_types::{GenId, JobId, MigrationFailReason, ServerId, SimTime, UserId};
 use std::fmt::Write as _;
 
 /// One user's scheduling state inside a [`TraceEvent::RoundPlanned`] event.
@@ -101,6 +101,55 @@ pub enum TraceEvent {
         /// Checkpoint/restore outage in seconds.
         outage_secs: f64,
     },
+    /// A migration (or undeliverable placement decision) failed; the job is
+    /// either still at its source (`checkpoint`), re-queued (`restore`,
+    /// `target_down`), or untouched because the decision never reached the
+    /// server (`unreachable`).
+    MigrationFailed {
+        /// Simulated time.
+        t: SimTime,
+        /// The job.
+        job: JobId,
+        /// Where the job was when the attempt started (equal to `to` for
+        /// failed initial placements, which have no source).
+        from: ServerId,
+        /// The intended destination.
+        to: ServerId,
+        /// What went wrong.
+        reason: MigrationFailReason,
+        /// Which attempt this was (1 = the job's first migration ever).
+        attempt: u32,
+    },
+    /// The central scheduler lost contact with a server's local scheduler.
+    /// The server keeps running its last-received stride state.
+    PartitionStart {
+        /// Simulated time.
+        t: SimTime,
+        /// The unreachable server.
+        server: ServerId,
+    },
+    /// Connectivity to a partitioned server was restored.
+    PartitionEnd {
+        /// Simulated time.
+        t: SimTime,
+        /// The healed server.
+        server: ServerId,
+    },
+    /// After a partition healed, the central scheduler re-synced state with
+    /// the server's local scheduler.
+    Reconcile {
+        /// Simulated time.
+        t: SimTime,
+        /// The healed server.
+        server: ServerId,
+        /// Users whose entitlements were re-synced cluster-wide.
+        users_resynced: u32,
+        /// Jobs found resident on the server and re-validated.
+        jobs_revalidated: u32,
+        /// Jobs whose residency diverged from the central scheduler's
+        /// last-known view during the partition.
+        drift: u32,
+    },
     /// One job was granted its gang on a server for the coming quantum.
     ///
     /// `width` is the allocation actually granted and `gang` the job's
@@ -186,6 +235,10 @@ impl TraceEvent {
             TraceEvent::JobFinish { .. } => "job_finish",
             TraceEvent::Placement { .. } => "placement",
             TraceEvent::Migration { .. } => "migration",
+            TraceEvent::MigrationFailed { .. } => "migration_failed",
+            TraceEvent::PartitionStart { .. } => "partition_start",
+            TraceEvent::PartitionEnd { .. } => "partition_end",
+            TraceEvent::Reconcile { .. } => "reconcile",
             TraceEvent::GangPacked { .. } => "gang_packed",
             TraceEvent::RoundPlanned { .. } => "round_planned",
             TraceEvent::TradeExecuted { .. } => "trade_executed",
@@ -202,6 +255,10 @@ impl TraceEvent {
             | TraceEvent::JobFinish { t, .. }
             | TraceEvent::Placement { t, .. }
             | TraceEvent::Migration { t, .. }
+            | TraceEvent::MigrationFailed { t, .. }
+            | TraceEvent::PartitionStart { t, .. }
+            | TraceEvent::PartitionEnd { t, .. }
+            | TraceEvent::Reconcile { t, .. }
             | TraceEvent::GangPacked { t, .. }
             | TraceEvent::RoundPlanned { t, .. }
             | TraceEvent::TradeExecuted { t, .. }
@@ -275,6 +332,39 @@ impl TraceEvent {
                     from.index(),
                     to.index(),
                     fmt_f64(*outage_secs)
+                );
+            }
+            TraceEvent::MigrationFailed {
+                job,
+                from,
+                to,
+                reason,
+                attempt,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"from\":{},\"to\":{},\"reason\":\"{}\",\"attempt\":{attempt}",
+                    job.index(),
+                    from.index(),
+                    to.index(),
+                    reason.as_str()
+                );
+            }
+            TraceEvent::PartitionStart { server, .. } | TraceEvent::PartitionEnd { server, .. } => {
+                let _ = write!(s, ",\"server\":{}", server.index());
+            }
+            TraceEvent::Reconcile {
+                server,
+                users_resynced,
+                jobs_revalidated,
+                drift,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"server\":{},\"users_resynced\":{users_resynced},\"jobs_revalidated\":{jobs_revalidated},\"drift\":{drift}",
+                    server.index()
                 );
             }
             TraceEvent::GangPacked {
@@ -469,6 +559,49 @@ mod tests {
         };
         let line = ev.to_json_line();
         assert!(line.contains("\"model\":\"we\\\"ird\\\\name\""));
+    }
+
+    #[test]
+    fn fault_events_render_stable_lines() {
+        let ev = TraceEvent::MigrationFailed {
+            t: SimTime::from_secs(10),
+            job: JobId::new(4),
+            from: ServerId::new(1),
+            to: ServerId::new(2),
+            reason: MigrationFailReason::Restore,
+            attempt: 2,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"migration_failed\",\"t_us\":10000000,\"job\":4,\"from\":1,\"to\":2,\"reason\":\"restore\",\"attempt\":2}"
+        );
+        let ev = TraceEvent::PartitionStart {
+            t: SimTime::from_secs(5),
+            server: ServerId::new(3),
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"partition_start\",\"t_us\":5000000,\"server\":3}"
+        );
+        let ev = TraceEvent::Reconcile {
+            t: SimTime::from_secs(6),
+            server: ServerId::new(3),
+            users_resynced: 4,
+            jobs_revalidated: 7,
+            drift: 1,
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"reconcile\",\"t_us\":6000000,\"server\":3,\"users_resynced\":4,\"jobs_revalidated\":7,\"drift\":1}"
+        );
+        assert_eq!(
+            TraceEvent::PartitionEnd {
+                t: SimTime::ZERO,
+                server: ServerId::new(0)
+            }
+            .kind(),
+            "partition_end"
+        );
     }
 
     #[test]

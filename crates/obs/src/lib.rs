@@ -13,7 +13,9 @@
 //!    deterministic [`ObsSummary`] embedded in `SimReport`.
 //! 3. **The auditor** ([`Auditor`]) — re-derives cluster state from the
 //!    stream and checks gang atomicity, GPU overcommit, residency, ticket
-//!    conservation, and work conservation online. The engine polls
+//!    conservation, migration lifecycle (no job lost or duplicated across
+//!    a failed migration), conservation across partition heals, and work
+//!    conservation online. The engine polls
 //!    [`Obs::take_fatal`] each round and aborts the run on a violation,
 //!    printing the offending round's trace.
 //!
@@ -202,6 +204,13 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
         TraceEvent::Migration { outage_secs, .. } => {
             m.inc("migrations", 1);
             m.observe("migration_outage_secs", *outage_secs);
+        }
+        TraceEvent::MigrationFailed { .. } => m.inc("migration_failures", 1),
+        TraceEvent::PartitionStart { .. } => m.inc("partitions", 1),
+        TraceEvent::PartitionEnd { .. } => m.inc("partition_heals", 1),
+        TraceEvent::Reconcile { drift, .. } => {
+            m.inc("reconciles", 1);
+            m.inc("reconcile_drift", u64::from(*drift));
         }
         TraceEvent::GangPacked { width, .. } => {
             m.inc("gangs_packed", 1);

@@ -29,10 +29,11 @@ use crate::job::{JobRecord, JobRt};
 use crate::report::{SimReport, WindowSample};
 use crate::sched::{Action, ClusterScheduler, ProfileReport, RoundPlan};
 use crate::view::SimView;
+use gfair_faults::{FaultInjector, FaultPlan, MigrationFault};
 use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, Violation, ViolationKind};
 use gfair_types::{
-    ClusterSpec, GfairError, JobId, JobSpec, JobState, Result, ServerId, SimConfig, SimDuration,
-    SimTime, UserSpec,
+    ClusterSpec, GfairError, JobId, JobSpec, JobState, MigrationFailReason, Result, ServerId,
+    SimConfig, SimDuration, SimTime, UserSpec,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -54,6 +55,15 @@ pub struct Simulation {
     /// transition so view queries run in O(answer); see [`crate::index`].
     index: ClusterIndex,
     down: BTreeSet<ServerId>,
+    /// Servers whose local scheduler the central scheduler cannot currently
+    /// reach (they keep running, but decisions targeting them are dropped).
+    partitioned: BTreeSet<ServerId>,
+    /// Fault injector, when a [`FaultPlan`] was attached; `None` keeps the
+    /// fault machinery entirely off the hot path.
+    faults: Option<FaultInjector>,
+    /// Failed-migration notifications awaiting delivery to the scheduler at
+    /// the next round boundary: (job, intended destination, reason).
+    pending_fault_notices: Vec<(JobId, ServerId, MigrationFailReason)>,
     queue: EventQueue,
     now: SimTime,
     rng: ChaCha8Rng,
@@ -64,6 +74,7 @@ pub struct Simulation {
     rounds: u64,
     migrations: u32,
     stale_migrations: u32,
+    migration_failures: u32,
     migration_outage: SimDuration,
     gpu_secs_used: f64,
     profile_reports: u64,
@@ -163,6 +174,9 @@ impl Simulation {
             residents,
             index,
             down: BTreeSet::new(),
+            partitioned: BTreeSet::new(),
+            faults: None,
+            pending_fault_notices: Vec::new(),
             queue,
             now: SimTime::ZERO,
             rng,
@@ -172,6 +186,7 @@ impl Simulation {
             rounds: 0,
             migrations: 0,
             stale_migrations: 0,
+            migration_failures: 0,
             migration_outage: SimDuration::ZERO,
             gpu_secs_used: 0.0,
             profile_reports: 0,
@@ -261,6 +276,49 @@ impl Simulation {
         self
     }
 
+    /// Attaches a deterministic fault plan: migration checkpoint/restore
+    /// failures and slowdowns (seeded per-attempt draws plus scripted
+    /// faults), per-server network-partition windows, and server flapping.
+    ///
+    /// The plan's partition windows and flap cycles are scheduled as events
+    /// here; migration faults are drawn lazily as attempts start, keyed on
+    /// `(seed, job, attempt)` so the outcome never depends on event
+    /// interleaving or planner thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] or references a
+    /// server the cluster does not have.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let errs = plan.validate();
+        assert!(errs.is_empty(), "invalid fault plan: {}", errs.join("; "));
+        let num_servers = self.cluster.servers.len();
+        for w in &plan.partitions {
+            assert!(
+                w.server.index() < num_servers,
+                "fault plan partitions unknown server {}",
+                w.server
+            );
+            self.queue.push(w.from, EventKind::PartitionStart(w.server));
+            self.queue.push(w.until, EventKind::PartitionEnd(w.server));
+        }
+        let injector = FaultInjector::new(plan);
+        for (at, server, is_failure) in injector.server_events() {
+            assert!(
+                server.index() < num_servers,
+                "fault plan flaps unknown server {server}"
+            );
+            let kind = if is_failure {
+                EventKind::ServerFail(server)
+            } else {
+                EventKind::ServerRecover(server)
+            };
+            self.queue.push(at, kind);
+        }
+        self.faults = Some(injector);
+        self
+    }
+
     /// Runs until every job has finished (or the round safety limit trips).
     ///
     /// # Errors
@@ -313,6 +371,8 @@ impl Simulation {
                 EventKind::MigrationDone(job) => self.on_migration_done(scheduler, job),
                 EventKind::ServerFail(server) => self.on_server_fail(scheduler, server),
                 EventKind::ServerRecover(server) => self.on_server_recover(scheduler, server),
+                EventKind::PartitionStart(server) => self.on_partition_start(scheduler, server),
+                EventKind::PartitionEnd(server) => self.on_partition_end(scheduler, server),
                 EventKind::TicketChange(user, tickets) => {
                     if let Some(u) = self.users.iter_mut().find(|u| u.id == user) {
                         u.tickets = tickets;
@@ -336,6 +396,7 @@ impl Simulation {
             residents: &self.residents,
             index: &self.index,
             down: &self.down,
+            partitioned: &self.partitioned,
             config: &self.config,
         }
     }
@@ -391,17 +452,33 @@ impl Simulation {
     }
 
     fn on_migration_done(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
-        let landed = {
+        enum Outcome {
+            Landed(ServerId, u32),
+            Failed(ServerId, ServerId, MigrationFailReason, u32),
+        }
+        let outcome = {
             let j = self.jobs.get_mut(&job).expect("migration for known job");
             debug_assert_eq!(j.info.state, JobState::Migrating);
             let dst = j.info.server.expect("migrating job has a destination");
+            let from = j.migrating_from.take().unwrap_or(dst);
+            let attempt = j.attempts;
             if self.down.contains(&dst) {
                 // The destination failed while the job was in flight: the
                 // job is stranded and must be re-placed.
+                j.restore_fail = false;
                 j.info.state = JobState::Pending;
                 j.info.server = None;
                 self.index.on_evict(job);
-                None
+                Outcome::Failed(from, dst, MigrationFailReason::TargetDown, attempt)
+            } else if j.restore_fail {
+                // The injected fault fires: the restore fails on the
+                // destination and the job goes back to the pending queue
+                // (its checkpointed progress is intact).
+                j.restore_fail = false;
+                j.info.state = JobState::Pending;
+                j.info.server = None;
+                self.index.on_evict(job);
+                Outcome::Failed(from, dst, MigrationFailReason::Restore, attempt)
             } else {
                 j.info.state = JobState::Resident;
                 j.info.last_migration = Some(self.now);
@@ -410,19 +487,31 @@ impl Simulation {
                     .expect("destination exists")
                     .insert(job);
                 self.index.add_demand(dst, j.info.gang);
-                Some((dst, j.info.gang))
+                Outcome::Landed(dst, j.info.gang)
             }
         };
-        let actions = if let Some((server, gang)) = landed {
-            self.obs.emit(TraceEvent::Placement {
-                t: self.now,
-                job,
-                server,
-                gang,
-            });
-            scheduler.on_migration_done(&self.view(), job)
-        } else {
-            scheduler.on_job_evicted(&self.view(), job)
+        let actions = match outcome {
+            Outcome::Landed(server, gang) => {
+                self.obs.emit(TraceEvent::Placement {
+                    t: self.now,
+                    job,
+                    server,
+                    gang,
+                });
+                scheduler.on_migration_done(&self.view(), job)
+            }
+            Outcome::Failed(from, to, reason, attempt) => {
+                self.migration_failures += 1;
+                self.obs.emit(TraceEvent::MigrationFailed {
+                    t: self.now,
+                    job,
+                    from,
+                    to,
+                    reason,
+                    attempt,
+                });
+                scheduler.on_migration_failed(&self.view(), job, to, reason)
+            }
         };
         self.pending_actions.extend(actions);
     }
@@ -480,6 +569,35 @@ impl Simulation {
         self.pending_actions.extend(actions);
     }
 
+    fn on_partition_start(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
+        if !self.partitioned.insert(server) {
+            return; // already partitioned
+        }
+        // The server itself keeps running: residents stay resident and keep
+        // making progress on the last-received stride state. Only the
+        // control path (decision delivery) is cut.
+        self.obs.emit(TraceEvent::PartitionStart {
+            t: self.now,
+            server,
+        });
+        let actions = scheduler.on_partition(&self.view(), server);
+        self.pending_actions.extend(actions);
+        self.arm_round(self.now);
+    }
+
+    fn on_partition_end(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
+        if !self.partitioned.remove(&server) {
+            return; // was not partitioned
+        }
+        self.obs.emit(TraceEvent::PartitionEnd {
+            t: self.now,
+            server,
+        });
+        let actions = scheduler.on_partition_heal(&self.view(), server);
+        self.pending_actions.extend(actions);
+        self.arm_round(self.now);
+    }
+
     /// Applies a placement or migration.
     ///
     /// `queued` actions were decided by mid-round callbacks against a view
@@ -498,13 +616,33 @@ impl Simulation {
                     .ok_or(GfairError::UnknownServer(server))?;
                 if self.down.contains(&server) {
                     if queued {
-                        // Raced with a failure; the job stays pending and
-                        // the scheduler's retry path re-places it.
+                        // Raced with a failure. The job stays pending;
+                        // notify the scheduler so its retry path (not just
+                        // luck) re-places it.
                         self.stale_migrations += 1;
                         self.obs.inc("stale_migrations", 1);
+                        self.pending_fault_notices.push((
+                            job,
+                            server,
+                            MigrationFailReason::TargetDown,
+                        ));
                         return Ok(());
                     }
                     return Err(GfairError::ServerDown(server));
+                }
+                if self.partitioned.contains(&server) {
+                    // The decision cannot be delivered to the server's
+                    // local scheduler. Soft-skip in both phases — the
+                    // partition may have started after the scheduler's
+                    // information went stale — and notify.
+                    self.stale_migrations += 1;
+                    self.obs.inc("stale_migrations", 1);
+                    self.pending_fault_notices.push((
+                        job,
+                        server,
+                        MigrationFailReason::Unreachable,
+                    ));
+                    return Ok(());
                 }
                 let gpus = srv.num_gpus;
                 let j = self.jobs.get_mut(&job).ok_or(GfairError::UnknownJob(job))?;
@@ -542,12 +680,8 @@ impl Simulation {
                     .servers
                     .get(to.index())
                     .ok_or(GfairError::UnknownServer(to))?;
-                if self.down.contains(&to) {
-                    if queued {
-                        self.stale_migrations += 1;
-                        self.obs.inc("stale_migrations", 1);
-                        return Ok(());
-                    }
+                let target_down = self.down.contains(&to);
+                if target_down && !queued {
                     return Err(GfairError::ServerDown(to));
                 }
                 let gpus = srv.num_gpus;
@@ -559,6 +693,33 @@ impl Simulation {
                     self.obs.inc("stale_migrations", 1);
                     return Ok(());
                 }
+                let src = j.info.server.expect("resident job has a server");
+                if target_down || self.partitioned.contains(&to) || self.partitioned.contains(&src)
+                {
+                    // Undeliverable: the queued decision raced a failure, or
+                    // a partition cut the control path to either end. The
+                    // job stays where it is; notify so a retrying scheduler
+                    // can route the move through its retry path.
+                    let reason = if target_down {
+                        MigrationFailReason::TargetDown
+                    } else {
+                        MigrationFailReason::Unreachable
+                    };
+                    let attempt = j.attempts + 1;
+                    self.stale_migrations += 1;
+                    self.obs.inc("stale_migrations", 1);
+                    self.migration_failures += 1;
+                    self.obs.emit(TraceEvent::MigrationFailed {
+                        t: self.now,
+                        job,
+                        from: src,
+                        to,
+                        reason,
+                        attempt,
+                    });
+                    self.pending_fault_notices.push((job, to, reason));
+                    return Ok(());
+                }
                 if j.info.gang > gpus {
                     return Err(GfairError::GangDoesNotFit {
                         job,
@@ -567,11 +728,48 @@ impl Simulation {
                         gpus,
                     });
                 }
-                let src = j.info.server.expect("resident job has a server");
                 if src == to {
                     // No-op move; ignore.
                     return Ok(());
                 }
+                // The attempt starts: draw its fate (if faults are active).
+                // The draw is keyed on (seed, job, attempt), so it depends
+                // only on the attempt itself, never on event interleaving.
+                let attempt = j.attempts + 1;
+                j.attempts = attempt;
+                let mut cost = j.info.migration_cost;
+                match self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.migration_fault(job, attempt))
+                {
+                    Some(MigrationFault::Checkpoint) => {
+                        // The checkpoint write failed: the job never leaves
+                        // its source and keeps running there.
+                        self.migration_failures += 1;
+                        self.obs.emit(TraceEvent::MigrationFailed {
+                            t: self.now,
+                            job,
+                            from: src,
+                            to,
+                            reason: MigrationFailReason::Checkpoint,
+                            attempt,
+                        });
+                        self.pending_fault_notices
+                            .push((job, to, MigrationFailReason::Checkpoint));
+                        return Ok(());
+                    }
+                    Some(MigrationFault::Restore) => {
+                        // The transfer departs but is fated to fail at the
+                        // restore stage; resolved in `on_migration_done`.
+                        j.restore_fail = true;
+                    }
+                    Some(MigrationFault::Slowdown(factor)) => {
+                        cost = cost.mul_f64(factor);
+                    }
+                    None => {}
+                }
+                j.migrating_from = Some(src);
                 self.residents
                     .get_mut(&src)
                     .expect("source exists")
@@ -579,7 +777,6 @@ impl Simulation {
                 self.index.sub_demand(src, j.info.gang);
                 j.info.state = JobState::Migrating;
                 j.info.server = Some(to);
-                let cost = j.info.migration_cost;
                 j.migrations += 1;
                 self.migrations += 1;
                 self.migration_outage += cost;
@@ -593,6 +790,19 @@ impl Simulation {
                 self.queue
                     .push(self.now + cost, EventKind::MigrationDone(job));
                 Ok(())
+            }
+        }
+    }
+
+    /// Reports undeliverable decisions back to the policy. The resulting
+    /// actions join `pending_actions` and are applied with the next batch of
+    /// queued actions, exactly like any other mid-round callback output.
+    fn drain_fault_notices(&mut self, scheduler: &mut dyn ClusterScheduler) {
+        while !self.pending_fault_notices.is_empty() {
+            let notices = std::mem::take(&mut self.pending_fault_notices);
+            for (job, to, reason) in notices {
+                let actions = scheduler.on_migration_failed(&self.view(), job, to, reason);
+                self.pending_actions.extend(actions);
             }
         }
     }
@@ -614,11 +824,16 @@ impl Simulation {
             self.pending_actions.extend(actions);
         }
 
-        // 2. Apply actions queued by mid-round callbacks.
+        // 2. Apply actions queued by mid-round callbacks. Decisions that
+        // turn out to be undeliverable (raced a server failure, targeted a
+        // partitioned server) are soft-skipped by `apply_action` and
+        // reported back to the policy below so they flow through its retry
+        // path instead of vanishing.
         let queued = std::mem::take(&mut self.pending_actions);
         for action in queued {
             self.apply_action(action, true)?;
         }
+        self.drain_fault_notices(scheduler);
 
         // 3. Ask the policy for this quantum's plan (self-profiled: the
         // whole call is one round-planning span).
@@ -627,6 +842,7 @@ impl Simulation {
         for action in &plan.actions {
             self.apply_action(*action, false)?;
         }
+        self.drain_fault_notices(scheduler);
 
         // 4. Validate and execute the run sets. Each grant is emitted as a
         // GangPacked event so the auditor independently re-checks the same
@@ -871,6 +1087,7 @@ impl Simulation {
             gpu_secs_capacity: self.now.as_secs_f64() * self.cluster.total_gpus() as f64,
             profile_reports: self.profile_reports,
             stale_migrations: self.stale_migrations,
+            migration_failures: self.migration_failures,
             obs: Some(self.obs.summary()),
         };
         self.obs.flush();
@@ -897,8 +1114,9 @@ fn violation_to_error(v: Violation) -> GfairError {
         ViolationKind::DuplicateJob { job } => GfairError::DuplicateJobInPlan(job),
         ViolationKind::UnknownJob { job } => GfairError::UnknownJob(job),
         ViolationKind::PackedOnDownServer { server } => GfairError::ServerDown(server),
-        ViolationKind::PartialGang { .. } | ViolationKind::TicketConservation { .. } => {
-            GfairError::InvariantViolation(v.to_string())
-        }
+        ViolationKind::PartialGang { .. }
+        | ViolationKind::TicketConservation { .. }
+        | ViolationKind::MigrationLifecycle { .. }
+        | ViolationKind::HealConservation { .. } => GfairError::InvariantViolation(v.to_string()),
     }
 }

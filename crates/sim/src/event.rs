@@ -21,6 +21,11 @@ pub enum EventKind {
     ServerFail(ServerId),
     /// A failed server comes back online.
     ServerRecover(ServerId),
+    /// The central scheduler loses contact with a server's local scheduler
+    /// (the server itself keeps running).
+    PartitionStart(ServerId),
+    /// Connectivity to a partitioned server is restored.
+    PartitionEnd(ServerId),
     /// A user's ticket endowment changes (priority change).
     TicketChange(UserId, u64),
     /// A job is submitted.
@@ -37,9 +42,11 @@ impl EventKind {
             EventKind::MigrationDone(_) => 1,
             EventKind::ServerFail(_) => 2,
             EventKind::ServerRecover(_) => 3,
-            EventKind::TicketChange(_, _) => 4,
-            EventKind::Arrival(_) => 5,
-            EventKind::Round => 6,
+            EventKind::PartitionStart(_) => 4,
+            EventKind::PartitionEnd(_) => 5,
+            EventKind::TicketChange(_, _) => 6,
+            EventKind::Arrival(_) => 7,
+            EventKind::Round => 8,
         }
     }
 }

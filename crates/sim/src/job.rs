@@ -60,6 +60,14 @@ pub(crate) struct JobRt {
     pub gpu_secs_by_gen: BTreeMap<GenId, f64>,
     /// Number of times this job was migrated.
     pub migrations: u32,
+    /// Migration attempts started, successful or not (keys the fault
+    /// injector's order-independent draws).
+    pub attempts: u32,
+    /// The in-flight migration is fated to fail at the restore stage (the
+    /// draw happens at departure so the whole attempt uses one key).
+    pub restore_fail: bool,
+    /// Source server of the in-flight migration, for failure reporting.
+    pub migrating_from: Option<ServerId>,
 }
 
 impl JobRt {
@@ -86,6 +94,9 @@ impl JobRt {
             stint: BTreeMap::new(),
             gpu_secs_by_gen: BTreeMap::new(),
             migrations: 0,
+            attempts: 0,
+            restore_fail: false,
+            migrating_from: None,
         }
     }
 

@@ -73,8 +73,14 @@ pub struct SimReport {
     /// Number of profile reports delivered to the scheduler.
     pub profile_reports: u64,
     /// Migrations that were skipped because the job had finished or moved
-    /// by the time the decision was applied.
+    /// by the time the decision was applied, or because the decision raced
+    /// a server failure / targeted a partitioned server and could not be
+    /// delivered.
     pub stale_migrations: u32,
+    /// Migration attempts that started (or were decided) but failed —
+    /// checkpoint write, restore, destination lost mid-flight, or
+    /// undeliverable across a partition. Zero unless faults are injected.
+    pub migration_failures: u32,
     /// Deterministic observability snapshot (event counts, counters,
     /// gauges, histograms, auditor findings). `None` only for reports
     /// deserialized from runs predating the observability layer.
@@ -163,6 +169,7 @@ mod tests {
             gpu_secs_capacity: 0.0,
             profile_reports: 0,
             stale_migrations: 0,
+            migration_failures: 0,
             obs: None,
         }
     }

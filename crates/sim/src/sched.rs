@@ -9,7 +9,7 @@
 //! plan's run sets are validated.
 
 use crate::view::SimView;
-use gfair_types::{GenId, JobId, ServerId};
+use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId};
 use std::collections::BTreeMap;
 
 /// A placement or migration decision.
@@ -108,6 +108,43 @@ pub trait ClusterScheduler {
     /// like a fresh arrival, so every scheduler re-places evicted jobs.
     fn on_job_evicted(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
         self.on_job_arrival(view, job)
+    }
+
+    /// Called when a migration attempt (or a placement decision that could
+    /// not be delivered) fails. `to` is the intended destination and
+    /// `reason` says which stage broke; the job's current state tells the
+    /// scheduler where it ended up — still resident at its source
+    /// (checkpoint failure, unreachable target) or back in the pending
+    /// queue (restore failure, destination down).
+    ///
+    /// The default re-dispatches jobs that landed back in the queue through
+    /// [`on_job_evicted`](Self::on_job_evicted) and leaves still-resident
+    /// jobs alone, so baselines without a retry policy never lose a job.
+    fn on_migration_failed(
+        &mut self,
+        view: &SimView<'_>,
+        job: JobId,
+        _to: ServerId,
+        _reason: MigrationFailReason,
+    ) -> Vec<Action> {
+        if view.job(job).map(|j| j.state) == Some(JobState::Pending) {
+            self.on_job_evicted(view, job)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Called when the central scheduler loses contact with `server`'s
+    /// local scheduler. The server keeps running its last-received state;
+    /// decisions targeting it will be dropped until it heals.
+    fn on_partition(&mut self, _view: &SimView<'_>, _server: ServerId) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Called when connectivity to a partitioned server is restored and the
+    /// scheduler should reconcile any state that went stale.
+    fn on_partition_heal(&mut self, _view: &SimView<'_>, _server: ServerId) -> Vec<Action> {
+        Vec::new()
     }
 
     /// Called after a server fails (its jobs have already been evicted and

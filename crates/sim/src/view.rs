@@ -22,6 +22,7 @@ pub struct SimView<'a> {
     pub(crate) residents: &'a BTreeMap<ServerId, BTreeSet<JobId>>,
     pub(crate) index: &'a ClusterIndex,
     pub(crate) down: &'a BTreeSet<ServerId>,
+    pub(crate) partitioned: &'a BTreeSet<ServerId>,
     pub(crate) config: &'a SimConfig,
 }
 
@@ -65,6 +66,33 @@ impl<'a> SimView<'a> {
         gen: gfair_types::GenId,
     ) -> impl Iterator<Item = &'a ServerSpec> + '_ {
         self.up_servers().filter(move |s| s.gen == gen)
+    }
+
+    /// True if `server` is online *and* the central scheduler can reach its
+    /// local scheduler (no active network partition).
+    ///
+    /// A partitioned server keeps running — its resident jobs make progress
+    /// on its last-received stride state — but placements and migrations
+    /// targeting it cannot be delivered, so schedulers should treat only
+    /// reachable servers as decision targets.
+    pub fn is_reachable(&self, server: ServerId) -> bool {
+        !self.down.contains(&server) && !self.partitioned.contains(&server)
+    }
+
+    /// Online, reachable servers, in id order.
+    pub fn reachable_servers(&self) -> impl Iterator<Item = &'a ServerSpec> + '_ {
+        self.cluster
+            .servers
+            .iter()
+            .filter(move |s| !self.down.contains(&s.id) && !self.partitioned.contains(&s.id))
+    }
+
+    /// Online, reachable servers of one generation, in id order.
+    pub fn reachable_servers_of_gen(
+        &self,
+        gen: gfair_types::GenId,
+    ) -> impl Iterator<Item = &'a ServerSpec> + '_ {
+        self.reachable_servers().filter(move |s| s.gen == gen)
     }
 
     /// Metadata for a job, if known.

@@ -1,0 +1,60 @@
+//! Failure-reason vocabulary for migration and placement faults.
+//!
+//! The fault-injection subsystem (`gfair-faults`) decides *when* something
+//! breaks; the simulator reports *what* broke through this shared enum so
+//! the observability layer, the auditor, and recovering schedulers all
+//! speak the same language.
+
+use std::fmt;
+
+/// Why a migration (or undeliverable placement) decision failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MigrationFailReason {
+    /// The checkpoint write on the source server failed; the job never left
+    /// and keeps running where it was.
+    Checkpoint,
+    /// The restore on the destination server failed after the checkpoint
+    /// completed; the job is back in the pending queue (its checkpointed
+    /// progress is kept).
+    Restore,
+    /// The destination server failed between the decision and its
+    /// application (or while the job was in flight); the job is re-queued
+    /// or stays at its source.
+    TargetDown,
+    /// The decision targeted (or sourced from) a server whose local
+    /// scheduler the central scheduler cannot currently reach because of a
+    /// network partition; the decision was undeliverable.
+    Unreachable,
+}
+
+impl MigrationFailReason {
+    /// Stable string form used in JSONL traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigrationFailReason::Checkpoint => "checkpoint",
+            MigrationFailReason::Restore => "restore",
+            MigrationFailReason::TargetDown => "target_down",
+            MigrationFailReason::Unreachable => "unreachable",
+        }
+    }
+}
+
+impl fmt::Display for MigrationFailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_strings_are_stable() {
+        assert_eq!(MigrationFailReason::Checkpoint.as_str(), "checkpoint");
+        assert_eq!(MigrationFailReason::Restore.as_str(), "restore");
+        assert_eq!(MigrationFailReason::TargetDown.as_str(), "target_down");
+        assert_eq!(MigrationFailReason::Unreachable.as_str(), "unreachable");
+        assert_eq!(MigrationFailReason::Restore.to_string(), "restore");
+    }
+}

@@ -11,9 +11,12 @@
 //! primitives (`gfair-stride`) and the Gandiva_fair scheduler itself
 //! (`gfair-core`) can interoperate without depending on each other.
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod ids;
 pub mod job;
@@ -24,6 +27,7 @@ pub mod user;
 pub use cluster::{ClusterSpec, ServerSpec};
 pub use config::{PriceStrategy, SimConfig};
 pub use error::GfairError;
+pub use fault::MigrationFailReason;
 pub use gpu::{GenCatalog, GpuGeneration};
 pub use ids::{GenId, JobId, ServerId, UserId};
 pub use job::{JobSpec, JobState};

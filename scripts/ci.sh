@@ -21,6 +21,13 @@ cargo build --release
 echo "### cargo test"
 cargo test --workspace -q
 
+echo "### cargo doc (deny warnings: types, obs, faults)"
+# The vocabulary, observability, and fault-model crates carry
+# #![warn(missing_docs)]; deny rustdoc warnings so public-API doc gaps
+# fail the gate instead of rotting.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p gfair-types -p gfair-obs -p gfair-faults
+
 echo "### bench smoke"
 # Criterion micro-benches in test mode (one iteration, no measurement) and a
 # quick pass of the simulator throughput bench. The JSON goes under target/

@@ -8,6 +8,7 @@ cargo build --release -p gfair-bench --bins
 for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
            exp_f4_efficiency exp_f5_trading exp_f6_load_balance \
            exp_f7_scale exp_f8_quantum_sweep exp_f9_failure \
+           exp_f10_migration_faults exp_f11_partition \
            exp_t2_migration_overhead exp_t3_fairness_summary \
            exp_a1_price_ablation exp_a2_split_stride exp_a3_lottery_variance; do
   echo "### $exp"

@@ -24,6 +24,12 @@
 //!   --obs-summary            print per-phase wall-clock p50/p99, counters,
 //!                            and auditor findings after the run
 //!   --fail <s>@<h1>[-<h2>]   fail server s at hour h1 (recover at h2)
+//!   --faults <plan.json>     inject faults from a FaultPlan file
+//!                            (see examples/faults.json)
+//!   --fault-seed <n>         override the plan's randomization seed
+//!   --planning-workers <n>   round-planning threads: 0 auto, 1 sequential
+//!                            (gandiva-fair only; plans are byte-identical
+//!                            at any setting)
 //! ```
 //!
 //! The online invariant auditor is always on: every run re-derives cluster
@@ -135,6 +141,7 @@ fn make_scheduler(
     if args.flag("--no-balancing") {
         cfg = cfg.without_balancing();
     }
+    cfg = cfg.with_planning_workers(args.parsed("--planning-workers", 0usize)?);
     Ok(match name {
         "gandiva-fair" => Box::new(GandivaFair::new(cfg).with_obs(Arc::clone(obs))),
         "gandiva-like" => Box::new(GandivaLike::new()),
@@ -231,6 +238,25 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             sim = sim.with_server_recovery(server, SimTime::from_secs(up * 3600));
         }
     }
+    match args.value_of("--faults") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading fault plan {path}: {e}"))?;
+            let mut plan = FaultPlan::from_json(&json)
+                .map_err(|e| format!("parsing fault plan {path}: {e}"))?;
+            if let Some(seed) = args.value_of("--fault-seed") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| format!("invalid value for --fault-seed: {seed}"))?;
+            }
+            sim = sim.with_faults(plan);
+        }
+        None => {
+            if args.value_of("--fault-seed").is_some() {
+                return Err("--fault-seed requires --faults <plan.json>".into());
+            }
+        }
+    }
     let report = match args.value_of("--horizon-hours") {
         Some(h) => {
             let hours: u64 = h.parse().map_err(|_| "bad --horizon-hours")?;
@@ -254,6 +280,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         report.total_base_secs() / 3600.0
     );
     println!("migrations        : {}", report.migrations);
+    if report.migration_failures > 0 {
+        println!("migration failures: {}", report.migration_failures);
+    }
     if let Some(j) = JctStats::from_durations(&report.jcts()) {
         println!(
             "JCT               : mean {:.1} min, p50 {:.1}, p95 {:.1}",
@@ -393,8 +422,15 @@ SIMULATE OPTIONS:
   --obs-summary         print phase p50/p99 timings, counters, and
                         auditor findings after the run
   --fail <s>@<h1>[-<h2>]  fail server s at hour h1 (recover at h2)
+  --faults <plan.json>  inject faults from a FaultPlan file
+                        (see examples/faults.json)
+  --fault-seed <n>      override the fault plan's randomization seed
+  --planning-workers <n>  round-planning threads: 0 auto, 1 sequential
+                        (gandiva-fair; plans are byte-identical at any
+                        setting)
 
 The invariant auditor always runs: gang atomicity, GPU overcommit,
-residency, and ticket conservation are checked online and violations
-abort the run with the offending round's trace.
+residency, ticket conservation, migration lifecycle, and conservation
+across partition heals are checked online and violations abort the run
+with the offending round's trace.
 ";

@@ -21,6 +21,8 @@
 //! * [`metrics`] — fairness indices, JCT statistics, report tables.
 //! * [`obs`] — structured decision tracing, metrics, self-profiling, and
 //!   the online invariant auditor.
+//! * [`faults`] — deterministic fault injection: scripted and randomized
+//!   migration failures, slowdowns, partitions, and server flapping.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use gfair_baselines as baselines;
 pub use gfair_core as core;
+pub use gfair_faults as faults;
 pub use gfair_metrics as metrics;
 pub use gfair_obs as obs;
 pub use gfair_sim as sim;
@@ -53,6 +56,7 @@ pub use gfair_workloads as workloads;
 pub mod prelude {
     pub use gfair_baselines::{Drf, Fifo, GandivaLike, LotteryGang, StaticPartition};
     pub use gfair_core::{GandivaFair, GfairConfig};
+    pub use gfair_faults::{FaultInjector, FaultKind, FaultPlan};
     pub use gfair_metrics::{jain_index, max_min_ratio, JctStats, Table};
     pub use gfair_obs::{Obs, ObsSummary, SharedObs, TraceEvent};
     pub use gfair_sim::{ClusterScheduler, SimReport, Simulation};
