@@ -1,7 +1,7 @@
 //! End-to-end simulator throughput benchmark: the tracked perf baseline.
 //!
-//! Runs the full Gandiva_fair stack over long Philly-style traces at three
-//! cluster scales (32 / 200 / 1000 GPUs) and reports, per scale:
+//! Runs the full Gandiva_fair stack over long Philly-style traces at four
+//! cluster scales (32 / 200 / 1000 / 5000 GPUs) and reports, per scale:
 //!
 //! * **simulated GPU-hours per wall-clock second** — how much cluster time
 //!   the simulator chews through per real second (the headline number), and
@@ -11,11 +11,19 @@
 //! so the perf trajectory is tracked in-tree; `scripts/bench.sh` regenerates
 //! the artifact and CI runs the `--quick` variant as a smoke test.
 //!
-//! Usage: `bench_sim [--quick] [--out PATH] [--seed N]`
+//! `--no-fast-forward` disables the engine's quiescence fast-forward (the
+//! naive quantum-by-quantum baseline). `--verify` runs every scale twice —
+//! fast-forward on and off, with and without a fault plan — and fails unless
+//! the serialized `SimReport`s are byte-identical; CI runs this as the
+//! equivalence gate.
+//!
+//! Usage: `bench_sim [--quick] [--no-fast-forward] [--verify] [--only SCALE]
+//!                   [--out PATH] [--seed N]`
 
 use gfair_core::{GandivaFair, GfairConfig};
+use gfair_faults::FaultPlan;
 use gfair_sim::Simulation;
-use gfair_types::{ClusterSpec, GenCatalog, SimConfig, SimTime, UserSpec};
+use gfair_types::{ClusterSpec, GenCatalog, ServerId, SimConfig, SimDuration, SimTime, UserSpec};
 use gfair_workloads::{PhillyParams, TraceBuilder};
 use serde::Serialize;
 use std::time::Instant;
@@ -88,6 +96,14 @@ fn scales(quick: bool) -> Vec<Scale> {
                 jobs_per_hour: 2000.0,
                 horizon_hours: 12,
             },
+            Scale {
+                name: "5000gpu",
+                cluster: cluster_5000,
+                users: 64,
+                num_jobs: 30000,
+                jobs_per_hour: 8000.0,
+                horizon_hours: 6,
+            },
         ]
     }
 }
@@ -98,6 +114,35 @@ fn cluster_1000() -> ClusterSpec {
         GenCatalog::k80_p100_v100(),
         &[("K80", 63, 8), ("P100", 31, 8), ("V100", 31, 8)],
     )
+}
+
+/// A 5000-GPU cluster: the 1000-GPU generation mix scaled five-fold.
+fn cluster_5000() -> ClusterSpec {
+    ClusterSpec::build(
+        GenCatalog::k80_p100_v100(),
+        &[("K80", 313, 8), ("P100", 156, 8), ("V100", 156, 8)],
+    )
+}
+
+/// The fault plan the `--verify` gate injects: migration checkpoint/restore
+/// failures plus a partition and a flapping server, all on servers that
+/// exist at every scale (the smallest has four).
+fn verify_faults(seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_seed(seed)
+        .with_migration_fail_rates(0.05, 0.05)
+        .with_partition(
+            ServerId::new(2),
+            SimTime::from_secs(3600),
+            SimTime::from_secs(2 * 3600),
+        )
+        .with_flap(
+            ServerId::new(3),
+            SimTime::from_secs(2 * 3600),
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(20),
+            2,
+        )
 }
 
 /// Per-scale benchmark result, serialized into `BENCH_sim.json`.
@@ -121,10 +166,18 @@ struct BenchReport {
     schema: String,
     mode: String,
     seed: u64,
+    fast_forward: bool,
     scales: Vec<ScaleResult>,
 }
 
-fn run_scale(s: &Scale, seed: u64) -> ScaleResult {
+/// Runs one scale and returns the timing result plus the serialized
+/// `SimReport` (the verify gate compares the latter byte-for-byte).
+fn run_scale(
+    s: &Scale,
+    seed: u64,
+    fast_forward: bool,
+    faults: Option<FaultPlan>,
+) -> (ScaleResult, String) {
     let cluster = (s.cluster)();
     let gpus = cluster.total_gpus();
     let users = UserSpec::equal_users(s.users, 100);
@@ -135,16 +188,35 @@ fn run_scale(s: &Scale, seed: u64) -> ScaleResult {
     params.service_clamp_mins = (2.0, 45.0);
     params.gang_weights = [0.6, 0.2, 0.15, 0.05];
     let trace = TraceBuilder::new(params, seed).build(&users);
-    let sim = Simulation::new(cluster, users, trace, SimConfig::default().with_seed(seed))
+    let mut sim = Simulation::new(cluster, users, trace, SimConfig::default().with_seed(seed))
         .expect("valid benchmark setup");
-    let mut sched = GandivaFair::new(GfairConfig::default());
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan);
+    }
+    let cfg = if fast_forward {
+        GfairConfig::default()
+    } else {
+        GfairConfig::default().without_fast_forward()
+    };
+    let mut sched = GandivaFair::new(cfg);
+    let obs_handle = sim.obs();
     let start = Instant::now();
     let report = sim
         .run_until(&mut sched, SimTime::from_secs(s.horizon_hours * 3600))
         .expect("valid benchmark run");
+    for p in obs_handle.phase_stats() {
+        eprintln!(
+            "    phase {:?}: n={} p50={:.1}us p99={:.1}us total={:.3}s",
+            p.phase,
+            p.count,
+            p.p50_us,
+            p.p99_us,
+            p.total_ms / 1e3
+        );
+    }
     let wall_secs = start.elapsed().as_secs_f64();
     let sim_gpu_hours = report.gpu_secs_used / 3600.0;
-    ScaleResult {
+    let result = ScaleResult {
         name: s.name.to_string(),
         gpus,
         trace_jobs: s.num_jobs,
@@ -155,12 +227,45 @@ fn run_scale(s: &Scale, seed: u64) -> ScaleResult {
         sim_gpu_hours,
         gpu_hours_per_wall_sec: sim_gpu_hours / wall_secs,
         rounds_per_sec: report.rounds as f64 / wall_secs,
+    };
+    let json = serde_json::to_string(&report).expect("serializable report");
+    (result, json)
+}
+
+/// The equivalence gate: every scale (or just `only`), fast-forward on vs
+/// off, faultless and fault-injected, must produce byte-identical
+/// `SimReport`s. Returns the number of mismatching configurations.
+fn run_verify(quick: bool, seed: u64, only: Option<&str>) -> u32 {
+    let mut failures = 0u32;
+    for s in scales(quick)
+        .into_iter()
+        .filter(|s| only.is_none_or(|o| o == s.name))
+    {
+        for (label, faults) in [("clean", None), ("faulted", Some(verify_faults(seed)))] {
+            let (on, on_json) = run_scale(&s, seed, true, faults.clone());
+            let (off, off_json) = run_scale(&s, seed, false, faults);
+            let ok = on_json == off_json;
+            eprintln!(
+                "  {} [{label}] ff-on {:.2}s / ff-off {:.2}s / {} rounds: {}",
+                s.name,
+                on.wall_secs,
+                off.wall_secs,
+                on.rounds,
+                if ok { "identical" } else { "MISMATCH" }
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
     }
+    failures
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
+    let verify = args.iter().any(|a| a == "--verify");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -173,16 +278,38 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(42);
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    if verify {
+        eprintln!(
+            "bench_sim: verify mode={} seed={seed}",
+            if quick { "quick" } else { "full" }
+        );
+        let failures = run_verify(quick, seed, only.as_deref());
+        if failures > 0 {
+            eprintln!("bench_sim: {failures} fast-forward equivalence failure(s)");
+            std::process::exit(1);
+        }
+        eprintln!("bench_sim: fast-forward reports byte-identical at every scale");
+        return;
+    }
 
     let mode = if quick { "quick" } else { "full" };
-    eprintln!("bench_sim: mode={mode} seed={seed} out={out}");
+    eprintln!("bench_sim: mode={mode} seed={seed} fast_forward={fast_forward} out={out}");
     let mut results = Vec::new();
-    for s in scales(quick) {
+    for s in scales(quick)
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
+    {
         eprintln!(
             "  {} ({} jobs, {}h horizon) ...",
             s.name, s.num_jobs, s.horizon_hours
         );
-        let r = run_scale(&s, seed);
+        let (r, _) = run_scale(&s, seed, fast_forward, None);
         eprintln!(
             "    {:.1} sim GPU-hours in {:.2}s wall = {:.1} GPU-h/s, {:.0} rounds/s",
             r.sim_gpu_hours, r.wall_secs, r.gpu_hours_per_wall_sec, r.rounds_per_sec
@@ -193,6 +320,7 @@ fn main() {
         schema: "gfair-bench-sim/v1".to_string(),
         mode: mode.to_string(),
         seed,
+        fast_forward,
         scales: results,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");

@@ -19,6 +19,7 @@ use crate::balance::plan_migrations_traced;
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
 use crate::local::LocalScheduler;
+use crate::pool::WorkerPool;
 use crate::profiler::Profiler;
 use crate::trade::{run_market_traced, Trade};
 use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, UserShare};
@@ -72,19 +73,37 @@ pub struct GandivaFair {
     trade_log: Vec<(SimTime, Trade)>,
     /// GPU demand of placements issued this round but not yet applied by the
     /// engine (placement callbacks run before the round boundary), so that
-    /// simultaneous arrivals do not pile onto one server.
-    inflight: BTreeMap<ServerId, u32>,
+    /// simultaneous arrivals do not pile onto one server. Indexed by
+    /// `ServerId::index()` (server ids are dense) — this is read once per
+    /// candidate server on every placement, the hottest lookup in the
+    /// arrival path.
+    inflight: Vec<u32>,
     /// Jobs whose migration failed and is being retried with backoff.
     retry: BTreeMap<JobId, RetryState>,
-    /// Last per-user stride weights pushed to each server. A partitioned
-    /// server cannot receive entitlement updates, so its local scheduler
-    /// keeps running on the weights recorded here until the partition heals
-    /// (graceful degradation).
-    last_weights: BTreeMap<ServerId, BTreeMap<UserId, f64>>,
+    /// Per-generation stride weight vectors derived from the current
+    /// entitlements, indexed by `GenId::index()` and id-sorted per vector
+    /// (entitlements iterate users in id order). Weights depend only on a
+    /// server's generation, so the cache is rebuilt once per entitlement
+    /// refresh — a few vectors — instead of once per server per round.
+    gen_weights: Vec<Vec<(UserId, f64)>>,
+    /// Weight snapshots for servers that were unreachable at an entitlement
+    /// refresh: an unreachable server cannot receive updates, so its local
+    /// scheduler keeps running on the last weights it was sent until it is
+    /// reachable again (graceful degradation). Entries are dropped the
+    /// moment the server is reachable again.
+    stale_weights: BTreeMap<ServerId, Vec<(UserId, f64)>>,
     /// Observability pipeline: trade and profile-convergence events plus
     /// self-profiling spans for the hot phases. Share the simulation's
     /// instance via [`GandivaFair::with_obs`] to get one unified trace.
     obs: SharedObs,
+    /// Persistent planning workers, created on the first parallel round and
+    /// reused every round thereafter (per-round thread spawns dominate the
+    /// planning phase at benchmark scale).
+    pool: Option<WorkerPool>,
+    /// Resolved planning-worker count, computed once at init:
+    /// `available_parallelism` re-reads cgroup state on every call, which is
+    /// far too slow for the per-round path.
+    workers: usize,
 }
 
 impl GandivaFair {
@@ -100,10 +119,13 @@ impl GandivaFair {
             next_trade: SimTime::ZERO,
             next_balance: SimTime::ZERO,
             trade_log: Vec::new(),
-            inflight: BTreeMap::new(),
+            inflight: Vec::new(),
             retry: BTreeMap::new(),
-            last_weights: BTreeMap::new(),
+            gen_weights: Vec::new(),
+            stale_weights: BTreeMap::new(),
             obs: Arc::new(Obs::new()),
+            pool: None,
+            workers: 0,
         }
     }
 
@@ -151,6 +173,12 @@ impl GandivaFair {
                     LocalScheduler::new(s.id, s.num_gpus, self.cfg.gang_policy),
                 );
             }
+        }
+        if self.inflight.len() < view.cluster().servers.len() {
+            self.inflight.resize(view.cluster().servers.len(), 0);
+        }
+        if self.workers == 0 {
+            self.workers = planning_workers(self.cfg.planning_workers, self.locals.len());
         }
     }
 
@@ -228,13 +256,39 @@ impl GandivaFair {
         }
         self.ent = Some(ent);
         self.active_sig = active;
+        // Servers that cannot be reached right now keep the weights they
+        // last received: snapshot those (the pre-refresh per-gen vectors)
+        // before rebuilding the cache, unless an earlier refresh already
+        // recorded a snapshot for them.
+        {
+            let gen_weights = &self.gen_weights;
+            let stale = &mut self.stale_weights;
+            for s in &view.cluster().servers {
+                if !view.is_reachable(s.id) {
+                    stale.entry(s.id).or_insert_with(|| {
+                        gen_weights.get(s.gen.index()).cloned().unwrap_or_default()
+                    });
+                }
+            }
+        }
+        let ent = self.ent.as_ref().expect("assigned above");
+        let min_weight = self.cfg.min_weight;
+        let num_gens = view.cluster().catalog.ids().count();
+        let mut gen_weights = vec![Vec::new(); num_gens];
+        for gen in view.cluster().catalog.ids() {
+            gen_weights[gen.index()] = ent
+                .users()
+                .map(|u| (u, ent.get(u, gen).max(min_weight)))
+                .collect();
+        }
+        self.gen_weights = gen_weights;
     }
 
     /// Server load including placements issued this round but not yet
     /// applied by the engine.
     fn projected_load(&self, view: &SimView<'_>, server: ServerId) -> f64 {
         let gpus = view.cluster().server(server).num_gpus;
-        let pending = self.inflight.get(&server).copied().unwrap_or(0);
+        let pending = self.inflight.get(server.index()).copied().unwrap_or(0);
         (view.resident_demand(server) + pending) as f64 / gpus as f64
     }
 
@@ -358,6 +412,14 @@ impl GandivaFair {
     }
 }
 
+/// Weight of `u` in an id-sorted per-server weight vec, if present.
+fn weight_lookup(weights: &[(UserId, f64)], u: UserId) -> Option<f64> {
+    weights
+        .binary_search_by_key(&u, |&(user, _)| user)
+        .ok()
+        .map(|i| weights[i].1)
+}
+
 /// Resolves the configured planning-worker count against the machine and
 /// the number of servers: `0` means auto-size from available parallelism,
 /// and the pool never exceeds the server count (an idle worker is pure
@@ -383,7 +445,7 @@ impl ClusterScheduler for GandivaFair {
         let info = view.job(job).expect("arriving job is known");
         match self.choose_server(view, info.user, info.gang) {
             Some(server) => {
-                *self.inflight.entry(server).or_insert(0) += info.gang;
+                self.inflight[server.index()] += info.gang;
                 vec![Action::Place { job, server }]
             }
             // Unplaceable gangs are rejected at simulation construction, so
@@ -486,13 +548,14 @@ impl ClusterScheduler for GandivaFair {
     fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
         self.ensure_init(view);
         // Queued placements were applied before this callback.
-        self.inflight.clear();
+        self.inflight.fill(0);
         let now = view.now();
 
         // 1. Entitlements: refresh on churn or on the trade timer.
         let active = Self::active_signature(view);
         let trade_due = now >= self.next_trade;
-        if trade_due || active != self.active_sig || self.ent.is_none() {
+        let refreshed = trade_due || active != self.active_sig || self.ent.is_none();
+        if refreshed {
             self.refresh_entitlements(view, active);
             if trade_due {
                 self.next_trade = now + view.config().trade_interval;
@@ -541,41 +604,55 @@ impl ClusterScheduler for GandivaFair {
             })
             .collect();
         let min_weight = self.cfg.min_weight;
-        // Refresh the weight cache for every reachable server; a partitioned
-        // server cannot receive updates, so its cache entry — and therefore
-        // its local scheduler — keeps the last weights it was sent until the
-        // partition heals (degraded mode).
-        {
-            let ent = self.ent.as_ref().expect("refreshed above");
-            for s in &view.cluster().servers {
-                if view.is_reachable(s.id) {
-                    let gen = s.gen;
-                    let w: BTreeMap<UserId, f64> = ent
-                        .users()
-                        .map(|u| (u, ent.get(u, gen).max(min_weight)))
-                        .collect();
-                    self.last_weights.insert(s.id, w);
-                }
-            }
-        }
+        // A reachable server always plans on the current per-gen weights;
+        // any stale snapshot it held while unreachable is dropped the round
+        // it comes back (entitlements are re-refreshed on heal, so it
+        // converges to the live economy immediately). A dropped snapshot
+        // changes that server's effective weights, so the round counts as
+        // weight-dirty just like an entitlement refresh.
+        let mut weights_dirty = refreshed;
+        self.stale_weights.retain(|s, _| {
+            let keep = !view.is_reachable(*s);
+            weights_dirty |= !keep;
+            keep
+        });
         let mut plan = RoundPlan {
             run: BTreeMap::new(),
             actions,
         };
-        let workers = planning_workers(self.cfg.planning_workers, self.locals.len());
+        let workers = self.workers.max(1);
+        let pool = &mut self.pool;
+        if workers > 1 && pool.as_ref().map(WorkerPool::size) != Some(workers) {
+            *pool = Some(WorkerPool::new(workers));
+        }
         let locals = &mut self.locals;
-        let last_weights = &self.last_weights;
+        let gen_weights = &self.gen_weights;
+        let stale_weights = &self.stale_weights;
+        let cluster = view.cluster();
+        // The weight vector a server plans on: its stale snapshot while
+        // unreachable, the live per-gen vector otherwise.
+        let weights_of = |server: ServerId| -> &[(UserId, f64)] {
+            stale_weights
+                .get(&server)
+                .map(Vec::as_slice)
+                .unwrap_or_else(|| {
+                    gen_weights
+                        .get(cluster.server(server).gen.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+        };
         let obs = Arc::clone(&self.obs);
         obs.time(Phase::GangPacking, || {
             if workers <= 1 {
                 for (&server, local) in locals.iter_mut() {
-                    let weights = last_weights.get(&server);
-                    local.sync(view, &departing, |u| {
-                        weights
-                            .and_then(|m| m.get(&u))
-                            .copied()
-                            .unwrap_or(min_weight)
-                    });
+                    let weights = weights_of(server);
+                    local.sync(
+                        view,
+                        &departing,
+                        |u| weight_lookup(weights, u).unwrap_or(min_weight),
+                        weights_dirty,
+                    );
                     let selected = local.plan();
                     if !selected.is_empty() {
                         plan.run.insert(server, selected);
@@ -593,32 +670,30 @@ impl ClusterScheduler for GandivaFair {
             let mut work: Vec<(ServerId, &mut LocalScheduler)> =
                 locals.iter_mut().map(|(&s, l)| (s, l)).collect();
             let chunk = work.len().div_ceil(workers);
-            let results: Vec<Vec<(ServerId, Vec<JobId>)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = work
-                    .chunks_mut(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            slice
-                                .iter_mut()
-                                .map(|(server, local)| {
-                                    let weights = last_weights.get(server);
-                                    local.sync(view, departing, |u| {
-                                        weights
-                                            .and_then(|m| m.get(&u))
-                                            .copied()
-                                            .unwrap_or(min_weight)
-                                    });
-                                    (*server, local.plan())
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("planning worker panicked"))
-                    .collect()
-            });
+            let mut results: Vec<Vec<(ServerId, Vec<JobId>)>> =
+                vec![Vec::new(); work.len().div_ceil(chunk)];
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = work
+                .chunks_mut(chunk)
+                .zip(results.iter_mut())
+                .map(|(slice, out)| {
+                    Box::new(move || {
+                        *out = slice
+                            .iter_mut()
+                            .map(|(server, local)| {
+                                let weights = weights_of(*server);
+                                local.sync(
+                                    view,
+                                    departing,
+                                    |u| weight_lookup(weights, u).unwrap_or(min_weight),
+                                    weights_dirty,
+                                );
+                                (*server, local.plan())
+                            })
+                            .collect();
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.as_ref().expect("pool sized above").run(tasks);
             for (server, selected) in results.into_iter().flatten() {
                 if !selected.is_empty() {
                     plan.run.insert(server, selected);
@@ -628,25 +703,91 @@ impl ClusterScheduler for GandivaFair {
         plan
     }
 
+    fn next_decision_time(&self) -> Option<SimTime> {
+        // Epoch timers and retry backoffs are the only internal clocks that
+        // can change a plan with otherwise-unchanged inputs. A past retry
+        // deadline (job waiting in a non-retryable state) keeps the minimum
+        // in the past, which makes the engine's horizon collapse to zero —
+        // conservative, never wrong.
+        let mut t = self.next_trade;
+        if self.cfg.balancing {
+            t = t.min(self.next_balance);
+        }
+        for r in self.retry.values() {
+            t = t.min(r.next_try);
+        }
+        Some(t)
+    }
+
+    fn probe_fast_forward(&mut self, view: &SimView<'_>, plan: &RoundPlan, k: u64) -> u64 {
+        if !self.cfg.fast_forward || k == 0 || self.locals.is_empty() {
+            return 0;
+        }
+        // Anything that would steer the next plan_round down a different
+        // path declines: a pending job could be placed, an epoch timer could
+        // fire, a due retry could re-enter the planning flow. The engine
+        // already bounds k by next_decision_time, so these are defensive.
+        if view.pending_jobs().next().is_some() {
+            return 0;
+        }
+        let now = view.now();
+        if now >= self.next_trade {
+            return 0;
+        }
+        if self.cfg.balancing && now >= self.next_balance {
+            return 0;
+        }
+        if self.retry.values().any(|r| r.next_try <= now) {
+            return 0;
+        }
+        // All-or-nothing across servers: the replayable horizon is the
+        // minimum over every local scheduler's differential check against
+        // the cached plan (absent servers must reproduce an empty
+        // selection).
+        let mut j = k;
+        for (&server, local) in self.locals.iter() {
+            let expected = plan.run.get(&server).map(Vec::as_slice).unwrap_or(&[]);
+            j = j.min(local.quiescent_rounds(expected, k));
+            if j == 0 {
+                return 0;
+            }
+        }
+        j
+    }
+
+    fn commit_fast_forward(&mut self, j: u64) {
+        for local in self.locals.values_mut() {
+            local.fast_forward(j);
+        }
+    }
+
     fn user_shares(&self, _view: &SimView<'_>) -> Vec<UserShare> {
         let Some(ent) = &self.ent else {
             return Vec::new();
         };
+        // The user's effective priority is the best (lowest) stride pass
+        // among their jobs anywhere in the cluster. Fold it in one pass over
+        // the locals instead of scanning every server once per entitled user
+        // — locals dominate users at bench scale, so this turns a
+        // users × servers sweep into servers + users.
+        let mut min_pass: BTreeMap<UserId, f64> = BTreeMap::new();
+        for local in self.locals.values() {
+            local.for_each_user_pass(|u, p| {
+                min_pass
+                    .entry(u)
+                    .and_modify(|m| {
+                        if p.total_cmp(m).is_lt() {
+                            *m = p;
+                        }
+                    })
+                    .or_insert(p);
+            });
+        }
         ent.users()
-            .map(|user| {
-                // The user's effective priority: the best (lowest) stride
-                // pass among their jobs anywhere in the cluster.
-                let pass = self
-                    .locals
-                    .values()
-                    .filter_map(|l| l.user_pass(user))
-                    .min_by(f64::total_cmp)
-                    .unwrap_or(0.0);
-                UserShare {
-                    user,
-                    tickets: ent.gpus_of(user),
-                    pass,
-                }
+            .map(|user| UserShare {
+                user,
+                tickets: ent.gpus_of(user),
+                pass: min_pass.get(&user).copied().unwrap_or(0.0),
             })
             .collect()
     }

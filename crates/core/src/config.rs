@@ -49,6 +49,11 @@ pub struct GfairConfig {
     /// Base delay of the exponential backoff between migration retries:
     /// attempt `n` waits `backoff_base * 2^(n-1)`.
     pub backoff_base: SimDuration,
+    /// Allow the engine to replay a cached round plan across quiescent
+    /// quanta in one analytic step (see `DESIGN.md`, "Quiescence
+    /// fast-forward"). Purely a performance knob: reports and traces are
+    /// byte-identical either way, which the differential tests assert.
+    pub fast_forward: bool,
 }
 
 impl Default for GfairConfig {
@@ -65,6 +70,7 @@ impl Default for GfairConfig {
             planning_workers: 0,
             max_migration_retries: 3,
             backoff_base: SimDuration::from_secs(60),
+            fast_forward: true,
         }
     }
 }
@@ -104,6 +110,14 @@ impl GfairConfig {
         self.backoff_base = base;
         self
     }
+
+    /// Disables quiescence fast-forwarding (builder-style), forcing the
+    /// engine to step every quantum. Used by the differential tests and the
+    /// bench baseline.
+    pub fn without_fast_forward(mut self) -> Self {
+        self.fast_forward = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +146,8 @@ mod tests {
         let c = GfairConfig::default().with_migration_retry(5, SimDuration::from_secs(30));
         assert_eq!(c.max_migration_retries, 5);
         assert_eq!(c.backoff_base, SimDuration::from_secs(30));
+        assert!(GfairConfig::default().fast_forward);
+        let c = GfairConfig::default().without_fast_forward();
+        assert!(!c.fast_forward);
     }
 }

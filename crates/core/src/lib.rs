@@ -27,6 +27,7 @@ pub mod central;
 pub mod config;
 pub mod entitlement;
 pub mod local;
+mod pool;
 pub mod profiler;
 pub mod trade;
 

@@ -16,6 +16,19 @@ use std::collections::BTreeSet;
 pub struct LocalScheduler {
     server: ServerId,
     split: SplitStride<UserId, JobId>,
+    /// Scratch buffers reused across rounds by [`sync`](Self::sync): sorted
+    /// target residency, current membership, and present users. `sync` runs
+    /// once per server per quantum, so retaining capacity here removes three
+    /// heap allocations per server from every round.
+    desired: Vec<JobId>,
+    present: Vec<JobId>,
+    user_scratch: Vec<UserId>,
+    /// Residency version (see [`SimView::residency_version`]) this scheduler
+    /// last fully synchronized against, when that sync is known to have left
+    /// membership equal to the server's resident set (no departing jobs were
+    /// excluded). `None` forces the next [`sync`](Self::sync) down the full
+    /// path.
+    synced_version: Option<u64>,
 }
 
 impl LocalScheduler {
@@ -24,6 +37,10 @@ impl LocalScheduler {
         LocalScheduler {
             server,
             split: SplitStride::new(capacity, policy),
+            desired: Vec::new(),
+            present: Vec::new(),
+            user_scratch: Vec::new(),
+            synced_version: None,
         }
     }
 
@@ -48,25 +65,46 @@ impl LocalScheduler {
     /// Synchronizes membership with the simulator's residency view and
     /// applies per-user `weights`, excluding `departing` jobs (ones the
     /// central scheduler decided to migrate away this round).
+    ///
+    /// `weights_dirty` tells the scheduler whether any user weight may have
+    /// changed since the previous sync. When weights are clean, no job is
+    /// departing, and the server's residency version is unchanged, the whole
+    /// sync is a no-op by construction — membership and weights would both
+    /// be re-derived to exactly their current values — so it returns
+    /// immediately. This fast path carries most rounds at scale: only the
+    /// few servers an arrival, finish or migration touched re-derive.
     pub fn sync(
         &mut self,
         view: &SimView<'_>,
         departing: &BTreeSet<JobId>,
         mut weight_of: impl FnMut(UserId) -> f64,
+        weights_dirty: bool,
     ) {
-        let desired: BTreeSet<JobId> = view
-            .resident(self.server)
-            .filter(|j| !departing.contains(j))
-            .collect();
+        let version = view.residency_version(self.server);
+        if !weights_dirty && departing.is_empty() && self.synced_version == Some(version) {
+            return;
+        }
+        // Sorted target residency in the reusable scratch buffer: the same
+        // iteration order the former BTreeSet gave, without rebuilding a
+        // node-based set every round.
+        let desired = &mut self.desired;
+        desired.clear();
+        desired.extend(
+            view.resident(self.server)
+                .filter(|j| !departing.contains(j)),
+        );
+        desired.sort_unstable();
         // Drop jobs that left (finished or migrated away).
-        let present: Vec<JobId> = self.split.jobs().collect();
-        for j in present {
-            if !desired.contains(&j) {
+        let present = &mut self.present;
+        present.clear();
+        present.extend(self.split.jobs());
+        for &j in present.iter() {
+            if desired.binary_search(&j).is_err() {
                 self.split.remove_job(j);
             }
         }
-        // Add newcomers.
-        for &j in &desired {
+        // Add newcomers, in id order.
+        for &j in desired.iter() {
             if self.split.user_of(j).is_some() {
                 continue;
             }
@@ -76,10 +114,15 @@ impl LocalScheduler {
             self.split.add_job(info.user, j, info.gang);
         }
         // Refresh weights of all present users (entitlements may have moved).
-        let users: Vec<UserId> = self.split.users().collect();
-        for u in users {
+        let users = &mut self.user_scratch;
+        users.clear();
+        users.extend(self.split.users());
+        for &u in users.iter() {
             self.split.set_user_weight(u, weight_of(u).max(1e-6));
         }
+        // With departing jobs excluded, membership differs from the resident
+        // set, so the version cannot vouch for this state next round.
+        self.synced_version = departing.is_empty().then_some(version);
     }
 
     /// Plans one quantum, returning the jobs to run on this server.
@@ -87,10 +130,32 @@ impl LocalScheduler {
         self.split.plan_round().selected
     }
 
+    /// How many consecutive quanta (up to `k`) this server would reproduce
+    /// `expected` — the selection the cached round plan holds for it —
+    /// verbatim, assuming residency and weights stay untouched. `0` declines.
+    /// Delegates to the underlying split-stride instance, which checks the
+    /// scan order differentially per replayed quantum.
+    pub fn quiescent_rounds(&self, expected: &[JobId], k: u64) -> u64 {
+        self.split.quiescent_rounds(expected, k)
+    }
+
+    /// Advances stride state by `j` quanta in one step, exactly as if
+    /// [`plan`](Self::plan) had run `j` more times with unchanged inputs.
+    pub fn fast_forward(&mut self, j: u64) {
+        self.split.fast_forward(j);
+    }
+
     /// The user's effective stride pass on this server (minimum pass among
     /// their jobs here), if they have any.
     pub fn user_pass(&self, user: UserId) -> Option<f64> {
         self.split.user_pass(user)
+    }
+
+    /// Calls `f(user, pass)` for every user with jobs on this server, in
+    /// user-id order, with the same pass [`user_pass`](Self::user_pass)
+    /// reports.
+    pub fn for_each_user_pass(&self, f: impl FnMut(UserId, f64)) {
+        self.split.for_each_user_pass(f)
     }
 }
 
@@ -120,13 +185,18 @@ mod tests {
         }
         fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
             let weights = self.weights.clone();
-            self.local.sync(view, &BTreeSet::new(), |u| {
-                weights
-                    .iter()
-                    .find(|(w, _)| *w == u)
-                    .map(|(_, w)| *w)
-                    .unwrap_or(1.0)
-            });
+            self.local.sync(
+                view,
+                &BTreeSet::new(),
+                |u| {
+                    weights
+                        .iter()
+                        .find(|(w, _)| *w == u)
+                        .map(|(_, w)| *w)
+                        .unwrap_or(1.0)
+                },
+                true,
+            );
             let mut plan = RoundPlan::empty();
             for j in self.local.plan() {
                 plan.run_on(ServerId::new(0), j);

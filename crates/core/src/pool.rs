@@ -1,0 +1,162 @@
+//! A persistent worker pool for per-round planning fan-out.
+//!
+//! `plan_round` parallelizes per-server sync+plan across workers every
+//! quantum. Spawning fresh OS threads each round (`std::thread::scope`)
+//! costs more than the planning work itself at benchmark scale — hundreds
+//! of microseconds per round just in spawn/join. This pool keeps the
+//! workers parked on channels across rounds and hands them borrowed
+//! closures per round.
+//!
+//! The closures borrow round-local state (`SimView`, weight caches, the
+//! local schedulers), so they are not `'static`; the lifetime erasure in
+//! [`WorkerPool::run`] is sound because `run` does not return until every
+//! submitted task has signalled completion — the borrows strictly outlive
+//! task execution, exactly as with a scoped spawn.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased task. Tasks handed to workers are semantically scoped:
+/// [`WorkerPool::run`] joins them all before returning.
+type Task = Box<dyn FnOnce() + Send>;
+
+/// Long-lived planning workers, one channel each.
+pub(crate) struct WorkerPool {
+    task_txs: Vec<Sender<Task>>,
+    done_rx: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.task_txs.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts `size` parked worker threads.
+    pub fn new(size: usize) -> Self {
+        let (done_tx, done_rx) = channel();
+        let mut task_txs = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = channel::<Task>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for task in rx {
+                    // A panicking task must still signal completion, or
+                    // `run` would deadlock waiting for its slot.
+                    let ok = catch_unwind(AssertUnwindSafe(task)).is_ok();
+                    if done.send(ok).is_err() {
+                        break;
+                    }
+                }
+            }));
+            task_txs.push(tx);
+        }
+        WorkerPool {
+            task_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.task_txs.len()
+    }
+
+    /// Runs `tasks` (at most one per worker), blocking until every task has
+    /// completed. Propagates a panic if any task panicked.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        assert!(
+            tasks.len() <= self.task_txs.len(),
+            "more tasks than workers"
+        );
+        let n = tasks.len();
+        for (task, tx) in tasks.into_iter().zip(&self.task_txs) {
+            // SAFETY: only the lifetime is erased; the fat-pointer layout is
+            // identical. The completion loop below blocks until all `n`
+            // tasks have run, and a worker drops each task within its
+            // `run()` call, so no `'env` borrow escapes this function —
+            // the same guarantee `std::thread::scope` provides.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
+            tx.send(task).expect("planning worker alive");
+        }
+        let mut panicked = false;
+        for _ in 0..n {
+            panicked |= !self.done_rx.recv().expect("planning worker alive");
+        }
+        if panicked {
+            panic!("planning worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnecting the channels ends each worker's receive loop.
+        self.task_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn runs_borrowed_tasks_to_completion() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0u32; 4];
+        let counter = AtomicU32::new(0);
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        *slot = i as u32 + 1;
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = WorkerPool::new(2);
+        for round in 0..100u32 {
+            let mut a = 0u32;
+            let mut b = 0u32;
+            pool.run(vec![Box::new(|| a = round), Box::new(|| b = round + 1)]);
+            assert_eq!((a, b), (round, round + 1));
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![Box::new(|| panic!("boom")), Box::new(|| {})]);
+        }));
+        assert!(r.is_err());
+        // The pool is still usable afterwards.
+        let mut x = 0u32;
+        pool.run(vec![Box::new(|| x = 7)]);
+        assert_eq!(x, 7);
+    }
+}

@@ -192,6 +192,32 @@ pub enum TraceEvent {
         /// for baselines without a ticket economy).
         users: Vec<UserShare>,
     },
+    /// A span of quiescent rounds the engine replayed in one step (the
+    /// fast-forward path): the cached plan re-ran unchanged for `rounds`
+    /// consecutive quanta. Stands in for the per-round
+    /// `GangPacked`/`RoundPlanned` blocks the naive path would have emitted,
+    /// carrying enough detail to replay their metrics exactly.
+    RoundsSkipped {
+        /// Simulated time of the first replayed round.
+        t: SimTime,
+        /// Round number of the first replayed round (1-based).
+        first_round: u64,
+        /// Number of rounds collapsed into this record.
+        rounds: u64,
+        /// Jobs granted GPUs in each replayed round.
+        scheduled: u32,
+        /// GPUs in use in each replayed round.
+        gpus_used: u32,
+        /// GPUs online across the span.
+        gpus_up: u32,
+        /// Jobs waiting for a placement across the span.
+        pending: u32,
+        /// Cluster-wide ticket supply (total physical GPUs).
+        tickets_total: f64,
+        /// Granted gang widths in plan iteration order, one per scheduled
+        /// job and identical in every replayed round.
+        widths: Vec<u32>,
+    },
     /// The trading market matched a seller and a buyer.
     TradeExecuted {
         /// Simulated time.
@@ -241,6 +267,7 @@ impl TraceEvent {
             TraceEvent::Reconcile { .. } => "reconcile",
             TraceEvent::GangPacked { .. } => "gang_packed",
             TraceEvent::RoundPlanned { .. } => "round_planned",
+            TraceEvent::RoundsSkipped { .. } => "rounds_skipped",
             TraceEvent::TradeExecuted { .. } => "trade_executed",
             TraceEvent::ProfileInferred { .. } => "profile_inferred",
         }
@@ -261,6 +288,7 @@ impl TraceEvent {
             | TraceEvent::Reconcile { t, .. }
             | TraceEvent::GangPacked { t, .. }
             | TraceEvent::RoundPlanned { t, .. }
+            | TraceEvent::RoundsSkipped { t, .. }
             | TraceEvent::TradeExecuted { t, .. }
             | TraceEvent::ProfileInferred { t, .. } => *t,
         }
@@ -410,6 +438,30 @@ impl TraceEvent {
                         fmt_f64(u.tickets),
                         fmt_f64(u.pass)
                     );
+                }
+                s.push(']');
+            }
+            TraceEvent::RoundsSkipped {
+                first_round,
+                rounds,
+                scheduled,
+                gpus_used,
+                gpus_up,
+                pending,
+                tickets_total,
+                widths,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"first_round\":{first_round},\"rounds\":{rounds},\"scheduled\":{scheduled},\"gpus_used\":{gpus_used},\"gpus_up\":{gpus_up},\"pending\":{pending},\"tickets_total\":{},\"widths\":[",
+                    fmt_f64(*tickets_total)
+                );
+                for (i, w) in widths.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{w}");
                 }
                 s.push(']');
             }
@@ -601,6 +653,27 @@ mod tests {
             }
             .kind(),
             "partition_end"
+        );
+    }
+
+    #[test]
+    fn rounds_skipped_renders_stable_line() {
+        let ev = TraceEvent::RoundsSkipped {
+            t: SimTime::from_secs(120),
+            first_round: 3,
+            rounds: 5,
+            scheduled: 2,
+            gpus_used: 6,
+            gpus_up: 8,
+            pending: 1,
+            tickets_total: 8.0,
+            widths: vec![4, 2],
+        };
+        assert_eq!(ev.kind(), "rounds_skipped");
+        assert_eq!(ev.time(), SimTime::from_secs(120));
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"rounds_skipped\",\"t_us\":120000000,\"first_round\":3,\"rounds\":5,\"scheduled\":2,\"gpus_used\":6,\"gpus_up\":8,\"pending\":1,\"tickets_total\":8.0,\"widths\":[4,2]}"
         );
     }
 

@@ -116,33 +116,78 @@ pub struct HistogramSummary {
     pub max: f64,
 }
 
+/// Map from `&'static str` metric names to values, tuned for the emit hot
+/// path. Metric names are string literals, so an entry's (address, length)
+/// pair is stable for the program's lifetime; a linear probe compares
+/// addresses before falling back to contents, which resolves repeat lookups
+/// over the few dozen live metrics without walking a tree of string
+/// comparisons. Two distinct literals with equal text still share one entry
+/// via the content fallback.
+#[derive(Debug, Clone, Default)]
+struct NameMap<T> {
+    entries: Vec<(&'static str, T)>,
+}
+
+impl<T: Default> NameMap<T> {
+    /// The value slot for `name`, created on first use.
+    fn slot(&mut self, name: &'static str) -> &mut T {
+        let pos = self.entries.iter().position(|(k, _)| {
+            (std::ptr::eq(k.as_ptr(), name.as_ptr()) && k.len() == name.len()) || *k == name
+        });
+        let i = match pos {
+            Some(i) => i,
+            None => {
+                self.entries.push((name, T::default()));
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// The value under `name`, if present.
+    fn get(&self, name: &str) -> Option<&T> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// All (name, value) pairs in name order (sorted on demand; emits never
+    /// pay for the ordering, only snapshots do).
+    fn sorted(&self) -> Vec<(&'static str, &T)> {
+        let mut all: Vec<_> = self.entries.iter().map(|(k, v)| (*k, v)).collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+}
+
 /// Counters, gauges, and histograms for one run.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, Counter>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: NameMap<Counter>,
+    gauges: NameMap<f64>,
+    histograms: NameMap<Histogram>,
 }
 
 impl MetricsRegistry {
     /// Increments a counter by `by`.
     pub fn inc(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+        *self.counters.slot(name) += by;
     }
 
     /// Sets a gauge to `value`.
     pub fn set_gauge(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+        *self.gauges.slot(name) = value;
     }
 
     /// Adds `delta` to a gauge (creating it at 0.0).
     pub fn add_gauge(&mut self, name: &'static str, delta: f64) {
-        *self.gauges.entry(name).or_insert(0.0) += delta;
+        *self.gauges.slot(name) += delta;
     }
 
     /// Records one histogram observation.
     pub fn observe(&mut self, name: &'static str, value: f64) {
-        self.histograms.entry(name).or_default().observe(value);
+        self.histograms.slot(name).observe(value);
     }
 
     /// Current value of a counter (0 if never incremented).
@@ -165,19 +210,22 @@ impl MetricsRegistry {
     ) {
         let counters = self
             .counters
-            .iter()
-            .map(|(&k, &v)| (k.to_string(), v))
+            .sorted()
+            .into_iter()
+            .map(|(k, &v)| (k.to_string(), v))
             .collect();
         let gauges = self
             .gauges
-            .iter()
-            .map(|(&k, &v)| (k.to_string(), v))
+            .sorted()
+            .into_iter()
+            .map(|(k, &v)| (k.to_string(), v))
             .collect();
         let histograms = self
             .histograms
-            .iter()
+            .sorted()
+            .into_iter()
             .filter(|(_, h)| h.count() > 0)
-            .map(|(&k, h)| HistogramSummary {
+            .map(|(k, h)| HistogramSummary {
                 name: k.to_string(),
                 count: h.count(),
                 mean: h.mean().unwrap_or(0.0),

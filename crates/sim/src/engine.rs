@@ -25,7 +25,7 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::index::ClusterIndex;
-use crate::job::{JobRecord, JobRt};
+use crate::job::{JobRecord, JobRt, JobTable};
 use crate::report::{SimReport, WindowSample};
 use crate::sched::{Action, ClusterScheduler, ProfileReport, RoundPlan};
 use crate::view::SimView;
@@ -49,7 +49,7 @@ pub struct Simulation {
     cluster: ClusterSpec,
     users: Vec<UserSpec>,
     config: SimConfig,
-    jobs: BTreeMap<JobId, JobRt>,
+    jobs: JobTable,
     residents: BTreeMap<ServerId, BTreeSet<JobId>>,
     /// Materialized indexes over `jobs`/`residents`, updated on every state
     /// transition so view queries run in O(answer); see [`crate::index`].
@@ -80,13 +80,27 @@ pub struct Simulation {
     profile_reports: u64,
     window: WindowSample,
     timeseries: Vec<WindowSample>,
-    user_gpu_secs: BTreeMap<gfair_types::UserId, f64>,
-    user_base_secs: BTreeMap<gfair_types::UserId, f64>,
-    user_gen_gpu_secs: BTreeMap<(gfair_types::UserId, gfair_types::GenId), f64>,
-    server_gpu_secs: BTreeMap<ServerId, f64>,
-    /// Jobs that ran in the previous round; a scheduled job not in this set
-    /// pays the suspend/resume overhead before making progress.
-    warm: BTreeSet<JobId>,
+    /// Live accumulation of the current window's per-user maps, kept dense
+    /// (indexed by `UserId::index()`) because [`accrue`](Self::accrue) runs
+    /// per grant per quantum; folded into [`WindowSample`]'s maps only when
+    /// a window closes. An entry belongs to the window iff its raw
+    /// GPU-seconds are positive (every accrual adds a positive amount).
+    win_user_gpu_secs: Vec<f64>,
+    win_user_base_secs: Vec<f64>,
+    /// Run-wide accounting, dense for the same reason; converted to the
+    /// report's maps in [`finalize`](Self::finalize). The (user, gen) grid
+    /// is flattened as `user.index() * num_gens + gen.index()`.
+    acct_user_gpu_secs: Vec<f64>,
+    acct_user_base_secs: Vec<f64>,
+    acct_user_gen_gpu_secs: Vec<f64>,
+    acct_server_gpu_secs: Vec<f64>,
+    num_gens: usize,
+    /// Round-stamp per job (by `JobId::index()`) marking it as having run in
+    /// the previous round: a scheduled job whose stamp is stale pays the
+    /// suspend/resume overhead before making progress. `warm_serial` starts
+    /// at 1 so the vector's default of zero never reads as warm.
+    warm_stamp: Vec<u64>,
+    warm_serial: u64,
     round_limit: u64,
     /// Observability pipeline: every lifecycle and scheduling decision is
     /// emitted through it, and its online auditor can abort the run.
@@ -126,7 +140,7 @@ impl Simulation {
         let max_gang = cluster.max_gang();
         let user_ids: BTreeSet<_> = users.iter().map(|u| u.id).collect();
         let mut queue = EventQueue::new();
-        let mut jobs = BTreeMap::new();
+        let mut jobs = JobTable::new();
         let mut arrivals = Vec::new();
         for spec in trace {
             if spec.gang > max_gang {
@@ -166,6 +180,7 @@ impl Simulation {
             .collect();
         let index = ClusterIndex::new(residents.keys().copied());
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let num_gens = cluster.catalog.len().max(1);
         Ok(Simulation {
             cluster,
             users,
@@ -192,11 +207,15 @@ impl Simulation {
             profile_reports: 0,
             window: WindowSample::default(),
             timeseries: Vec::new(),
-            user_gpu_secs: BTreeMap::new(),
-            user_base_secs: BTreeMap::new(),
-            user_gen_gpu_secs: BTreeMap::new(),
-            server_gpu_secs: BTreeMap::new(),
-            warm: BTreeSet::new(),
+            win_user_gpu_secs: Vec::new(),
+            win_user_base_secs: Vec::new(),
+            acct_user_gpu_secs: Vec::new(),
+            acct_user_base_secs: Vec::new(),
+            acct_user_gen_gpu_secs: Vec::new(),
+            acct_server_gpu_secs: Vec::new(),
+            num_gens,
+            warm_stamp: Vec::new(),
+            warm_serial: 1,
             round_limit: MAX_ROUNDS,
             obs: Arc::new(Obs::new()),
         })
@@ -410,7 +429,7 @@ impl Simulation {
 
     fn on_arrival(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
         {
-            let j = &self.jobs[&job];
+            let j = &self.jobs[job];
             self.index.on_arrive(job, j.info.user);
             self.obs.emit(TraceEvent::JobArrive {
                 t: self.now,
@@ -427,7 +446,7 @@ impl Simulation {
 
     fn on_finish(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
         let user = {
-            let j = self.jobs.get_mut(&job).expect("finish for known job");
+            let j = self.jobs.get_mut(job).expect("finish for known job");
             debug_assert!(j.finishing, "finish event without finishing flag");
             j.info.state = JobState::Finished;
             j.finish = Some(self.now);
@@ -457,7 +476,7 @@ impl Simulation {
             Failed(ServerId, ServerId, MigrationFailReason, u32),
         }
         let outcome = {
-            let j = self.jobs.get_mut(&job).expect("migration for known job");
+            let j = self.jobs.get_mut(job).expect("migration for known job");
             debug_assert_eq!(j.info.state, JobState::Migrating);
             let dst = j.info.server.expect("migrating job has a destination");
             let from = j.migrating_from.take().unwrap_or(dst);
@@ -528,7 +547,7 @@ impl Simulation {
             .into_iter()
             .collect();
         for &job in &evicted {
-            let j = self.jobs.get_mut(&job).expect("resident job is known");
+            let j = self.jobs.get_mut(job).expect("resident job is known");
             j.info.state = JobState::Pending;
             j.info.server = None;
             self.index.on_evict(job);
@@ -543,7 +562,7 @@ impl Simulation {
             evicted: evicted.len() as u32,
         });
         for &job in &evicted {
-            if self.jobs[&job].finishing {
+            if self.jobs[job].finishing {
                 continue;
             }
             let actions = scheduler.on_job_evicted(&self.view(), job);
@@ -645,7 +664,7 @@ impl Simulation {
                     return Ok(());
                 }
                 let gpus = srv.num_gpus;
-                let j = self.jobs.get_mut(&job).ok_or(GfairError::UnknownJob(job))?;
+                let j = self.jobs.get_mut(job).ok_or(GfairError::UnknownJob(job))?;
                 if j.info.state != JobState::Pending {
                     // Placing a non-pending job is always a scheduler bug.
                     return Err(GfairError::NotMigratable(job));
@@ -685,7 +704,7 @@ impl Simulation {
                     return Err(GfairError::ServerDown(to));
                 }
                 let gpus = srv.num_gpus;
-                let j = self.jobs.get_mut(&job).ok_or(GfairError::UnknownJob(job))?;
+                let j = self.jobs.get_mut(job).ok_or(GfairError::UnknownJob(job))?;
                 if j.info.state != JobState::Resident || j.finishing {
                     // Stale: the job finished or started moving since the
                     // decision was made. Skip quietly but keep count.
@@ -817,11 +836,13 @@ impl Simulation {
 
         // 1. Deliver profile reports accumulated since the last round.
         let reports = std::mem::take(&mut self.pending_reports);
-        for report in reports {
-            self.profile_reports += 1;
-            self.obs.inc("profile_reports", 1);
-            let actions = scheduler.on_profile_report(&self.view(), &report);
-            self.pending_actions.extend(actions);
+        {
+            for report in reports {
+                self.profile_reports += 1;
+                self.obs.inc("profile_reports", 1);
+                let actions = scheduler.on_profile_report(&self.view(), &report);
+                self.pending_actions.extend(actions);
+            }
         }
 
         // 2. Apply actions queued by mid-round callbacks. Decisions that
@@ -830,10 +851,12 @@ impl Simulation {
         // reported back to the policy below so they flow through its retry
         // path instead of vanishing.
         let queued = std::mem::take(&mut self.pending_actions);
-        for action in queued {
-            self.apply_action(action, true)?;
+        {
+            for action in queued {
+                self.apply_action(action, true)?;
+            }
+            self.drain_fault_notices(scheduler);
         }
-        self.drain_fault_notices(scheduler);
 
         // 3. Ask the policy for this quantum's plan (self-profiled: the
         // whole call is one round-planning span).
@@ -864,7 +887,7 @@ impl Simulation {
                 if !seen.insert(job) {
                     return Err(GfairError::DuplicateJobInPlan(job));
                 }
-                let j = self.jobs.get(&job).ok_or(GfairError::UnknownJob(job))?;
+                let j = self.jobs.get(job).ok_or(GfairError::UnknownJob(job))?;
                 if j.info.state != JobState::Resident || j.info.server != Some(server) {
                     return Err(GfairError::JobNotResident { job, server });
                 }
@@ -905,7 +928,7 @@ impl Simulation {
             .index
             .pending
             .iter()
-            .filter(|id| !self.jobs[id].finishing)
+            .filter(|&&id| !self.jobs[id].finishing)
             .count() as u32;
         let users = scheduler.user_shares(&self.view());
         self.obs.emit(TraceEvent::RoundPlanned {
@@ -938,17 +961,203 @@ impl Simulation {
         }
 
         // 6. Remember who ran, for next round's switch-overhead accounting.
-        self.warm = plan
-            .run
-            .values()
-            .flat_map(|jobs| jobs.iter().copied())
-            .collect();
+        // Bumping the serial invalidates every previous stamp at once.
+        self.warm_serial += 1;
+        for job in plan.run.values().flat_map(|jobs| jobs.iter()) {
+            *slot_u64(&mut self.warm_stamp, job.index()) = self.warm_serial;
+        }
+
+        // 6.5 Quiescence fast-forward: if nothing can change the next plan
+        // for a provable horizon, replay this plan analytically instead of
+        // re-planning quantum by quantum. Only exact when this round had a
+        // full budget (a horizon-truncated quantum ends the run anyway).
+        if budget == quantum {
+            self.try_fast_forward(scheduler, &plan, horizon)?;
+        }
 
         // 7. Keep the clock ticking while anything is alive. Not-yet-arrived
         // jobs don't count: their arrival events restart the clock.
         self.round_armed = false;
         if !self.index.active.is_empty() {
             self.arm_round(self.now + quantum);
+        }
+        Ok(())
+    }
+
+    /// Replays `plan` for as many upcoming quanta as provably nothing can
+    /// perturb it, advancing time, stride state and all accounting in one
+    /// step and emitting a single batched [`TraceEvent::RoundsSkipped`].
+    ///
+    /// The replayed span is byte-identical to stepping those rounds naively
+    /// (asserted by the differential tests): the horizon is bounded so that
+    ///
+    /// - (a) every replayed round fires strictly before the next queued
+    ///   event — at equal times every other event kind outranks `Round`;
+    /// - (b) every replayed round stays strictly before the scheduler's own
+    ///   next internal deadline ([`ClusterScheduler::next_decision_time`]);
+    /// - (c)/(d) a profile-stint crossing or a job finish may land only in
+    ///   the *last* replayed quantum: its report (delivered at the next
+    ///   round) or exact-time `Finish` event then reaches the scheduler at
+    ///   the same instant the naive path would deliver it;
+    /// - (e) every replayed quantum has a full budget under `run_until`'s
+    ///   horizon; and
+    /// - (f) the round counter cannot overrun the round safety limit.
+    ///
+    /// Within those bounds the scheduler's probe performs the differential
+    /// check that its stride scan order reproduces `plan` verbatim each
+    /// replayed round, and its commit advances pass state bit-identically
+    /// (`pass += delta` replayed the exact number of times). The engine
+    /// replays progress accrual for real — same float sequence, same RNG
+    /// draws, same `Finish` scheduling — so only the planning work and the
+    /// per-round trace records are elided.
+    fn try_fast_forward(
+        &mut self,
+        scheduler: &mut dyn ClusterScheduler,
+        plan: &RoundPlan,
+        horizon: Option<SimTime>,
+    ) -> Result<()> {
+        // Structural preconditions: anything queued for the scheduler or
+        // carried by the plan makes the next round take a different path.
+        if !plan.actions.is_empty()
+            || !self.pending_actions.is_empty()
+            || !self.pending_reports.is_empty()
+            || !self.pending_fault_notices.is_empty()
+            || self.index.active.is_empty()
+        {
+            return Ok(());
+        }
+        let quantum = self.config.quantum;
+        let q_us = quantum.as_micros();
+        let now_us = self.now.as_micros();
+        // (a) Queue: largest j with T + j*q strictly before the next event.
+        let mut k: u64 = match self.queue.peek() {
+            Some(ev) => {
+                let dt = ev.time.as_micros().saturating_sub(now_us);
+                if dt == 0 {
+                    return Ok(());
+                }
+                (dt - 1) / q_us
+            }
+            None => u64::MAX,
+        };
+        // (b) Scheduler-internal deadlines, same strict-inequality formula.
+        if let Some(t) = scheduler.next_decision_time() {
+            let dt = t.as_micros().saturating_sub(now_us);
+            if dt == 0 {
+                return Ok(());
+            }
+            k = k.min((dt - 1) / q_us);
+        }
+        // (e) Horizon: each replayed quantum needs a full budget.
+        if let Some(h) = horizon {
+            let dt = h.as_micros().saturating_sub(now_us);
+            k = k.min((dt / q_us).saturating_sub(1));
+        }
+        // (f) Round safety limit.
+        k = k.min(self.round_limit.saturating_sub(self.rounds));
+        if k == 0 {
+            return Ok(());
+        }
+        // The policy's differential check: would this exact plan be
+        // reproduced for j <= k quanta?
+        let mut j = scheduler.probe_fast_forward(&self.view(), plan, k).min(k);
+        if j == 0 {
+            return Ok(());
+        }
+        // (c)/(d) Per-job timers, computed only up to the probed j.
+        let stint_len_us = self.config.profile_stint.as_micros();
+        let q_secs = quantum.as_secs_f64();
+        for (&server, run) in &plan.run {
+            let gen = self.cluster.server(server).gen;
+            for &job in run {
+                let rec = &self.jobs[job];
+                // (c) Quanta until the profile stint crosses its length
+                // (each replayed quantum adds exactly one full quantum of
+                // productive time; the jobs are warm, overhead is zero).
+                let s0 = rec.stint.get(&gen).copied().unwrap_or(SimDuration::ZERO);
+                let to_report = stint_len_us.saturating_sub(s0.as_micros());
+                j = j.min(to_report.div_ceil(q_us));
+                // (d) Quanta until the job finishes, mirroring `accrue`'s
+                // exact float sequence for warm full-budget quanta.
+                let rate = rec.true_rate(gen);
+                let mut progress = rec.progress;
+                for m in 1..=j {
+                    let remaining_secs = (rec.spec.service_secs - progress) / rate;
+                    let run_d = quantum.min(SimDuration::from_secs_f64(remaining_secs));
+                    if run_d < quantum {
+                        j = m;
+                        break;
+                    }
+                    progress += q_secs * rate;
+                    if rec.spec.service_secs - progress <= 1e-9 {
+                        j = m;
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return Ok(());
+                }
+            }
+        }
+        // Commit: stride passes jump j quanta in one step, then the engine
+        // replays accrual for real — per round: advance the clock, count the
+        // round, flush report windows, accrue every planned job in plan
+        // iteration order (identical float/RNG sequence to stepping).
+        scheduler.commit_fast_forward(j);
+        let first_round = self.rounds + 1;
+        let span_t = self.now + quantum;
+        for _ in 0..j {
+            self.now += quantum;
+            self.rounds += 1;
+            self.maybe_flush_window();
+            for (&server, run) in &plan.run {
+                let gen = self.cluster.server(server).gen;
+                for &job in run {
+                    self.accrue(job, server, gen, quantum);
+                }
+            }
+        }
+        // One batched trace record stands in for the per-round GangPacked +
+        // RoundPlanned stream; the metrics layer replays it into the same
+        // counters and histograms, and the auditor treats the span as one
+        // pre-validated unit.
+        let mut gpus_used = 0u32;
+        let mut scheduled = 0u32;
+        let mut widths = Vec::with_capacity(plan.num_running());
+        for run in plan.run.values() {
+            for &job in run {
+                let gang = self.jobs[job].info.gang;
+                widths.push(gang);
+                gpus_used += gang;
+                scheduled += 1;
+            }
+        }
+        let gpus_up: u32 = self
+            .cluster
+            .servers
+            .iter()
+            .filter(|s| !self.down.contains(&s.id))
+            .map(|s| s.num_gpus)
+            .sum();
+        let pending = self
+            .index
+            .pending
+            .iter()
+            .filter(|&&id| !self.jobs[id].finishing)
+            .count() as u32;
+        self.obs.emit(TraceEvent::RoundsSkipped {
+            t: span_t,
+            first_round,
+            rounds: j,
+            scheduled,
+            gpus_used,
+            gpus_up,
+            pending,
+            tickets_total: self.cluster.total_gpus() as f64,
+            widths,
+        });
+        if let Some(v) = self.obs.take_fatal() {
+            return Err(violation_to_error(v));
         }
         Ok(())
     }
@@ -964,14 +1173,15 @@ impl Simulation {
     ) {
         let noise = self.config.profile_noise;
         let stint_len = self.config.profile_stint;
-        let j = self.jobs.get_mut(&job).expect("validated job exists");
+        let j = self.jobs.get_mut(job).expect("validated job exists");
         if j.first_run.is_none() {
             j.first_run = Some(self.now);
         }
         let rate = j.true_rate(gen);
         // A job resuming after a round off pays the suspend/resume switch
         // cost before training resumes (the GPU is occupied throughout).
-        let overhead = if self.warm.contains(&job) {
+        let warm = self.warm_stamp.get(job.index()) == Some(&self.warm_serial);
+        let overhead = if warm {
             SimDuration::ZERO
         } else {
             self.config.switch_overhead
@@ -1020,20 +1230,45 @@ impl Simulation {
         }
 
         // Global and windowed accounting.
-        *self.server_gpu_secs.entry(server).or_insert(0.0) += gpu_secs;
+        let ui = user.index();
+        bump(&mut self.acct_server_gpu_secs, server.index(), gpu_secs);
         self.gpu_secs_used += gpu_secs;
-        *self.user_gpu_secs.entry(user).or_insert(0.0) += gpu_secs;
-        *self.user_base_secs.entry(user).or_insert(0.0) += base_secs;
-        *self.user_gen_gpu_secs.entry((user, gen)).or_insert(0.0) += gpu_secs;
+        bump(&mut self.acct_user_gpu_secs, ui, gpu_secs);
+        bump(&mut self.acct_user_base_secs, ui, base_secs);
+        bump(
+            &mut self.acct_user_gen_gpu_secs,
+            ui * self.num_gens + gen.index(),
+            gpu_secs,
+        );
         self.window.used_gpu_secs += gpu_secs;
-        *self.window.user_gpu_secs.entry(user).or_insert(0.0) += gpu_secs;
-        *self.window.user_base_secs.entry(user).or_insert(0.0) += base_secs;
+        bump(&mut self.win_user_gpu_secs, ui, gpu_secs);
+        bump(&mut self.win_user_base_secs, ui, base_secs);
+    }
+
+    /// Folds the dense per-user window accumulators into the live window's
+    /// maps, zeroing them for the next window. A user belongs to the window
+    /// iff they received raw GPU-seconds in it; their base-seconds entry
+    /// rides along even at 0.0 (all-overhead quanta), exactly as the former
+    /// per-accrual map inserts behaved.
+    fn fold_window(&mut self) {
+        for (i, gpu) in self.win_user_gpu_secs.iter_mut().enumerate() {
+            if *gpu > 0.0 {
+                let user = gfair_types::UserId::new(i as u32);
+                self.window.user_gpu_secs.insert(user, *gpu);
+                self.window
+                    .user_base_secs
+                    .insert(user, self.win_user_base_secs[i]);
+                *gpu = 0.0;
+                self.win_user_base_secs[i] = 0.0;
+            }
+        }
     }
 
     /// Closes the current reporting window if `now` has crossed a boundary.
     fn maybe_flush_window(&mut self) {
         let len = self.config.report_window;
         while self.now >= self.window.start + len {
+            self.fold_window();
             let start = self.window.start;
             let mut done = std::mem::take(&mut self.window);
             done.capacity_gpu_secs = len.as_secs_f64() * self.cluster.total_gpus() as f64;
@@ -1044,12 +1279,45 @@ impl Simulation {
 
     fn finalize(mut self, scheduler: &str) -> SimReport {
         // Close the trailing (possibly partial) window.
-        if self.window.used_gpu_secs > 0.0 || !self.window.user_gpu_secs.is_empty() {
+        if self.window.used_gpu_secs > 0.0 {
+            self.fold_window();
             let span = self.now.saturating_since(self.window.start);
             let mut done = std::mem::take(&mut self.window);
             done.capacity_gpu_secs = span.as_secs_f64() * self.cluster.total_gpus() as f64;
             self.timeseries.push(done);
         }
+        // Convert the dense run-wide accumulators back to the report's maps.
+        // An id accrued in the run iff its raw GPU-seconds are positive;
+        // base-seconds entries mirror the raw ones (see `fold_window`).
+        let user_gpu_secs: BTreeMap<gfair_types::UserId, f64> = self
+            .acct_user_gpu_secs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| (gfair_types::UserId::new(i as u32), *v))
+            .collect();
+        let user_base_secs: BTreeMap<gfair_types::UserId, f64> = user_gpu_secs
+            .keys()
+            .map(|&u| (u, self.acct_user_base_secs[u.index()]))
+            .collect();
+        let user_gen_gpu_secs: BTreeMap<(gfair_types::UserId, gfair_types::GenId), f64> = self
+            .acct_user_gen_gpu_secs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| {
+                let user = gfair_types::UserId::new((i / self.num_gens) as u32);
+                let gen = gfair_types::GenId::new((i % self.num_gens) as u32);
+                ((user, gen), *v)
+            })
+            .collect();
+        let server_gpu_secs: BTreeMap<ServerId, f64> = self
+            .acct_server_gpu_secs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0.0)
+            .map(|(i, v)| (ServerId::new(i as u32), *v))
+            .collect();
         let jobs = self
             .jobs
             .into_iter()
@@ -1076,10 +1344,10 @@ impl Simulation {
             end: self.now,
             rounds: self.rounds,
             jobs,
-            user_gpu_secs: self.user_gpu_secs,
-            user_base_secs: self.user_base_secs,
-            user_gen_gpu_secs: self.user_gen_gpu_secs,
-            server_gpu_secs: self.server_gpu_secs,
+            user_gpu_secs,
+            user_base_secs,
+            user_gen_gpu_secs,
+            server_gpu_secs,
             timeseries: self.timeseries,
             migrations: self.migrations,
             migration_outage: self.migration_outage,
@@ -1093,6 +1361,24 @@ impl Simulation {
         self.obs.flush();
         report
     }
+}
+
+/// Adds `d` at index `i`, growing the accumulator as new ids appear.
+#[inline]
+fn bump(v: &mut Vec<f64>, i: usize, d: f64) {
+    if v.len() <= i {
+        v.resize(i + 1, 0.0);
+    }
+    v[i] += d;
+}
+
+/// Grows `v` so index `i` exists, then hands out the slot.
+#[inline]
+fn slot_u64(v: &mut Vec<u64>, i: usize) -> &mut u64 {
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    &mut v[i]
 }
 
 /// Maps an auditor violation onto the workspace error type. Violations that

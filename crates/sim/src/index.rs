@@ -22,7 +22,7 @@
 //! [`ClusterIndex::verify`] re-derives all of this from scratch and is the
 //! oracle for the differential property tests.
 
-use crate::job::JobRt;
+use crate::job::JobTable;
 use gfair_types::{JobId, JobState, ServerId, UserId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,15 +38,31 @@ pub(crate) struct ClusterIndex {
     /// Active jobs per user; empty sets are removed, so the key set is
     /// exactly the set of users with at least one active job.
     pub(crate) by_user: BTreeMap<UserId, BTreeSet<JobId>>,
-    /// GPUs demanded by resident jobs, per server (sum of gang widths).
-    pub(crate) demand: BTreeMap<ServerId, u32>,
+    /// GPUs demanded by resident jobs, per server (sum of gang widths),
+    /// indexed by `ServerId::index()` — server ids are dense, and this sits
+    /// on the placement hot path where a tree lookup per candidate server
+    /// dominates.
+    pub(crate) demand: Vec<u32>,
+    /// Per-server residency change counter, indexed by `ServerId::index()`:
+    /// bumped every time a server's resident set changes (placement, finish,
+    /// migration, eviction). Schedulers use it to skip per-round membership
+    /// re-derivation for servers whose residency is unchanged. It counts
+    /// changes rather than deriving state, so [`ClusterIndex::verify`] has
+    /// no oracle for it.
+    pub(crate) res_version: Vec<u64>,
 }
 
 impl ClusterIndex {
     /// Creates an index for a cluster with the given servers, all empty.
     pub(crate) fn new(servers: impl IntoIterator<Item = ServerId>) -> Self {
+        let len = servers
+            .into_iter()
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0);
         ClusterIndex {
-            demand: servers.into_iter().map(|s| (s, 0)).collect(),
+            demand: vec![0; len],
+            res_version: vec![0; len],
             ..ClusterIndex::default()
         }
     }
@@ -86,19 +102,22 @@ impl ClusterIndex {
 
     /// Adds a resident gang's GPUs to a server's demand.
     pub(crate) fn add_demand(&mut self, server: ServerId, gang: u32) {
-        *self.demand.get_mut(&server).expect("known server") += gang;
+        self.demand[server.index()] += gang;
+        self.res_version[server.index()] += 1;
     }
 
     /// Removes a resident gang's GPUs from a server's demand.
     pub(crate) fn sub_demand(&mut self, server: ServerId, gang: u32) {
-        let d = self.demand.get_mut(&server).expect("known server");
+        let d = &mut self.demand[server.index()];
         debug_assert!(*d >= gang, "demand underflow on {server}");
         *d -= gang;
+        self.res_version[server.index()] += 1;
     }
 
     /// A server failed and its residents were all evicted at once.
     pub(crate) fn clear_demand(&mut self, server: ServerId) {
-        *self.demand.get_mut(&server).expect("known server") = 0;
+        self.demand[server.index()] = 0;
+        self.res_version[server.index()] += 1;
     }
 
     /// Recomputes every index from scratch and compares: the differential
@@ -108,12 +127,12 @@ impl ClusterIndex {
     pub(crate) fn verify(
         &self,
         now: gfair_types::SimTime,
-        jobs: &BTreeMap<JobId, JobRt>,
+        jobs: &JobTable,
         residents: &BTreeMap<ServerId, BTreeSet<JobId>>,
     ) -> Result<(), String> {
         // Sanity: arrivals never fire early, and any job that has changed
         // state, run, or finished must have arrived.
-        for (&id, j) in jobs {
+        for (id, j) in jobs.iter() {
             if self.arrived.contains(&id) {
                 if j.info.arrival > now {
                     return Err(format!("job {id} marked arrived before its arrival time"));
@@ -127,7 +146,7 @@ impl ClusterIndex {
         let mut pending = BTreeSet::new();
         let mut by_user: BTreeMap<UserId, BTreeSet<JobId>> = BTreeMap::new();
         for &id in &self.arrived {
-            let j = jobs.get(&id).ok_or_else(|| format!("unknown job {id}"))?;
+            let j = jobs.get(id).ok_or_else(|| format!("unknown job {id}"))?;
             if j.info.state.is_active() {
                 active.insert(id);
                 by_user.entry(j.info.user).or_default().insert(id);
@@ -154,10 +173,10 @@ impl ClusterIndex {
                 self.by_user
             ));
         }
-        let demand: BTreeMap<ServerId, u32> = residents
-            .iter()
-            .map(|(&s, set)| (s, set.iter().map(|id| jobs[id].info.gang).sum::<u32>()))
-            .collect();
+        let mut demand = vec![0u32; self.demand.len()];
+        for (&s, set) in residents {
+            demand[s.index()] = set.iter().map(|&id| jobs[id].info.gang).sum::<u32>();
+        }
         if demand != self.demand {
             return Err(format!(
                 "demand index diverged: naive {demand:?} vs index {:?}",

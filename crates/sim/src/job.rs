@@ -111,6 +111,76 @@ impl JobRt {
     }
 }
 
+/// Dense job table indexed by `JobId::index()`.
+///
+/// Job ids in a trace are minted sequentially, so a slab beats a tree:
+/// `jobs[id]` sits on every hot path (arrival placement, per-grant accrual,
+/// view queries), where a tree descent over tens of thousands of jobs
+/// dominates. Sparse ids still work — absent slots simply hold `None`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JobTable {
+    slots: Vec<Option<JobRt>>,
+    len: usize,
+}
+
+impl JobTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        JobTable::default()
+    }
+
+    /// Number of jobs present.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `job` under `id`, returning the previous occupant if any.
+    pub fn insert(&mut self, id: JobId, job: JobRt) -> Option<JobRt> {
+        let i = id.index();
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let prev = self.slots[i].replace(job);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// The job under `id`, if present.
+    pub fn get(&self, id: JobId) -> Option<&JobRt> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the job under `id`, if present.
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobRt> {
+        self.slots.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// All (id, job) pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobRt)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|j| (JobId::new(i as u32), j)))
+    }
+
+    /// Consumes the table, yielding (id, job) pairs in id order.
+    pub fn into_iter(self) -> impl Iterator<Item = (JobId, JobRt)> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|j| (JobId::new(i as u32), j)))
+    }
+}
+
+impl std::ops::Index<JobId> for JobTable {
+    type Output = JobRt;
+    fn index(&self, id: JobId) -> &JobRt {
+        self.get(id).expect("unknown job id")
+    }
+}
+
 /// Per-job line in the final [`crate::SimReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {

@@ -9,7 +9,7 @@
 //! plan's run sets are validated.
 
 use crate::view::SimView;
-use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId};
+use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId, SimTime};
 use std::collections::BTreeMap;
 
 /// A placement or migration decision.
@@ -166,6 +166,33 @@ pub trait ClusterScheduler {
 
     /// Called once per quantum: decide which resident jobs run this round.
     fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan;
+
+    /// Earliest future time at which this scheduler would decide something
+    /// differently even with unchanged inputs (a trade epoch, a balance
+    /// epoch, a retry-backoff expiry). The engine uses this to bound how far
+    /// it may fast-forward through quiescent rounds; `None` means the policy
+    /// has no internal timers.
+    fn next_decision_time(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Asks whether the last [`plan_round`](Self::plan_round) result (`plan`)
+    /// would be reproduced verbatim for the next `k` quanta, assuming no
+    /// external events. Returns the number of quanta `j <= k` the plan can be
+    /// replayed for; `0` declines fast-forwarding. Must not mutate state —
+    /// the engine follows up with
+    /// [`commit_fast_forward`](Self::commit_fast_forward) only when it
+    /// actually skips. The default declines, so policies opt in explicitly.
+    fn probe_fast_forward(&mut self, _view: &SimView<'_>, _plan: &RoundPlan, _k: u64) -> u64 {
+        0
+    }
+
+    /// Advances internal stride state by `j` quanta in one step, exactly as
+    /// if [`plan_round`](Self::plan_round) had been called `j` times with
+    /// unchanged inputs. Only called with `j` no larger than the value the
+    /// immediately preceding [`probe_fast_forward`](Self::probe_fast_forward)
+    /// returned.
+    fn commit_fast_forward(&mut self, _j: u64) {}
 
     /// Per-user tickets and stride passes backing the plan just produced,
     /// reported for tracing and audit (the auditor checks that tickets sum

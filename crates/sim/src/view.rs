@@ -5,7 +5,7 @@
 //! (ground-truth rates, exact remaining work).
 
 use crate::index::ClusterIndex;
-use crate::job::{JobInfo, JobRt};
+use crate::job::{JobInfo, JobTable};
 use gfair_types::{ClusterSpec, JobId, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -18,7 +18,7 @@ pub struct SimView<'a> {
     pub(crate) now: SimTime,
     pub(crate) cluster: &'a ClusterSpec,
     pub(crate) users: &'a [UserSpec],
-    pub(crate) jobs: &'a BTreeMap<JobId, JobRt>,
+    pub(crate) jobs: &'a JobTable,
     pub(crate) residents: &'a BTreeMap<ServerId, BTreeSet<JobId>>,
     pub(crate) index: &'a ClusterIndex,
     pub(crate) down: &'a BTreeSet<ServerId>,
@@ -97,7 +97,7 @@ impl<'a> SimView<'a> {
 
     /// Metadata for a job, if known.
     pub fn job(&self, id: JobId) -> Option<&'a JobInfo> {
-        self.jobs.get(&id).map(|j| &j.info)
+        self.jobs.get(id).map(|j| &j.info)
     }
 
     /// All jobs submitted so far, in id order.
@@ -106,19 +106,19 @@ impl<'a> SimView<'a> {
     /// scheduler cannot see tomorrow's submissions.
     pub fn jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
         let jobs = self.jobs;
-        self.index.arrived.iter().map(move |id| &jobs[id].info)
+        self.index.arrived.iter().map(move |&id| &jobs[id].info)
     }
 
     /// Jobs that have arrived and are not finished, in id order.
     pub fn active_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
         let jobs = self.jobs;
-        self.index.active.iter().map(move |id| &jobs[id].info)
+        self.index.active.iter().map(move |&id| &jobs[id].info)
     }
 
     /// Arrived jobs awaiting placement, in id order.
     pub fn pending_jobs(&self) -> impl Iterator<Item = &'a JobInfo> + '_ {
         let jobs = self.jobs;
-        self.index.pending.iter().map(move |id| &jobs[id].info)
+        self.index.pending.iter().map(move |&id| &jobs[id].info)
     }
 
     /// Ids of jobs resident on `server`, in id order.
@@ -131,7 +131,19 @@ impl<'a> SimView<'a> {
 
     /// Number of GPUs demanded by jobs resident on `server` (sum of gangs).
     pub fn resident_demand(&self, server: ServerId) -> u32 {
-        self.index.demand.get(&server).copied().unwrap_or(0)
+        self.index.demand.get(server.index()).copied().unwrap_or(0)
+    }
+
+    /// Residency change counter for `server`: bumped on every change to the
+    /// server's resident set. Two equal values bracket a span with no
+    /// residency change, so a scheduler that cached state derived from the
+    /// residency (local membership, say) can skip re-deriving it.
+    pub fn residency_version(&self, server: ServerId) -> u64 {
+        self.index
+            .res_version
+            .get(server.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Demand-to-capacity ratio of `server` (the paper's load signal for
@@ -153,7 +165,7 @@ impl<'a> SimView<'a> {
             .by_user
             .get(&user)
             .into_iter()
-            .flat_map(move |set| set.iter().map(move |id| &jobs[id].info))
+            .flat_map(move |set| set.iter().map(move |&id| &jobs[id].info))
     }
 
     /// Re-derives every materialized index from the raw job/residency tables

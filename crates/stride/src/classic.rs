@@ -145,6 +145,12 @@ impl<K: Copy + Ord> StrideScheduler<K> {
         );
         let global = self.global_pass;
         let c = self.clients.get_mut(&k).expect("unknown client");
+        if tickets == c.tickets {
+            // An unchanged ticket count must be a true no-op: re-deriving the
+            // pass through `global + (pass - global)` is not an f64 identity
+            // and would drift the pass on every refresh.
+            return;
+        }
         let remain = c.pass - global;
         // Scale the remaining debt by old_stride_ratio = new_stride/old_stride.
         let scaled = remain * (c.tickets / tickets);
@@ -178,6 +184,84 @@ impl<K: Copy + Ord> StrideScheduler<K> {
         let c = self.clients.get_mut(&k).expect("unknown client");
         c.pass += c.stride() * quanta;
         self.global_pass += STRIDE1 * quanta / self.total_tickets;
+    }
+
+    /// Returns how many consecutive `pick()`-then-`run(_, quanta)` rounds
+    /// (at most `k`) would serve the same client. Does not mutate state.
+    ///
+    /// Only the served client's pass moves, so the span ends exactly when
+    /// its advancing pass overtakes the closest contender under `pick`'s
+    /// `(pass, key)` order. The returned `j` backs
+    /// [`fast_forward`](Self::fast_forward): `fast_forward(quanta, j)` then
+    /// leaves the scheduler byte-identical to `j` stepped rounds.
+    pub fn quiescent_rounds(&self, quanta: f64, k: u64) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        let Some(first) = self.pick() else {
+            return 0;
+        };
+        if self.clients.len() == 1 {
+            return k;
+        }
+        let c = &self.clients[&first];
+        let delta = c.stride() * quanta;
+        let mut pass = c.pass;
+        // Closest contender among the others; their passes do not move.
+        let (rk, rp) = self
+            .clients
+            .iter()
+            .filter(|(k2, _)| **k2 != first)
+            .min_by(|(ka, a), (kb, b)| a.pass.total_cmp(&b.pass).then(ka.cmp(kb)))
+            .map(|(k2, c2)| (*k2, c2.pass))
+            .expect("more than one client");
+        let mut j = 1u64;
+        while j < k {
+            pass += delta;
+            let still_first = match pass.total_cmp(&rp) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => first < rk,
+                std::cmp::Ordering::Greater => false,
+            };
+            if !still_first {
+                break;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Replays `j` quiescent rounds in one step: charges `quanta` to the
+    /// current minimum-pass client `j` times.
+    ///
+    /// The caller must have verified `j <=`
+    /// [`quiescent_rounds`](Self::quiescent_rounds) for the current state;
+    /// the post-call state is then byte-identical to `j` stepped rounds
+    /// (the pass and global-pass accumulators receive the same additions in
+    /// the same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler is empty (with `j > 0`) or `quanta` is
+    /// negative/not finite.
+    pub fn fast_forward(&mut self, quanta: f64, j: u64) {
+        assert!(
+            quanta.is_finite() && quanta >= 0.0,
+            "quanta must be non-negative and finite, got {quanta}"
+        );
+        if j == 0 {
+            return;
+        }
+        let first = self.pick().expect("fast_forward on empty scheduler");
+        let c = self.clients.get_mut(&first).expect("picked client exists");
+        let delta = c.stride() * quanta;
+        for _ in 0..j {
+            c.pass += delta;
+        }
+        let g = STRIDE1 * quanta / self.total_tickets;
+        for _ in 0..j {
+            self.global_pass += g;
+        }
     }
 
     /// Iterates over `(client, tickets, pass)` in key order.
@@ -349,6 +433,66 @@ mod tests {
         let s = StrideScheduler::<u32>::new();
         assert_eq!(s.pick(), None);
         assert_eq!(s.total_tickets(), 0.0);
+    }
+
+    #[test]
+    fn set_tickets_with_unchanged_count_is_a_true_noop() {
+        let mut s = StrideScheduler::new();
+        s.join(1, 100.0);
+        s.join(2, 40.0);
+        let _ = serve(&mut s, 13);
+        let before: Vec<_> = s.iter().map(|(k, t, p)| (k, t, p.to_bits())).collect();
+        s.set_tickets(1, 100.0);
+        s.set_tickets(2, 40.0);
+        let after: Vec<_> = s.iter().map(|(k, t, p)| (k, t, p.to_bits())).collect();
+        assert_eq!(before, after, "unchanged tickets must not drift passes");
+    }
+
+    #[test]
+    fn fast_forward_matches_stepping() {
+        let mut a = StrideScheduler::new();
+        a.join(1, 300.0);
+        a.join(2, 100.0);
+        a.join(3, 55.5);
+        let mut b = a.clone();
+        let _ = serve(&mut b, 0);
+        for _ in 0..200 {
+            let j = a.quiescent_rounds(1.0, 64);
+            assert!(j >= 1, "the picked client always serves at least once");
+            let picked = a.pick().unwrap();
+            a.fast_forward(1.0, j);
+            for _ in 0..j {
+                let k = b.pick().unwrap();
+                assert_eq!(k, picked, "stepping diverged from the span");
+                b.run(k, 1.0);
+            }
+            let sa: Vec<_> = a.iter().map(|(k, t, p)| (k, t, p.to_bits())).collect();
+            let sb: Vec<_> = b.iter().map(|(k, t, p)| (k, t, p.to_bits())).collect();
+            assert_eq!(sa, sb);
+            assert_eq!(a.global_pass().to_bits(), b.global_pass().to_bits());
+        }
+    }
+
+    #[test]
+    fn single_client_is_quiescent_for_any_horizon() {
+        let mut s = StrideScheduler::new();
+        s.join(7, 10.0);
+        assert_eq!(s.quiescent_rounds(1.0, 1000), 1000);
+        let mut naive = s.clone();
+        s.fast_forward(1.0, 1000);
+        for _ in 0..1000 {
+            naive.run(7, 1.0);
+        }
+        assert_eq!(
+            s.pass_of(7).unwrap().to_bits(),
+            naive.pass_of(7).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_scheduler_declines_fast_forward() {
+        let s = StrideScheduler::<u32>::new();
+        assert_eq!(s.quiescent_rounds(1.0, 10), 0);
     }
 
     #[test]

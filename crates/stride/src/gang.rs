@@ -252,6 +252,12 @@ impl<K: Copy + Ord> GangScheduler<K> {
         );
         let global = self.global_pass;
         let c = self.clients.get_mut(&k).expect("unknown client");
+        if tickets == c.tickets {
+            // An unchanged ticket count must be a true no-op: re-deriving the
+            // pass through `global + (pass - global)` is not an f64 identity
+            // and would drift the pass on every refresh.
+            return;
+        }
         let remain = c.pass - global;
         let scaled = remain * (c.tickets / tickets);
         self.total_tickets += tickets - c.tickets;
@@ -338,6 +344,115 @@ impl<K: Copy + Ord> GangScheduler<K> {
             selected,
             gpus_used: used,
             gpus_idle: self.capacity - used,
+        }
+    }
+
+    /// Returns how many consecutive rounds (at most `k`) the next calls to
+    /// [`plan_round`](Self::plan_round) would select exactly `expected`, in
+    /// that order. Does not mutate any state.
+    ///
+    /// Quiescence requires every runnable client to fit the server at once
+    /// (then the selection *set* is trivially stable) and the `(pass, key)`
+    /// scan order to survive each round's pass advance. Order matters, not
+    /// just membership: the selection order fixes the exact sequence of
+    /// float operations a caller performs per selected client, so an order
+    /// rotation ends the replayable span even though the same clients run.
+    ///
+    /// The returned `j` is the guarantee backing
+    /// [`fast_forward`](Self::fast_forward): `fast_forward(j)` then leaves
+    /// the scheduler byte-identical to `j` calls of `plan_round`.
+    pub fn quiescent_rounds(&self, expected: &[K], k: u64) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        if self.order.is_empty() {
+            // Nothing runnable: every round selects nothing and changes
+            // nothing, so any horizon replays trivially.
+            return if expected.is_empty() { k } else { 0 };
+        }
+        if self.order.len() != expected.len() {
+            return 0;
+        }
+        // Scratch copies of (pass, per-round delta, key) in scan order. The
+        // delta `stride() * quanta` is recomputed identically by every naive
+        // round (tickets and width are untouched between rounds), so
+        // repeated `pass += delta` reproduces the naive float sequence
+        // bit-for-bit.
+        let mut entries: Vec<(f64, f64, K)> = Vec::with_capacity(expected.len());
+        let mut width = 0u64;
+        for (&(Pass(pass), key), &exp) in self.order.iter().zip(expected.iter()) {
+            if key != exp {
+                return 0;
+            }
+            let c = &self.clients[&key];
+            width += c.width as u64;
+            let quanta = match self.policy {
+                GangPolicy::JobLevelStride => 1.0,
+                GangPolicy::GangAware | GangPolicy::StrictNoBackfill => c.width as f64,
+            };
+            entries.push((pass, c.stride() * quanta, key));
+        }
+        if width > self.capacity as u64 {
+            // Contended server: skipped clients sink toward the minimum and
+            // reshape the selection, so no round is safely replayable.
+            return 0;
+        }
+        // Round 1 replays `expected` as-is; each further round requires the
+        // advanced passes to preserve the strict (pass, key) scan order.
+        let mut j = 1u64;
+        'span: while j < k {
+            for e in entries.iter_mut() {
+                e.0 += e.1;
+            }
+            for w in entries.windows(2) {
+                let (pa, _, ka) = w[0];
+                let (pb, _, kb) = w[1];
+                if pa.total_cmp(&pb).then(ka.cmp(&kb)) != std::cmp::Ordering::Less {
+                    break 'span;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Replays `j` quiescent rounds in one step.
+    ///
+    /// The caller must have verified `j <=`
+    /// [`quiescent_rounds`](Self::quiescent_rounds) for the current state.
+    /// Under that precondition the post-call state (client passes, order
+    /// index, global pass) is byte-identical to calling
+    /// [`plan_round`](Self::plan_round) `j` times: each client's pass is an
+    /// independent accumulator receiving the same `j` additions of the same
+    /// delta, and the global pass receives the same `j` additions because
+    /// the GPU-quanta dispensed per round are identical across the span.
+    pub fn fast_forward(&mut self, j: u64) {
+        if j == 0 || self.order.is_empty() {
+            return;
+        }
+        let keys: Vec<K> = self.order.iter().map(|&(_, k)| k).collect();
+        let mut used = 0u32;
+        for k in keys {
+            let c = self.clients.get_mut(&k).expect("ordered client exists");
+            let quanta = match self.policy {
+                GangPolicy::JobLevelStride => 1.0,
+                GangPolicy::GangAware | GangPolicy::StrictNoBackfill => c.width as f64,
+            };
+            let delta = c.stride() * quanta;
+            let old_pass = c.pass;
+            for _ in 0..j {
+                c.pass += delta;
+            }
+            let new_pass = c.pass;
+            used += c.width;
+            self.order.remove(&(Pass(old_pass), k));
+            self.order.insert((Pass(new_pass), k));
+        }
+        if self.total_tickets > 0.0 && used > 0 {
+            let delta = STRIDE1 * used as f64 / self.total_tickets;
+            for _ in 0..j {
+                self.global_pass += delta;
+            }
         }
     }
 
@@ -604,6 +719,136 @@ mod tests {
             "late joiner share {share2}"
         );
     }
+
+    #[test]
+    fn set_tickets_with_unchanged_count_is_a_true_noop() {
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        g.join(0, 100.0, 2);
+        g.join(1, 50.0, 3);
+        for _ in 0..7 {
+            g.plan_round();
+        }
+        let before: Vec<_> = g
+            .iter()
+            .map(|(k, t, w, p)| (k, t, w, p.to_bits()))
+            .collect();
+        g.set_tickets(0, 100.0);
+        g.set_tickets(1, 50.0);
+        let after: Vec<_> = g
+            .iter()
+            .map(|(k, t, w, p)| (k, t, w, p.to_bits()))
+            .collect();
+        assert_eq!(before, after, "unchanged tickets must not drift passes");
+    }
+
+    /// Asserts the two schedulers hold bit-identical state.
+    fn assert_state_eq(a: &GangScheduler<u32>, b: &GangScheduler<u32>) {
+        let sa: Vec<_> = a
+            .iter()
+            .map(|(k, t, w, p)| (k, t.to_bits(), w, p.to_bits()))
+            .collect();
+        let sb: Vec<_> = b
+            .iter()
+            .map(|(k, t, w, p)| (k, t.to_bits(), w, p.to_bits()))
+            .collect();
+        assert_eq!(sa, sb, "client state diverged");
+        assert_eq!(
+            a.global_pass.to_bits(),
+            b.global_pass.to_bits(),
+            "global pass diverged: {} vs {}",
+            a.global_pass,
+            b.global_pass
+        );
+        let oa: Vec<_> = a
+            .order
+            .iter()
+            .map(|&(Pass(p), k)| (p.to_bits(), k))
+            .collect();
+        let ob: Vec<_> = b
+            .order
+            .iter()
+            .map(|&(Pass(p), k)| (p.to_bits(), k))
+            .collect();
+        assert_eq!(oa, ob, "order index diverged");
+    }
+
+    #[test]
+    fn fast_forward_matches_stepping_for_all_policies() {
+        for policy in [
+            GangPolicy::GangAware,
+            GangPolicy::JobLevelStride,
+            GangPolicy::StrictNoBackfill,
+        ] {
+            // All gangs fit at once (3+2+4+1 = 10 <= 16), so rounds are
+            // quiescent until the scan order rotates.
+            let mut a = GangScheduler::new(16, policy);
+            for (id, (t, w)) in [(130.0, 3u32), (70.0, 2), (100.0, 4), (55.5, 1)]
+                .into_iter()
+                .enumerate()
+            {
+                a.join(id as u32, t, w);
+            }
+            let mut b = a.clone();
+            let mut ff_total = 0u64;
+            for _ in 0..30 {
+                // A naive round yields the cached plan each span replays;
+                // when the scan order rotated, the probe returns 0 and the
+                // next naive round re-caches — exactly the engine's loop.
+                let cached = a.plan_round().selected;
+                assert_eq!(b.plan_round().selected, cached, "{policy:?}");
+                let j = a.quiescent_rounds(&cached, 50);
+                assert!(j <= 50);
+                a.fast_forward(j);
+                for _ in 0..j {
+                    assert_eq!(b.plan_round().selected, cached, "{policy:?}");
+                }
+                assert_state_eq(&a, &b);
+                ff_total += j;
+            }
+            // All gangs fit, so deltas are constant and pairwise pass gaps
+            // are monotonic: the order settles after finitely many swaps and
+            // long spans must have been granted.
+            assert!(
+                ff_total >= 100,
+                "spans too short to exercise batching ({policy:?}: {ff_total})"
+            );
+        }
+    }
+
+    #[test]
+    fn quiescent_rounds_declines_contended_servers() {
+        let mut g = GangScheduler::new(4, GangPolicy::GangAware);
+        g.join(0, 100.0, 3);
+        g.join(1, 100.0, 3);
+        let cached = g.plan_round().selected;
+        assert_eq!(g.quiescent_rounds(&cached, 100), 0);
+    }
+
+    #[test]
+    fn quiescent_rounds_declines_mismatched_plans() {
+        let mut g = GangScheduler::new(8, GangPolicy::GangAware);
+        g.join(0, 100.0, 2);
+        g.join(1, 100.0, 2);
+        let _ = g.plan_round();
+        assert_eq!(g.quiescent_rounds(&[1, 0], 10), 0, "wrong order");
+        assert_eq!(g.quiescent_rounds(&[0], 10), 0, "wrong membership");
+        assert_eq!(g.quiescent_rounds(&[], 10), 0, "empty vs runnable");
+    }
+
+    #[test]
+    fn empty_scheduler_is_quiescent_forever() {
+        let mut g = GangScheduler::<u32>::new(4, GangPolicy::GangAware);
+        assert_eq!(g.quiescent_rounds(&[], 42), 42);
+        g.fast_forward(42);
+        assert!(g.plan_round().selected.is_empty());
+        // Suspended-only populations behave like empty ones.
+        g.join(0, 100.0, 1);
+        g.set_runnable(0, false);
+        let before = g.pass_of(0).unwrap().to_bits();
+        assert_eq!(g.quiescent_rounds(&[], 7), 7);
+        g.fast_forward(7);
+        assert_eq!(g.pass_of(0).unwrap().to_bits(), before);
+    }
 }
 
 #[cfg(test)]
@@ -726,6 +971,47 @@ mod proptests {
                     widths[i as usize]
                 );
             }
+        }
+
+        /// Differential oracle: wherever `quiescent_rounds` grants a span,
+        /// `fast_forward` must land on the byte-identical state that naive
+        /// stepping produces, for every policy and random population.
+        #[test]
+        fn fast_forward_is_byte_identical_to_stepping(
+            pop in proptest::collection::vec((1u32..500, 1u32..6), 1..8),
+            capacity in 4u32..32,
+            warmup in 0usize..10,
+            k in 1u64..200,
+            policy_ix in 0usize..3,
+        ) {
+            let policy = [
+                GangPolicy::GangAware,
+                GangPolicy::JobLevelStride,
+                GangPolicy::StrictNoBackfill,
+            ][policy_ix];
+            let mut a = GangScheduler::new(capacity, policy);
+            for (i, &(t, w)) in pop.iter().enumerate() {
+                a.join(i as u32, t as f64 + 0.25, w.min(capacity));
+            }
+            let mut b = a.clone();
+            for _ in 0..warmup {
+                let _ = a.plan_round();
+                let _ = b.plan_round();
+            }
+            let cached = a.plan_round().selected;
+            prop_assert_eq!(&b.plan_round().selected, &cached);
+            let j = a.quiescent_rounds(&cached, k);
+            prop_assert!(j <= k);
+            a.fast_forward(j);
+            for _ in 0..j {
+                prop_assert_eq!(&b.plan_round().selected, &cached);
+            }
+            let sa: Vec<_> = a.iter().map(|(c, t, w, p)| (c, t.to_bits(), w, p.to_bits())).collect();
+            let sb: Vec<_> = b.iter().map(|(c, t, w, p)| (c, t.to_bits(), w, p.to_bits())).collect();
+            prop_assert_eq!(sa, sb);
+            prop_assert_eq!(a.global_pass.to_bits(), b.global_pass.to_bits());
+            // And the next naive round agrees on both sides.
+            prop_assert_eq!(a.plan_round().selected, b.plan_round().selected);
         }
     }
 }

@@ -91,6 +91,12 @@ impl<U: Copy + Ord, J: Copy + Ord> SplitStride<U, J> {
             weight.is_finite() && weight > 0.0,
             "user weight must be positive and finite, got {weight}"
         );
+        if self.users.get(&u).map(|e| e.weight) == Some(weight) {
+            // Re-applying the current weight re-derives the same per-job
+            // share, so the exchange is a no-op; skip the allocation and the
+            // per-job ticket refresh entirely.
+            return;
+        }
         let entry = self.users.entry(u).or_insert_with(|| UserEntry {
             weight,
             jobs: BTreeSet::new(),
@@ -199,9 +205,42 @@ impl<U: Copy + Ord, J: Copy + Ord> SplitStride<U, J> {
             .min_by(f64::total_cmp)
     }
 
+    /// Calls `f(user, pass)` for every user with at least one registered
+    /// job here, in user order, with the same effective pass
+    /// [`user_pass`](Self::user_pass) would report. One walk over the user
+    /// table, for callers that need every user's pass rather than one.
+    pub fn for_each_user_pass(&self, mut f: impl FnMut(U, f64)) {
+        for (&u, entry) in &self.users {
+            if let Some(pass) = entry
+                .jobs
+                .iter()
+                .filter_map(|&j| self.inner.pass_of(j))
+                .min_by(f64::total_cmp)
+            {
+                f(u, pass);
+            }
+        }
+    }
+
     /// Plans one quantum (see [`GangScheduler::plan_round`]).
     pub fn plan_round(&mut self) -> RoundOutcome<J> {
         self.inner.plan_round()
+    }
+
+    /// Returns how many consecutive rounds (at most `k`) the next calls to
+    /// [`plan_round`](Self::plan_round) would select exactly `expected`, in
+    /// that order (see [`GangScheduler::quiescent_rounds`]). The user-level
+    /// currency is only touched by membership and weight changes, never by
+    /// planning, so quiescence is decided entirely by the inner gang
+    /// scheduler.
+    pub fn quiescent_rounds(&self, expected: &[J], k: u64) -> u64 {
+        self.inner.quiescent_rounds(expected, k)
+    }
+
+    /// Replays `j` quiescent rounds in one step (see
+    /// [`GangScheduler::fast_forward`]).
+    pub fn fast_forward(&mut self, j: u64) {
+        self.inner.fast_forward(j)
     }
 
     /// All registered jobs, in key order.
@@ -431,6 +470,60 @@ mod tests {
         s.set_user_weight(0, 100.0);
         s.add_job(0, 1, 1);
         s.add_job(0, 1, 1);
+    }
+
+    #[test]
+    fn reapplying_a_weight_does_not_drift_job_passes() {
+        let mut s = SplitStride::new(4, GangPolicy::GangAware);
+        s.set_user_weight(0, 100.0);
+        s.add_job(0, 1, 1);
+        s.add_job(0, 2, 2);
+        for _ in 0..9 {
+            s.plan_round();
+        }
+        let before: Vec<_> = [1, 2]
+            .iter()
+            .map(|&j| (s.job_tickets(j).unwrap(), s.job_pass(j).unwrap().to_bits()))
+            .collect();
+        // Same weight, over and over — the round-by-round refresh pattern.
+        for _ in 0..5 {
+            s.set_user_weight(0, 100.0);
+        }
+        let after: Vec<_> = [1, 2]
+            .iter()
+            .map(|&j| (s.job_tickets(j).unwrap(), s.job_pass(j).unwrap().to_bits()))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fast_forward_delegates_to_inner_scheduler() {
+        let mut a = SplitStride::new(8, GangPolicy::GangAware);
+        a.set_user_weight(0, 100.0);
+        a.set_user_weight(1, 60.0);
+        a.add_job(0, 1, 2);
+        a.add_job(0, 2, 1);
+        a.add_job(1, 3, 3);
+        let mut b = a.clone();
+        let mut ff_total = 0u64;
+        for _ in 0..20 {
+            let cached = a.plan_round().selected;
+            assert_eq!(b.plan_round().selected, cached);
+            let j = a.quiescent_rounds(&cached, 40);
+            a.fast_forward(j);
+            for _ in 0..j {
+                assert_eq!(b.plan_round().selected, cached);
+            }
+            for jid in [1, 2, 3] {
+                assert_eq!(
+                    a.job_pass(jid).unwrap().to_bits(),
+                    b.job_pass(jid).unwrap().to_bits(),
+                    "job {jid} pass diverged"
+                );
+            }
+            ff_total += j;
+        }
+        assert!(ff_total >= 1, "all jobs fit: some span must be granted");
     }
 
     #[test]

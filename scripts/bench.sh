@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Regenerates the tracked simulator benchmark baseline (BENCH_sim.json).
-# Full mode runs the three scales on long traces and takes ~5-30s depending
+# Full mode runs the four scales on long traces and takes ~5-30s depending
 # on the machine; pass extra args (e.g. --seed 7 --out /tmp/b.json) through.
 # Usage: scripts/bench.sh [bench_sim args...]
 set -euo pipefail

@@ -37,4 +37,12 @@ cargo bench --workspace -- --test
 cargo run --release -p gfair-bench --bin bench_sim -- --quick \
     --out target/BENCH_sim.quick.json
 
+echo "### fast-forward equivalence gate (1000 GPUs)"
+# Runs the 1000-GPU scale twice — fast-forward on and with
+# --no-fast-forward semantics (the naive quantum-by-quantum path) — both
+# clean and under a fault plan, and byte-compares the SimReport JSON.
+# Any divergence between the analytic multi-quantum step and the naive
+# round loop fails the gate.
+cargo run --release -p gfair-bench --bin bench_sim -- --verify --only 1000gpu
+
 echo "CI gate passed."
