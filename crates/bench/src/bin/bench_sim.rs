@@ -17,8 +17,15 @@
 //! the serialized `SimReport`s are byte-identical; CI runs this as the
 //! equivalence gate.
 //!
-//! Usage: `bench_sim [--quick] [--no-fast-forward] [--verify] [--only SCALE]
-//!                   [--out PATH] [--seed N]`
+//! `--obs-overhead` runs one scale in both modes — tracing disabled vs the
+//! default-tier JSONL sink (the `gfair simulate --trace` configuration) —
+//! and fails if traced throughput drops below 90% of untraced; CI runs this
+//! as the observability-overhead smoke. The full-provenance tier
+//! (`--trace-full`) is deliberately outside the budget: per-placement
+//! candidate scoring costs more than 10% by construction at cluster scale.
+//!
+//! Usage: `bench_sim [--quick] [--no-fast-forward] [--verify]
+//!                   [--obs-overhead] [--only SCALE] [--out PATH] [--seed N]`
 
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_faults::FaultPlan;
@@ -171,12 +178,15 @@ struct BenchReport {
 }
 
 /// Runs one scale and returns the timing result plus the serialized
-/// `SimReport` (the verify gate compares the latter byte-for-byte).
+/// `SimReport` (the verify gate compares the latter byte-for-byte). When
+/// `trace_out` is set, every trace event is streamed to that JSONL path
+/// (the obs-overhead gate compares throughput with and without this).
 fn run_scale(
     s: &Scale,
     seed: u64,
     fast_forward: bool,
     faults: Option<FaultPlan>,
+    trace_out: Option<&str>,
 ) -> (ScaleResult, String) {
     let cluster = (s.cluster)();
     let gpus = cluster.total_gpus();
@@ -198,8 +208,14 @@ fn run_scale(
     } else {
         GfairConfig::default().without_fast_forward()
     };
-    let mut sched = GandivaFair::new(cfg);
     let obs_handle = sim.obs();
+    if let Some(path) = trace_out {
+        obs_handle.jsonl(path).expect("writable trace path");
+    }
+    // Share the sim's pipeline with the scheduler (the CLI does the same):
+    // scheduler-side events land in the same trace, and the scheduler's
+    // decision provenance sees the sink via `Obs::tracing`.
+    let mut sched = GandivaFair::new(cfg).with_obs(std::sync::Arc::clone(&obs_handle));
     let start = Instant::now();
     let report = sim
         .run_until(&mut sched, SimTime::from_secs(s.horizon_hours * 3600))
@@ -242,8 +258,8 @@ fn run_verify(quick: bool, seed: u64, only: Option<&str>) -> u32 {
         .filter(|s| only.is_none_or(|o| o == s.name))
     {
         for (label, faults) in [("clean", None), ("faulted", Some(verify_faults(seed)))] {
-            let (on, on_json) = run_scale(&s, seed, true, faults.clone());
-            let (off, off_json) = run_scale(&s, seed, false, faults);
+            let (on, on_json) = run_scale(&s, seed, true, faults.clone(), None);
+            let (off, off_json) = run_scale(&s, seed, false, faults, None);
             let ok = on_json == off_json;
             eprintln!(
                 "  {} [{label}] ff-on {:.2}s / ff-off {:.2}s / {} rounds: {}",
@@ -298,6 +314,47 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--obs-overhead") {
+        let scale_name = only.as_deref().unwrap_or("1000gpu");
+        let list = scales(quick);
+        let Some(s) = list.iter().find(|s| s.name == scale_name) else {
+            eprintln!("bench_sim: unknown scale `{scale_name}` for --obs-overhead");
+            std::process::exit(2);
+        };
+        eprintln!(
+            "bench_sim: obs-overhead gate on {} (tracing off vs on)",
+            s.name
+        );
+        // Best-of-three per mode: single runs on a small box jitter by more
+        // than the margin this gate polices, and "best" is the right
+        // estimator for a cost floor (noise only ever slows a run down).
+        let trace_path = std::env::temp_dir().join(format!("bench_obs_overhead_{seed}.jsonl"));
+        let mut off_best = 0.0_f64;
+        let mut on_best = 0.0_f64;
+        let mut trace_bytes = 0;
+        for _ in 0..3 {
+            let (off, _) = run_scale(s, seed, true, None, None);
+            off_best = off_best.max(off.gpu_hours_per_wall_sec);
+            let (on, _) = run_scale(s, seed, true, None, trace_path.to_str());
+            on_best = on_best.max(on.gpu_hours_per_wall_sec);
+            trace_bytes = std::fs::metadata(&trace_path).map(|m| m.len()).unwrap_or(0);
+            let _ = std::fs::remove_file(&trace_path);
+        }
+        let (off, on) = (off_best, on_best);
+        let ratio = on / off;
+        eprintln!(
+            "  tracing off {off:.1} GPU-h/s, on {on:.1} GPU-h/s ({:.1}% of untraced, {:.1} MiB trace)",
+            ratio * 100.0,
+            trace_bytes as f64 / (1024.0 * 1024.0)
+        );
+        if ratio < 0.9 {
+            eprintln!("bench_sim: tracing-enabled throughput regressed more than 10%");
+            std::process::exit(1);
+        }
+        eprintln!("bench_sim: tracing overhead within the 10% budget");
+        return;
+    }
+
     let mode = if quick { "quick" } else { "full" };
     eprintln!("bench_sim: mode={mode} seed={seed} fast_forward={fast_forward} out={out}");
     let mut results = Vec::new();
@@ -309,7 +366,7 @@ fn main() {
             "  {} ({} jobs, {}h horizon) ...",
             s.name, s.num_jobs, s.horizon_hours
         );
-        let (r, _) = run_scale(&s, seed, fast_forward, None);
+        let (r, _) = run_scale(&s, seed, fast_forward, None, None);
         eprintln!(
             "    {:.1} sim GPU-hours in {:.2}s wall = {:.1} GPU-h/s, {:.0} rounds/s",
             r.sim_gpu_hours, r.wall_secs, r.gpu_hours_per_wall_sec, r.rounds_per_sec

@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_a1_price_ablation [--seed N]`
 
-use gfair_bench::{banner, horizon_arg, seed_arg, sim_config, trading_cluster};
+use gfair_bench::{banner, exp_trace, horizon_arg, seed_arg, sim_config, trading_cluster};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::{SimReport, Simulation};
@@ -36,7 +36,9 @@ fn run(strategy: Option<PriceStrategy>, seed: u64) -> (SimReport, f64) {
         }
         None => GfairConfig::default().without_trading(),
     };
-    let sim = Simulation::new(trading_cluster(), pop.users(), trace, sim_cfg).expect("valid setup");
+    let sim = exp_trace(
+        Simulation::new(trading_cluster(), pop.users(), trace, sim_cfg).expect("valid setup"),
+    );
     let mut sched = GandivaFair::new(cfg);
     let report = sim
         .run_until(&mut sched, horizon_arg(10))

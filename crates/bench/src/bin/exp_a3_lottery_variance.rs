@@ -9,7 +9,7 @@
 //! Run: `cargo run -p gfair-bench --release --bin exp_a3_lottery_variance [--seed N]`
 
 use gfair_baselines::LotteryGang;
-use gfair_bench::{banner, seed_arg, sim_config};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::{ClusterScheduler, SimReport, Simulation};
@@ -39,7 +39,8 @@ fn run(sched: &mut dyn ClusterScheduler, seed: u64) -> SimReport {
         200.0 * 3600.0,
         SimTime::ZERO,
     ));
-    let sim = Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup");
+    let sim =
+        exp_trace(Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup"));
     sim.run_until(sched, SimTime::from_secs(12 * 3600))
         .expect("valid run")
 }

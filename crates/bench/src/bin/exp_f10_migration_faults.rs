@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f10_migration_faults [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config, testbed};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config, testbed};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_faults::FaultPlan;
 use gfair_metrics::fairness::{jain_index, normalized_shares};
@@ -33,9 +33,11 @@ fn run(fail_rate: f64, retries: u32, seed: u64) -> (SimReport, u64) {
     params.median_service_mins = 120.0;
     let trace = TraceBuilder::new(params, seed).build(&users);
     let obs: SharedObs = Arc::new(Obs::new());
-    let mut sim = Simulation::new(testbed(), users, trace, sim_config(seed))
-        .expect("valid setup")
-        .with_obs(Arc::clone(&obs));
+    let mut sim = exp_trace(
+        Simulation::new(testbed(), users, trace, sim_config(seed))
+            .expect("valid setup")
+            .with_obs(Arc::clone(&obs)),
+    );
     if fail_rate > 0.0 {
         let plan = FaultPlan::none()
             .with_seed(seed)

@@ -16,7 +16,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f11_partition [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config, testbed};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config, testbed};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_faults::FaultPlan;
 use gfair_metrics::fairness::{jain_index, normalized_shares};
@@ -35,9 +35,11 @@ fn run(partition: bool, seed: u64) -> SimReport {
     params.median_service_mins = 120.0;
     let trace = TraceBuilder::new(params, seed).build(&users);
     let obs: SharedObs = Arc::new(Obs::new());
-    let mut sim = Simulation::new(testbed(), users, trace, sim_config(seed))
-        .expect("valid setup")
-        .with_obs(Arc::clone(&obs));
+    let mut sim = exp_trace(
+        Simulation::new(testbed(), users, trace, sim_config(seed))
+            .expect("valid setup")
+            .with_obs(Arc::clone(&obs)),
+    );
     if partition {
         let plan = FaultPlan::none().with_partition(
             ServerId::new(0),

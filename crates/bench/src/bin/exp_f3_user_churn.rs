@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --bin exp_f3_user_churn [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::Simulation;
@@ -55,7 +55,8 @@ fn main() {
         SimTime::from_secs(2 * 3600),
     ));
 
-    let sim = Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup");
+    let sim =
+        exp_trace(Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup"));
     let mut sched = GandivaFair::new(GfairConfig::default());
     let report = sim
         .run_until(&mut sched, SimTime::from_secs(5 * 3600))

@@ -9,7 +9,7 @@
 //! Run: `cargo run -p gfair-bench --release --bin exp_f4_efficiency [--seed N]`
 
 use gfair_baselines::{Drf, Fifo, GandivaLike, StaticPartition};
-use gfair_bench::{banner, horizon_arg, seed_arg, sim_config, testbed};
+use gfair_bench::{banner, exp_trace, horizon_arg, seed_arg, sim_config, testbed};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::fairness::{jain_index, normalized_shares};
 use gfair_metrics::{JctStats, Table};
@@ -28,7 +28,8 @@ fn params() -> PhillyParams {
 fn run(sched: &mut dyn ClusterScheduler, seed: u64) -> SimReport {
     let users = UserSpec::equal_users(8, 100);
     let trace = TraceBuilder::new(params(), seed).build(&users);
-    let sim = Simulation::new(testbed(), users, trace, sim_config(seed)).expect("valid setup");
+    let sim =
+        exp_trace(Simulation::new(testbed(), users, trace, sim_config(seed)).expect("valid setup"));
     sim.run_until(sched, horizon_arg(12)).expect("valid run")
 }
 

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f5_trading [--seed N]`
 
-use gfair_bench::{banner, horizon_arg, seed_arg, sim_config, trading_cluster};
+use gfair_bench::{banner, exp_trace, horizon_arg, seed_arg, sim_config, trading_cluster};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::{SimReport, Simulation};
@@ -35,8 +35,10 @@ fn run(trading: bool, seed: u64) -> (SimReport, usize) {
     } else {
         GfairConfig::default().without_trading()
     };
-    let sim = Simulation::new(trading_cluster(), pop.users(), trace, sim_config(seed))
-        .expect("valid setup");
+    let sim = exp_trace(
+        Simulation::new(trading_cluster(), pop.users(), trace, sim_config(seed))
+            .expect("valid setup"),
+    );
     let mut sched = GandivaFair::new(cfg);
     let report = sim
         .run_until(&mut sched, horizon_arg(10))

@@ -13,7 +13,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f6_load_balance [--seed N]`
 
-use gfair_bench::{banner, horizon_arg, seed_arg, sim_config};
+use gfair_bench::{banner, exp_trace, horizon_arg, seed_arg, sim_config};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::fairness::{jain_index, normalized_shares};
 use gfair_metrics::{JctStats, Table};
@@ -37,7 +37,8 @@ fn run(balancing: bool, seed: u64) -> SimReport {
     } else {
         GfairConfig::default().without_balancing()
     };
-    let sim = Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup");
+    let sim =
+        exp_trace(Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup"));
     let mut sched = GandivaFair::new(cfg);
     sim.run_until(&mut sched, horizon_arg(12))
         .expect("valid run")

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f7_scale [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::fairness::{jain_index, normalized_shares};
 use gfair_metrics::Table;
@@ -56,8 +56,9 @@ fn main() {
         params.jobs_per_hour = 60.0 * scale as f64;
         params.median_service_mins = 120.0;
         let trace = TraceBuilder::new(params, seed).build(&users);
-        let sim =
-            Simulation::new(cluster, users.clone(), trace, sim_config(seed)).expect("valid setup");
+        let sim = exp_trace(
+            Simulation::new(cluster, users.clone(), trace, sim_config(seed)).expect("valid setup"),
+        );
         let mut sched = GandivaFair::new(GfairConfig::default());
         let start = Instant::now();
         let report = sim

@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f8_quantum_sweep [--seed N]`
 
-use gfair_bench::{banner, seed_arg};
+use gfair_bench::{banner, exp_trace, seed_arg};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::Simulation;
@@ -74,7 +74,7 @@ fn main() {
         cfg.report_window = cfg.quantum.max(SimDuration::from_mins(5));
         let cluster = ClusterSpec::homogeneous(1, 8);
         let users = UserSpec::equal_users(2, 100);
-        let sim = Simulation::new(cluster, users, trace, cfg).expect("valid setup");
+        let sim = exp_trace(Simulation::new(cluster, users, trace, cfg).expect("valid setup"));
         let mut sched = GandivaFair::new(GfairConfig::default());
         let report = sim
             .run_until(&mut sched, SimTime::from_secs(6 * 3600))

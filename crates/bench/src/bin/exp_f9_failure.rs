@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --release --bin exp_f9_failure [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config, testbed};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config, testbed};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::fairness::{jain_index, normalized_shares};
 use gfair_metrics::Table;
@@ -27,7 +27,8 @@ fn run(inject: bool, seed: u64) -> SimReport {
     params.jobs_per_hour = 100.0;
     params.median_service_mins = 120.0;
     let trace = TraceBuilder::new(params, seed).build(&users);
-    let mut sim = Simulation::new(testbed(), users, trace, sim_config(seed)).expect("valid setup");
+    let mut sim =
+        exp_trace(Simulation::new(testbed(), users, trace, sim_config(seed)).expect("valid setup"));
     if inject {
         for k in 0..4u32 {
             sim = sim

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --bin exp_t1_model_zoo [--seed N]`
 
-use gfair_bench::{banner, seed_arg, sim_config};
+use gfair_bench::{banner, exp_trace, seed_arg, sim_config};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::Table;
 use gfair_sim::Simulation;
@@ -45,7 +45,8 @@ fn main() {
             )
         })
         .collect();
-    let sim = Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup");
+    let sim =
+        exp_trace(Simulation::new(cluster, users, trace, sim_config(seed)).expect("valid setup"));
     let mut sched = GandivaFair::new(GfairConfig::default());
     let _ = sim
         .run_until(&mut sched, SimTime::from_secs(12 * 3600))

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p gfair-bench --bin exp_t2_migration_overhead`
 
-use gfair_bench::{banner, sim_config};
+use gfair_bench::{banner, exp_trace, sim_config};
 use gfair_metrics::Table;
 use gfair_sim::{Action, ClusterScheduler, RoundPlan, SimView, Simulation};
 use gfair_types::{ClusterSpec, JobId, JobSpec, JobState, ServerId, SimTime, UserId, UserSpec};
@@ -94,13 +94,15 @@ fn main() {
             1_000_000.0,
             SimTime::ZERO,
         )];
-        let sim = Simulation::new(
-            ClusterSpec::homogeneous(2, 1),
-            UserSpec::equal_users(1, 100),
-            trace,
-            sim_config(1),
-        )
-        .expect("valid setup");
+        let sim = exp_trace(
+            Simulation::new(
+                ClusterSpec::homogeneous(2, 1),
+                UserSpec::equal_users(1, 100),
+                trace,
+                sim_config(1),
+            )
+            .expect("valid setup"),
+        );
         let mut sched = PingPong {
             every,
             rounds: 0,

@@ -9,7 +9,7 @@
 //! Run: `cargo run -p gfair-bench --release --bin exp_t3_fairness_summary [--seed N]`
 
 use gfair_baselines::{Drf, Fifo, GandivaLike, StaticPartition};
-use gfair_bench::{banner, horizon_arg, seed_arg, sim_config, testbed};
+use gfair_bench::{banner, exp_trace, horizon_arg, seed_arg, sim_config, testbed};
 use gfair_core::{GandivaFair, GfairConfig};
 use gfair_metrics::fairness::{jain_index, max_min_ratio, normalized_shares};
 use gfair_metrics::Table;
@@ -69,8 +69,10 @@ fn main() {
         "util",
     ]);
     for mut sched in scheds {
-        let sim = Simulation::new(testbed(), users.clone(), jobs.clone(), sim_config(seed))
-            .expect("valid setup");
+        let sim = exp_trace(
+            Simulation::new(testbed(), users.clone(), jobs.clone(), sim_config(seed))
+                .expect("valid setup"),
+        );
         let report = sim
             .run_until(sched.as_mut(), horizon_arg(6))
             .expect("valid run");

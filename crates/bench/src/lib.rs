@@ -5,7 +5,9 @@
 //! for recorded outputs). All binaries accept `--seed <n>` and print
 //! deterministic ASCII tables.
 
+use gfair_sim::Simulation;
 use gfair_types::{ClusterSpec, GenCatalog, SimConfig, SimTime};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Parses `--seed <n>` from argv; defaults to 42.
 pub fn seed_arg() -> u64 {
@@ -46,6 +48,30 @@ pub fn trading_cluster() -> ClusterSpec {
 /// Default simulator config for experiments (the paper's minute quantum).
 pub fn sim_config(seed: u64) -> SimConfig {
     SimConfig::default().with_seed(seed)
+}
+
+/// Attaches a default-tier JSONL trace sink to the simulation when
+/// `GFAIR_TRACE_DIR` is set, writing `<dir>/<binary>_<n>.jsonl` (`n`
+/// counts simulations within the process, so a scheduler-comparison loop
+/// gets one trace per configuration). `scripts/run_experiments.sh` sets
+/// the variable and replays each experiment's flagship trace through
+/// `gfair-trace fairness`. A no-op without the variable — experiments pay
+/// nothing for observability they didn't ask for.
+pub fn exp_trace(sim: Simulation) -> Simulation {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let Some(dir) = std::env::var_os("GFAIR_TRACE_DIR") else {
+        return sim;
+    };
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "exp".to_string());
+    let path = std::path::Path::new(&dir).join(format!("{exe}_{n:02}.jsonl"));
+    if let Err(e) = sim.obs().jsonl(&path) {
+        eprintln!("exp_trace: cannot open {}: {e}", path.display());
+    }
+    sim
 }
 
 /// Prints the standard experiment header.

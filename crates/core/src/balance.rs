@@ -33,10 +33,30 @@
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
 use crate::profiler::Profiler;
-use gfair_obs::{Obs, Phase};
+use gfair_obs::{Candidate, Obs, Phase, TraceEvent};
 use gfair_sim::{Action, JobInfo, SimView};
-use gfair_types::{GenId, JobId, ServerId, SimTime};
+use gfair_types::{GenId, JobId, ServerId, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Tie-break rule for load-based target selection (passes 1 and 2).
+const TIE_BREAK_LOAD: &str = "least projected load, then lowest server id";
+
+/// Cap on the scored candidates carried in one migration decision.
+const MAX_WHY_CANDIDATES: usize = 8;
+
+/// Provenance for one planned migration: which pass chose it, what the
+/// endpoints were, and which alternatives were scored. Paired 1:1 with the
+/// `Action::Migrate` pushed at the same time.
+struct MoveWhy {
+    job: JobId,
+    user: UserId,
+    pass: &'static str,
+    from: ServerId,
+    to: ServerId,
+    tie_break: &'static str,
+    considered: u32,
+    candidates: Vec<Candidate>,
+}
 
 /// Plans this tick's migrations. Pure with respect to the view: the caller
 /// applies the returned actions through the simulator.
@@ -46,19 +66,35 @@ pub fn plan_migrations(
     profiler: &Profiler,
     cfg: &GfairConfig,
 ) -> Vec<Action> {
-    let mut planner = Planner::new(view, cfg);
+    plan_migrations_explained(view, ent, profiler, cfg, false).0
+}
+
+/// [`plan_migrations`] plus one [`MoveWhy`] provenance record per action.
+/// With `want_why` false the provenance side is skipped entirely: no
+/// candidate labels are formatted and `why` comes back empty, keeping the
+/// untraced path allocation-free.
+fn plan_migrations_explained(
+    view: &SimView<'_>,
+    ent: &Entitlements,
+    profiler: &Profiler,
+    cfg: &GfairConfig,
+    want_why: bool,
+) -> (Vec<Action>, Vec<MoveWhy>) {
+    let mut planner = Planner::new(view, cfg, want_why);
     if cfg.profiling_migrations {
         planner.profiling_pass(profiler);
     }
     planner.realization_pass(ent);
     planner.fairness_pass(ent);
     planner.spreading_pass();
-    planner.actions
+    (planner.actions, planner.why)
 }
 
 /// Observed [`plan_migrations`]: the whole search (all passes) is timed as
-/// one [`Phase::MigrationSearch`] span. The resulting `Migration` trace
-/// events are emitted by the engine when the moves are actually applied.
+/// one [`Phase::MigrationSearch`] span, and every planned move is emitted
+/// as a `migration` [`TraceEvent::Decision`] naming the pass that chose it
+/// and the alternatives it scored. The resulting `Migration` trace events
+/// are emitted by the engine when the moves are actually applied.
 pub fn plan_migrations_traced(
     obs: &Obs,
     view: &SimView<'_>,
@@ -66,9 +102,30 @@ pub fn plan_migrations_traced(
     profiler: &Profiler,
     cfg: &GfairConfig,
 ) -> Vec<Action> {
-    obs.time(Phase::MigrationSearch, || {
-        plan_migrations(view, ent, profiler, cfg)
-    })
+    let want_why = obs.tracing();
+    let (actions, why) = obs.time(Phase::MigrationSearch, || {
+        plan_migrations_explained(view, ent, profiler, cfg, want_why)
+    });
+    let now = view.now();
+    for w in why {
+        obs.emit(TraceEvent::Decision {
+            t: now,
+            decision: "migration".to_string(),
+            job: Some(w.job),
+            user: Some(w.user),
+            chosen: format!(
+                "server:{} -> server:{} ({} pass)",
+                w.from.index(),
+                w.to.index(),
+                w.pass
+            ),
+            tie_break: w.tie_break.to_string(),
+            considered: w.considered,
+            candidates: w.candidates,
+            rejected: Vec::new(),
+        });
+    }
+    actions
 }
 
 /// Working state for one balancing tick.
@@ -82,10 +139,14 @@ struct Planner<'a, 'v> {
     /// Projected per-server GPU demand after the moves planned so far.
     demand: BTreeMap<ServerId, u32>,
     actions: Vec<Action>,
+    /// Whether to record provenance at all (a trace sink is attached).
+    want_why: bool,
+    /// Provenance, one record per entry in `actions` when `want_why`.
+    why: Vec<MoveWhy>,
 }
 
 impl<'a, 'v> Planner<'a, 'v> {
-    fn new(view: &'a SimView<'v>, cfg: &'a GfairConfig) -> Self {
+    fn new(view: &'a SimView<'v>, cfg: &'a GfairConfig, want_why: bool) -> Self {
         let demand = view
             .cluster()
             .servers
@@ -100,6 +161,8 @@ impl<'a, 'v> Planner<'a, 'v> {
             moved: BTreeSet::new(),
             demand,
             actions: Vec::new(),
+            want_why,
+            why: Vec::new(),
         }
     }
 
@@ -128,27 +191,82 @@ impl<'a, 'v> Planner<'a, 'v> {
     }
 
     /// Least-loaded reachable server of `gen` that can host `gang`, by
-    /// projected load.
-    fn target_in_gen(&self, gen: GenId, gang: u32) -> Option<ServerId> {
-        self.view
-            .reachable_servers_of_gen(gen)
-            .filter(|s| s.num_gpus >= gang)
-            .min_by(|a, b| {
-                self.load(a.id)
-                    .total_cmp(&self.load(b.id))
-                    .then(a.id.cmp(&b.id))
+    /// projected load, plus the fitting-server count and scored candidates
+    /// for decision provenance.
+    fn target_in_gen(&self, gen: GenId, gang: u32) -> (Option<ServerId>, u32, Vec<Candidate>) {
+        if !self.want_why {
+            // Untraced: plain min-scan, no allocation.
+            let mut best: Option<(f64, ServerId)> = None;
+            let mut considered = 0u32;
+            for s in self.view.reachable_servers_of_gen(gen) {
+                if s.num_gpus < gang {
+                    continue;
+                }
+                considered += 1;
+                let load = self.load(s.id);
+                if best
+                    .map(|(bl, bid)| load.total_cmp(&bl).then(s.id.cmp(&bid)).is_lt())
+                    .unwrap_or(true)
+                {
+                    best = Some((load, s.id));
+                }
+            }
+            return (best.map(|(_, id)| id), considered, Vec::new());
+        }
+        // Scores stay as plain pairs until after truncation (see the same
+        // pattern in the central scheduler): label formatting is deferred
+        // to the few candidates that survive.
+        let mut scored: Vec<(f64, ServerId)> = Vec::new();
+        for s in self.view.reachable_servers_of_gen(gen) {
+            if s.num_gpus < gang {
+                continue;
+            }
+            scored.push((self.load(s.id), s.id));
+        }
+        let considered = scored.len() as u32;
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let best = scored.first().map(|&(_, id)| id);
+        scored.truncate(MAX_WHY_CANDIDATES);
+        let candidates = scored
+            .into_iter()
+            .map(|(load, id)| Candidate {
+                label: format!("server:{}", id.index()),
+                score: load,
             })
-            .map(|s| s.id)
+            .collect();
+        (best, considered, candidates)
     }
 
-    /// Commits a planned move, updating projections.
-    fn push_move(&mut self, job: &JobInfo, to: ServerId) {
+    /// Commits a planned move, updating projections and recording its
+    /// provenance.
+    #[allow(clippy::too_many_arguments)]
+    fn push_move(
+        &mut self,
+        job: &JobInfo,
+        to: ServerId,
+        pass: &'static str,
+        tie_break: &'static str,
+        considered: u32,
+        candidates: Vec<Candidate>,
+    ) {
         let from = job.server.expect("resident job has a server");
         *self.demand.get_mut(&from).expect("known server") -= job.gang;
         *self.demand.get_mut(&to).expect("known server") += job.gang;
         self.moved.insert(job.id);
         self.budget -= 1;
         self.actions.push(Action::Migrate { job: job.id, to });
+        if self.want_why {
+            self.why.push(MoveWhy {
+                job: job.id,
+                user: job.user,
+                pass,
+                from,
+                to,
+                tie_break,
+                considered,
+                candidates,
+            });
+        }
     }
 
     /// Pass 1: send jobs of unprofiled models to the generations the
@@ -179,9 +297,10 @@ impl<'a, 'v> Planner<'a, 'v> {
             let Some(&gen) = missing.last() else {
                 continue;
             };
-            if let Some(to) = self.target_in_gen(gen, job.gang) {
+            let (target, considered, candidates) = self.target_in_gen(gen, job.gang);
+            if let Some(to) = target {
                 sent_models.insert(std::sync::Arc::clone(&job.model));
-                self.push_move(job, to);
+                self.push_move(job, to, "profiling", TIE_BREAK_LOAD, considered, candidates);
                 sent += 1;
             }
         }
@@ -238,8 +357,16 @@ impl<'a, 'v> Planner<'a, 'v> {
                 .filter(|j| (j.gang as f64) <= limit)
                 .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
             if let Some(job) = candidate {
-                if let Some(to) = self.target_in_gen(under_gen, job.gang) {
-                    self.push_move(job, to);
+                let (target, considered, candidates) = self.target_in_gen(under_gen, job.gang);
+                if let Some(to) = target {
+                    self.push_move(
+                        job,
+                        to,
+                        "realization",
+                        TIE_BREAK_LOAD,
+                        considered,
+                        candidates,
+                    );
                 }
             }
         }
@@ -327,7 +454,28 @@ impl<'a, 'v> Planner<'a, 'v> {
                     .filter(|j| (j.gang as f64) <= limit && j.gang <= dst_gpus)
                     .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
                 if let Some(job) = candidate {
-                    self.push_move(job, dst);
+                    let candidates = if self.want_why {
+                        vec![
+                            Candidate {
+                                label: format!("over-represented on server:{}", src.index()),
+                                score: excess,
+                            },
+                            Candidate {
+                                label: format!("under-represented on server:{}", dst.index()),
+                                score: deficit,
+                            },
+                        ]
+                    } else {
+                        Vec::new()
+                    };
+                    self.push_move(
+                        job,
+                        dst,
+                        "fairness-spread",
+                        "largest per-server excess vs. deficit",
+                        servers.len() as u32,
+                        candidates,
+                    );
                 }
             }
         }
@@ -378,7 +526,30 @@ impl<'a, 'v> Planner<'a, 'v> {
                     })
                     .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));
                 match candidate {
-                    Some(job) => self.push_move(job, lo),
+                    Some(job) => {
+                        let candidates = if self.want_why {
+                            vec![
+                                Candidate {
+                                    label: format!("most loaded server:{}", hi.index()),
+                                    score: self.load(hi),
+                                },
+                                Candidate {
+                                    label: format!("least loaded server:{}", lo.index()),
+                                    score: self.load(lo),
+                                },
+                            ]
+                        } else {
+                            Vec::new()
+                        };
+                        self.push_move(
+                            job,
+                            lo,
+                            "load-spread",
+                            "biggest eligible job, most- to least-loaded server",
+                            servers.len() as u32,
+                            candidates,
+                        );
+                    }
                     None => break,
                 }
             }

@@ -22,9 +22,11 @@ use crate::local::LocalScheduler;
 use crate::pool::WorkerPool;
 use crate::profiler::Profiler;
 use crate::trade::{run_market_traced, Trade};
-use gfair_obs::{Obs, Phase, SharedObs, TraceEvent, UserShare};
+use gfair_obs::{Candidate, Obs, Phase, Rejection, SharedObs, TraceEvent, UserShare};
 use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
-use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId, SimTime, UserId};
+use gfair_types::{
+    GenId, JobId, JobState, MigrationFailReason, ServerId, ServerSpec, SimTime, UserId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -292,12 +294,81 @@ impl GandivaFair {
         (view.resident_demand(server) + pending) as f64 / gpus as f64
     }
 
+    /// Scores every server in `scope` that fits the gang by projected load
+    /// and picks the minimum (ties to the lowest id). Returns the winner
+    /// plus the provenance rows: fitting-server count, servers ruled out as
+    /// too narrow, and the top-[`MAX_WHY_CANDIDATES`] candidates by score.
+    fn pick_least_loaded<'a>(
+        &self,
+        view: &SimView<'_>,
+        gang: u32,
+        scope: impl Iterator<Item = &'a ServerSpec>,
+        want_why: bool,
+    ) -> (Option<ServerId>, u32, u32, Vec<Candidate>) {
+        let mut too_narrow = 0u32;
+        if !want_why {
+            // Allocation-free fast path for untraced runs: the same
+            // selection rule (least projected load, then lowest id), no
+            // provenance materialized.
+            let mut considered = 0u32;
+            let mut best: Option<(f64, ServerId)> = None;
+            for s in scope {
+                if s.num_gpus < gang {
+                    too_narrow += 1;
+                    continue;
+                }
+                considered += 1;
+                let load = self.projected_load(view, s.id);
+                let better = match best {
+                    None => true,
+                    Some((bl, bid)) => load.total_cmp(&bl).then(s.id.cmp(&bid)).is_lt(),
+                };
+                if better {
+                    best = Some((load, s.id));
+                }
+            }
+            return (best.map(|(_, id)| id), considered, too_narrow, Vec::new());
+        }
+        // Scores stay as plain pairs until after truncation: formatting a
+        // label per scanned server would put ~100 heap allocations on every
+        // job arrival at the 1000-GPU scale.
+        let mut scored: Vec<(f64, ServerId)> = Vec::new();
+        for s in scope {
+            if s.num_gpus < gang {
+                too_narrow += 1;
+                continue;
+            }
+            scored.push((self.projected_load(view, s.id), s.id));
+        }
+        let considered = scored.len() as u32;
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let best = scored.first().map(|&(_, id)| id);
+        scored.truncate(MAX_WHY_CANDIDATES);
+        let candidates = scored
+            .into_iter()
+            .map(|(load, id)| Candidate {
+                label: format!("server:{}", id.index()),
+                score: load,
+            })
+            .collect();
+        (best, considered, too_narrow, candidates)
+    }
+
     /// Picks a server for an arriving job: prefer the generation where the
     /// user has the most entitlement slack, then the least-loaded server of
     /// that generation that fits; fall back to least-loaded overall. Only
     /// reachable servers are considered — a placement sent to a partitioned
     /// server could not be delivered.
-    fn choose_server(&self, view: &SimView<'_>, user: UserId, gang: u32) -> Option<ServerId> {
+    ///
+    /// Alongside the choice, returns the [`ChoiceWhy`] provenance the
+    /// caller renders into a [`TraceEvent::Decision`].
+    fn choose_server_explained(
+        &self,
+        view: &SimView<'_>,
+        user: UserId,
+        gang: u32,
+        want_why: bool,
+    ) -> (Option<ServerId>, Option<ChoiceWhy>) {
         // Current per-gen usage of this user.
         let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
         for j in view.jobs_of_user(user) {
@@ -305,11 +376,17 @@ impl GandivaFair {
                 *used.entry(view.cluster().server(s).gen).or_insert(0.0) += j.gang as f64;
             }
         }
+        let mut rejected: Vec<Rejection> = Vec::new();
         if let Some(ent) = &self.ent {
+            let mut gens_without_slack = 0u32;
             let mut best_gen: Option<(GenId, f64)> = None;
             for gen in view.cluster().catalog.ids() {
                 let slack = ent.get(user, gen) - used.get(&gen).copied().unwrap_or(0.0);
-                if slack > 0.0 && best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
+                if slack <= 0.0 {
+                    gens_without_slack += 1;
+                    continue;
+                }
+                if best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
                     // Only generations with an online server wide enough
                     // for the gang.
                     if view
@@ -320,30 +397,78 @@ impl GandivaFair {
                     }
                 }
             }
-            if let Some((gen, _)) = best_gen {
-                let target = view
-                    .reachable_servers_of_gen(gen)
-                    .filter(|s| s.num_gpus >= gang)
-                    .min_by(|a, b| {
-                        self.projected_load(view, a.id)
-                            .total_cmp(&self.projected_load(view, b.id))
-                            .then(a.id.cmp(&b.id))
-                    })
-                    .map(|s| s.id);
-                if target.is_some() {
-                    return target;
+            if want_why && gens_without_slack > 0 {
+                rejected.push(Rejection {
+                    reason: "gen_without_slack".to_string(),
+                    count: gens_without_slack,
+                });
+            }
+            if let Some((gen, slack)) = best_gen {
+                let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
+                    view,
+                    gang,
+                    view.reachable_servers_of_gen(gen),
+                    want_why,
+                );
+                if let Some(server) = target {
+                    if !want_why {
+                        return (Some(server), None);
+                    }
+                    if too_narrow > 0 {
+                        rejected.push(Rejection {
+                            reason: "gang_too_wide_for_server".to_string(),
+                            count: too_narrow,
+                        });
+                    }
+                    let why = ChoiceWhy {
+                        chosen: format!(
+                            "server:{} (gen:{} slack-first, slack {:.2})",
+                            server.index(),
+                            gen.index(),
+                            slack
+                        ),
+                        tie_break: TIE_BREAK_LOAD,
+                        considered,
+                        candidates,
+                        rejected,
+                    };
+                    return (Some(server), Some(why));
                 }
             }
         }
         // Work conservation fallback: least-loaded fitting server anywhere.
-        view.reachable_servers()
-            .filter(|s| s.num_gpus >= gang)
-            .min_by(|a, b| {
-                self.projected_load(view, a.id)
-                    .total_cmp(&self.projected_load(view, b.id))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|s| s.id)
+        if want_why {
+            let total = view.cluster().servers.len() as u32;
+            let reachable = view.reachable_servers().count() as u32;
+            if total > reachable {
+                rejected.push(Rejection {
+                    reason: "unreachable".to_string(),
+                    count: total - reachable,
+                });
+            }
+        }
+        let (target, considered, too_narrow, candidates) =
+            self.pick_least_loaded(view, gang, view.reachable_servers(), want_why);
+        if !want_why {
+            return (target, None);
+        }
+        if too_narrow > 0 {
+            rejected.push(Rejection {
+                reason: "gang_too_wide_for_server".to_string(),
+                count: too_narrow,
+            });
+        }
+        let why = ChoiceWhy {
+            chosen: match target {
+                Some(s) => format!("server:{} (work-conserving fallback)", s.index()),
+                None => "none (no reachable server fits)".to_string(),
+            },
+            tie_break: TIE_BREAK_LOAD,
+            considered,
+            candidates,
+            rejected,
+        };
+        (target, Some(why))
     }
 
     /// Re-issues failed migrations whose backoff window has expired.
@@ -392,17 +517,40 @@ impl GandivaFair {
                     if planned.contains(&job) {
                         continue;
                     }
-                    let target = view
-                        .reachable_servers_of_gen(state.gen)
-                        .filter(|s| s.num_gpus >= info.gang)
-                        .min_by(|a, b| {
-                            self.projected_load(view, a.id)
-                                .total_cmp(&self.projected_load(view, b.id))
-                                .then(a.id.cmp(&b.id))
-                        })
-                        .map(|s| s.id);
+                    let want_why = self.obs.why();
+                    let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
+                        view,
+                        info.gang,
+                        view.reachable_servers_of_gen(state.gen),
+                        want_why,
+                    );
                     if let Some(to) = target {
                         if to != cur {
+                            if want_why {
+                                let mut rejected = Vec::new();
+                                if too_narrow > 0 {
+                                    rejected.push(Rejection {
+                                        reason: "gang_too_wide_for_server".to_string(),
+                                        count: too_narrow,
+                                    });
+                                }
+                                self.obs.emit(TraceEvent::Decision {
+                                    t: now,
+                                    decision: "retry".to_string(),
+                                    job: Some(job),
+                                    user: Some(info.user),
+                                    chosen: format!(
+                                        "migrate to server:{} (gen:{}, attempt {})",
+                                        to.index(),
+                                        state.gen.index(),
+                                        state.attempts + 1
+                                    ),
+                                    tie_break: TIE_BREAK_LOAD.to_string(),
+                                    considered,
+                                    candidates,
+                                    rejected,
+                                });
+                            }
                             actions.push(Action::Migrate { job, to });
                         }
                     }
@@ -410,6 +558,30 @@ impl GandivaFair {
             }
         }
     }
+}
+
+/// Tie-break rule shared by every load-based server selection; quoted
+/// verbatim in [`TraceEvent::Decision`] provenance.
+const TIE_BREAK_LOAD: &str = "least projected load, then lowest server id";
+
+/// Cap on the scored candidates carried in one decision event. The full
+/// candidate count is still reported via `considered`.
+const MAX_WHY_CANDIDATES: usize = 8;
+
+/// Provenance for one server choice: what was picked, how ties were
+/// broken, and what was ruled out. Rendered into a
+/// [`TraceEvent::Decision`] by the caller, which knows the decision site.
+struct ChoiceWhy {
+    /// Human-readable selected alternative (or `none (...)`).
+    chosen: String,
+    /// Tie-break rule applied among equally-scored candidates.
+    tie_break: &'static str,
+    /// Fitting servers that were scored.
+    considered: u32,
+    /// Best-scoring alternatives, winner first (bounded).
+    candidates: Vec<Candidate>,
+    /// Alternatives ruled out, grouped by reason.
+    rejected: Vec<Rejection>,
 }
 
 /// Weight of `u` in an id-sorted per-server weight vec, if present.
@@ -443,7 +615,22 @@ impl ClusterScheduler for GandivaFair {
     fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
         self.ensure_init(view);
         let info = view.job(job).expect("arriving job is known");
-        match self.choose_server(view, info.user, info.gang) {
+        let want_why = self.obs.why();
+        let (target, why) = self.choose_server_explained(view, info.user, info.gang, want_why);
+        if let Some(why) = why {
+            self.obs.emit(TraceEvent::Decision {
+                t: view.now(),
+                decision: "placement".to_string(),
+                job: Some(job),
+                user: Some(info.user),
+                chosen: why.chosen,
+                tie_break: why.tie_break.to_string(),
+                considered: why.considered,
+                candidates: why.candidates,
+                rejected: why.rejected,
+            });
+        }
+        match target {
             Some(server) => {
                 self.inflight[server.index()] += info.gang;
                 vec![Action::Place { job, server }]
@@ -587,9 +774,26 @@ impl ClusterScheduler for GandivaFair {
             })
             .map(|j| (j.id, j.user, j.gang))
             .collect();
+        let want_why = self.obs.why();
         for (job, user, gang) in retries {
-            if let Some(server) = self.choose_server(view, user, gang) {
+            let (target, why) = self.choose_server_explained(view, user, gang, want_why);
+            if let Some(server) = target {
                 self.retry.remove(&job);
+                // Emit only on success: an unplaceable job would otherwise
+                // flood the trace with one identical decision per round.
+                if let Some(why) = why {
+                    self.obs.emit(TraceEvent::Decision {
+                        t: now,
+                        decision: "retry".to_string(),
+                        job: Some(job),
+                        user: Some(user),
+                        chosen: why.chosen,
+                        tie_break: why.tie_break.to_string(),
+                        considered: why.considered,
+                        candidates: why.candidates,
+                        rejected: why.rejected,
+                    });
+                }
                 actions.push(Action::Place { job, server });
             }
         }

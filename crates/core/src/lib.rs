@@ -22,6 +22,8 @@
 //! The central scheduler in [`central`] wires these into the
 //! [`gfair_sim::ClusterScheduler`] interface.
 
+#![warn(missing_docs)]
+
 pub mod balance;
 pub mod central;
 pub mod config;

@@ -23,7 +23,7 @@
 //! market never trades on guesses.
 
 use crate::entitlement::Entitlements;
-use gfair_obs::{Obs, Phase, TraceEvent};
+use gfair_obs::{Candidate, Obs, Phase, Rejection, TraceEvent};
 use gfair_types::{GenId, PriceStrategy, SimTime, UserId};
 use std::collections::BTreeMap;
 
@@ -86,6 +86,32 @@ pub fn run_market_traced(
     let trades = obs.time(Phase::TradeMatching, || {
         run_market_inner(ent, speedups, demand, strategy, margin)
     });
+    // Provenance: per-generation participant counts, re-derived with the
+    // market's own eligibility filter (active demand + profiled speedup).
+    // The inputs are untouched by the matching pass, so these counts match
+    // what the market ranked. Decision events are a trace-only product;
+    // without a sink the `TradeExecuted` stream alone is emitted.
+    let want_why = obs.tracing();
+    let users_total = ent.users().count() as u32;
+    let participants: BTreeMap<GenId, u32> = if want_why {
+        (1..ent.num_gens())
+            .map(|gen_idx| {
+                let n = ent
+                    .users()
+                    .filter(|u| demand.get(u).copied().unwrap_or(0.0) > EPS)
+                    .filter(|u| {
+                        speedups
+                            .get(u)
+                            .and_then(|v| v.get(gen_idx).copied().flatten())
+                            .is_some()
+                    })
+                    .count() as u32;
+                (GenId::new(gen_idx as u32), n)
+            })
+            .collect()
+    } else {
+        BTreeMap::new()
+    };
     for t in &trades {
         obs.emit(TraceEvent::TradeExecuted {
             t: now,
@@ -95,6 +121,44 @@ pub fn run_market_traced(
             fast_gpus: t.fast_gpus,
             base_gpus: t.base_gpus,
             price: t.price,
+        });
+        if !want_why {
+            continue;
+        }
+        let considered = participants.get(&t.gen).copied().unwrap_or(0);
+        obs.emit(TraceEvent::Decision {
+            t: now,
+            decision: "trade".to_string(),
+            job: None,
+            user: Some(t.buyer),
+            chosen: format!(
+                "user:{} buys {:.3} gen:{} GPUs from user:{} at {:.3} base/fast",
+                t.buyer.index(),
+                t.fast_gpus,
+                t.gen.index(),
+                t.seller.index(),
+                t.price
+            ),
+            tie_break: "widest speedup gap first, then lowest user id".to_string(),
+            considered,
+            candidates: vec![
+                Candidate {
+                    label: format!("buyer user:{}", t.buyer.index()),
+                    score: t.buyer_speedup,
+                },
+                Candidate {
+                    label: format!("seller user:{}", t.seller.index()),
+                    score: t.seller_speedup,
+                },
+            ],
+            rejected: if users_total > considered {
+                vec![Rejection {
+                    reason: "idle_or_unprofiled".to_string(),
+                    count: users_total - considered,
+                }]
+            } else {
+                Vec::new()
+            },
         });
     }
     trades

@@ -37,6 +37,40 @@ pub fn jain_index(values: &[f64]) -> f64 {
     (sum * sum) / (values.len() as f64 * sum_sq)
 }
 
+/// Gini coefficient of a set of non-negative values.
+///
+/// 0.0 means perfectly equal, approaching 1.0 means one value holds
+/// everything. Returns 0.0 for inputs with fewer than two values or a
+/// non-positive sum (nothing is unequal about nothing).
+///
+/// # Examples
+///
+/// ```
+/// use gfair_metrics::gini;
+///
+/// assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);
+/// assert!((gini(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+/// ```
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let nf = n as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as f64 + 1.0) * v)
+        .sum();
+    (2.0 * weighted) / (nf * sum) - (nf + 1.0) / nf
+}
+
 /// Ratio of the minimum to the maximum value (1.0 = perfectly balanced,
 /// 0.0 = someone got nothing). Returns 1.0 for empty input.
 pub fn max_min_ratio(values: &[f64]) -> f64 {
@@ -166,6 +200,22 @@ mod tests {
         assert_eq!(jain_index(&[]), 1.0);
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
         assert_eq!(jain_index(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);
+        // Monopoly among n users: (n - 1) / n.
+        assert!((gini(&[0.0, 0.0, 0.0, 12.0]) - 0.75).abs() < 1e-12);
+        // Order-independent.
+        assert!((gini(&[1.0, 2.0, 3.0]) - gini(&[3.0, 1.0, 2.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_degenerate_inputs() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[7.0]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`csv`] — CSV rendering of share time series and per-job records, for
 //!   plotting figures externally.
 
+#![warn(missing_docs)]
+
 pub mod csv;
 pub mod fairness;
 pub mod jct;
@@ -18,7 +20,7 @@ pub mod table;
 pub mod timeseries;
 
 pub use csv::{jobs_csv, share_timeseries_csv};
-pub use fairness::{jain_index, max_min_ratio, normalized_shares, water_filling};
+pub use fairness::{gini, jain_index, max_min_ratio, normalized_shares, water_filling};
 pub use jct::{mean_slowdown, slowdowns, JctStats};
 pub use table::Table;
 pub use timeseries::{user_share_series, SharePoint};

@@ -506,7 +506,9 @@ impl Auditor {
                 self.packed.fill(0);
                 self.round_events.clear();
             }
-            TraceEvent::TradeExecuted { .. } | TraceEvent::ProfileInferred { .. } => {}
+            TraceEvent::Decision { .. }
+            | TraceEvent::TradeExecuted { .. }
+            | TraceEvent::ProfileInferred { .. } => {}
         }
     }
 }
@@ -569,6 +571,7 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             users: vec![],
+            user_gpus: vec![],
         });
         assert!(a.violations().is_empty());
         assert_eq!(a.warnings(), 0);
@@ -673,6 +676,7 @@ mod tests {
                     pass: 0.0,
                 },
             ],
+            user_gpus: vec![],
         });
         let v = a.take_fatal().expect("violation");
         assert_eq!(
@@ -708,6 +712,7 @@ mod tests {
                     pass: 0.0,
                 },
             ],
+            user_gpus: vec![],
         });
         assert!(a.violations().is_empty());
     }
@@ -724,6 +729,7 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             users: vec![],
+            user_gpus: vec![],
         });
         assert!(a.violations().is_empty(), "work conservation is warn-only");
         assert_eq!(a.warnings(), 1);
@@ -930,6 +936,7 @@ mod tests {
                 tickets: 5.0,
                 pass: 0.0,
             }],
+            user_gpus: vec![],
         });
         let v = a.take_fatal().expect("violation");
         assert_eq!(
@@ -954,6 +961,7 @@ mod tests {
                 tickets: 5.0,
                 pass: 0.0,
             }],
+            user_gpus: vec![],
         });
         let v = a.take_fatal().expect("violation");
         assert!(matches!(v.kind, ViolationKind::TicketConservation { .. }));
@@ -972,6 +980,7 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             users: vec![],
+            user_gpus: vec![],
         });
         // A busy replayed span: no violations, no warnings, round advances
         // to the span end.
@@ -985,6 +994,8 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             widths: vec![4],
+            users: vec![],
+            user_gpus: vec![],
         });
         assert!(a.violations().is_empty());
         assert_eq!(a.warnings(), 0);
@@ -1000,6 +1011,8 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             widths: vec![],
+            users: vec![],
+            user_gpus: vec![],
         });
         assert_eq!(a.warnings(), 3);
         // The span is a round boundary: per-round packing state was reset,
@@ -1027,6 +1040,7 @@ mod tests {
             pending: 0,
             tickets_total: 4.0,
             users: vec![],
+            user_gpus: vec![],
         });
         // Same grant next round: no duplicate, no overcommit.
         a.process(&packed(1, 4, 4));

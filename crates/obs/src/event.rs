@@ -12,6 +12,7 @@
 //! first so line-oriented tools can dispatch without a full parse.
 
 use gfair_types::{GenId, JobId, MigrationFailReason, ServerId, SimTime, UserId};
+use serde_json::JsonValue;
 use std::fmt::Write as _;
 
 /// One user's scheduling state inside a [`TraceEvent::RoundPlanned`] event.
@@ -25,6 +26,36 @@ pub struct UserShare {
     /// The user's minimum stride pass value across local schedulers (0.0
     /// when the scheduler does not expose passes).
     pub pass: f64,
+}
+
+/// One user's granted GPUs inside a [`TraceEvent::RoundsSkipped`] span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserGrant {
+    /// The user.
+    pub user: UserId,
+    /// GPUs granted to the user's jobs in each replayed round.
+    pub gpus: u32,
+}
+
+/// One alternative a scheduler decision evaluated, inside a
+/// [`TraceEvent::Decision`] event. Lower scores are better (scores are
+/// projected loads, slacks, or prices depending on the decision site).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Human-readable label, e.g. `server:12` or `gen:1`.
+    pub label: String,
+    /// The candidate's score under the decision's objective.
+    pub score: f64,
+}
+
+/// A group of alternatives a decision ruled out, with the shared reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Why the alternatives were not eligible, e.g. `unreachable` or
+    /// `does_not_fit`.
+    pub reason: String,
+    /// How many alternatives were rejected for this reason.
+    pub count: u32,
 }
 
 /// A structured record of one scheduler decision or cluster incident.
@@ -191,6 +222,11 @@ pub enum TraceEvent {
         /// Per-user pass/tickets, when the scheduler exposes them (empty
         /// for baselines without a ticket economy).
         users: Vec<UserShare>,
+        /// GPUs granted per user this round, ascending by user. The
+        /// fairness ledger accrues received share from this aggregate, so
+        /// traces stay replayable even when the per-gang `GangPacked`
+        /// stream is filtered out of the sink.
+        user_gpus: Vec<UserGrant>,
     },
     /// A span of quiescent rounds the engine replayed in one step (the
     /// fast-forward path): the cached plan re-ran unchanged for `rounds`
@@ -217,6 +253,40 @@ pub enum TraceEvent {
         /// Granted gang widths in plan iteration order, one per scheduled
         /// job and identical in every replayed round.
         widths: Vec<u32>,
+        /// Per-user tickets and stride passes at the start of the span (the
+        /// same shape `RoundPlanned` carries; entitlements cannot change
+        /// inside a quiescent span).
+        users: Vec<UserShare>,
+        /// GPUs granted per user in each replayed round, ascending by user.
+        user_gpus: Vec<UserGrant>,
+    },
+    /// Structured provenance for one scheduler decision: what was chosen,
+    /// what else was considered, which rule broke ties, and why the
+    /// alternatives lost. Emitted by the central scheduler (placements,
+    /// retries), the trade matcher, the migration planner, and the engine's
+    /// failure path (evictions).
+    Decision {
+        /// Simulated time.
+        t: SimTime,
+        /// Decision site: `placement`, `retry`, `migration`, `trade`, or
+        /// `eviction`.
+        decision: String,
+        /// The job the decision concerns, if any.
+        job: Option<JobId>,
+        /// The user the decision concerns, if any.
+        user: Option<UserId>,
+        /// The selected alternative (e.g. `server:12`), or `none` when the
+        /// decision could not be satisfied.
+        chosen: String,
+        /// The rule that broke ties among equally-scored candidates.
+        tie_break: String,
+        /// Total alternatives evaluated (may exceed `candidates.len()`,
+        /// which is bounded).
+        considered: u32,
+        /// The best-scoring alternatives evaluated, winner first.
+        candidates: Vec<Candidate>,
+        /// Alternatives ruled out, grouped by reason.
+        rejected: Vec<Rejection>,
     },
     /// The trading market matched a seller and a buyer.
     TradeExecuted {
@@ -252,6 +322,29 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Every `kind` discriminator, in variant declaration order. The
+    /// DESIGN.md event table and the golden-trace fixture are cross-checked
+    /// against this list by tests, so adding a variant without documenting
+    /// it fails the suite.
+    pub const KINDS: [&'static str; 16] = [
+        "server_up",
+        "server_down",
+        "job_arrive",
+        "job_finish",
+        "placement",
+        "migration",
+        "migration_failed",
+        "partition_start",
+        "partition_end",
+        "reconcile",
+        "gang_packed",
+        "round_planned",
+        "rounds_skipped",
+        "decision",
+        "trade_executed",
+        "profile_inferred",
+    ];
+
     /// The event's `kind` discriminator as it appears in JSONL.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -268,6 +361,7 @@ impl TraceEvent {
             TraceEvent::GangPacked { .. } => "gang_packed",
             TraceEvent::RoundPlanned { .. } => "round_planned",
             TraceEvent::RoundsSkipped { .. } => "rounds_skipped",
+            TraceEvent::Decision { .. } => "decision",
             TraceEvent::TradeExecuted { .. } => "trade_executed",
             TraceEvent::ProfileInferred { .. } => "profile_inferred",
         }
@@ -289,6 +383,7 @@ impl TraceEvent {
             | TraceEvent::GangPacked { t, .. }
             | TraceEvent::RoundPlanned { t, .. }
             | TraceEvent::RoundsSkipped { t, .. }
+            | TraceEvent::Decision { t, .. }
             | TraceEvent::TradeExecuted { t, .. }
             | TraceEvent::ProfileInferred { t, .. } => *t,
         }
@@ -300,8 +395,21 @@ impl TraceEvent {
     /// loses precision; every id is a bare integer.
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(128);
-        let t = self.time().as_micros();
-        let _ = write!(s, "{{\"kind\":\"{}\",\"t_us\":{t}", self.kind());
+        self.write_json_line(&mut s);
+        s
+    }
+
+    /// Appends the event's JSON line (no trailing newline) to `s`.
+    ///
+    /// This is the zero-allocation path sinks use with a reused buffer:
+    /// high-frequency variants format integers with a hand-rolled itoa instead of
+    /// the `core::fmt` machinery, which matters at hundreds of thousands of
+    /// events per simulated hour.
+    pub fn write_json_line(&self, s: &mut String) {
+        s.push_str("{\"kind\":\"");
+        s.push_str(self.kind());
+        s.push_str("\",\"t_us\":");
+        push_u64(s, self.time().as_micros());
         match self {
             TraceEvent::ServerUp {
                 server, gen, gpus, ..
@@ -325,26 +433,30 @@ impl TraceEvent {
                 service_secs,
                 ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"job\":{},\"user\":{},\"gang\":{gang},\"service_secs\":{}",
-                    job.index(),
-                    user.index(),
-                    fmt_f64(*service_secs)
-                );
+                s.push_str(",\"job\":");
+                push_u64(s, job.index() as u64);
+                s.push_str(",\"user\":");
+                push_u64(s, user.index() as u64);
+                s.push_str(",\"gang\":");
+                push_u64(s, u64::from(*gang));
+                s.push_str(",\"service_secs\":");
+                push_f64(s, *service_secs);
             }
             TraceEvent::JobFinish { job, user, .. } => {
-                let _ = write!(s, ",\"job\":{},\"user\":{}", job.index(), user.index());
+                s.push_str(",\"job\":");
+                push_u64(s, job.index() as u64);
+                s.push_str(",\"user\":");
+                push_u64(s, user.index() as u64);
             }
             TraceEvent::Placement {
                 job, server, gang, ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"job\":{},\"server\":{},\"gang\":{gang}",
-                    job.index(),
-                    server.index()
-                );
+                s.push_str(",\"job\":");
+                push_u64(s, job.index() as u64);
+                s.push_str(",\"server\":");
+                push_u64(s, server.index() as u64);
+                s.push_str(",\"gang\":");
+                push_u64(s, u64::from(*gang));
             }
             TraceEvent::Migration {
                 job,
@@ -353,14 +465,14 @@ impl TraceEvent {
                 outage_secs,
                 ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"job\":{},\"from\":{},\"to\":{},\"outage_secs\":{}",
-                    job.index(),
-                    from.index(),
-                    to.index(),
-                    fmt_f64(*outage_secs)
-                );
+                s.push_str(",\"job\":");
+                push_u64(s, job.index() as u64);
+                s.push_str(",\"from\":");
+                push_u64(s, from.index() as u64);
+                s.push_str(",\"to\":");
+                push_u64(s, to.index() as u64);
+                s.push_str(",\"outage_secs\":");
+                push_f64(s, *outage_secs);
             }
             TraceEvent::MigrationFailed {
                 job,
@@ -404,13 +516,18 @@ impl TraceEvent {
                 gang,
                 ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"round\":{round},\"server\":{},\"job\":{},\"user\":{},\"width\":{width},\"gang\":{gang}",
-                    server.index(),
-                    job.index(),
-                    user.index()
-                );
+                s.push_str(",\"round\":");
+                push_u64(s, *round);
+                s.push_str(",\"server\":");
+                push_u64(s, server.index() as u64);
+                s.push_str(",\"job\":");
+                push_u64(s, job.index() as u64);
+                s.push_str(",\"user\":");
+                push_u64(s, user.index() as u64);
+                s.push_str(",\"width\":");
+                push_u64(s, u64::from(*width));
+                s.push_str(",\"gang\":");
+                push_u64(s, u64::from(*gang));
             }
             TraceEvent::RoundPlanned {
                 round,
@@ -420,25 +537,25 @@ impl TraceEvent {
                 pending,
                 tickets_total,
                 users,
+                user_gpus,
                 ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"round\":{round},\"scheduled\":{scheduled},\"gpus_used\":{gpus_used},\"gpus_up\":{gpus_up},\"pending\":{pending},\"tickets_total\":{},\"users\":[",
-                    fmt_f64(*tickets_total)
-                );
-                for (i, u) in users.iter().enumerate() {
-                    if i > 0 {
-                        s.push(',');
-                    }
-                    let _ = write!(
-                        s,
-                        "{{\"user\":{},\"tickets\":{},\"pass\":{}}}",
-                        u.user.index(),
-                        fmt_f64(u.tickets),
-                        fmt_f64(u.pass)
-                    );
-                }
+                s.push_str(",\"round\":");
+                push_u64(s, *round);
+                s.push_str(",\"scheduled\":");
+                push_u64(s, u64::from(*scheduled));
+                s.push_str(",\"gpus_used\":");
+                push_u64(s, u64::from(*gpus_used));
+                s.push_str(",\"gpus_up\":");
+                push_u64(s, u64::from(*gpus_up));
+                s.push_str(",\"pending\":");
+                push_u64(s, u64::from(*pending));
+                s.push_str(",\"tickets_total\":");
+                push_f64(s, *tickets_total);
+                s.push_str(",\"users\":[");
+                push_user_shares(s, users);
+                s.push_str("],\"user_gpus\":[");
+                push_user_grants(s, user_gpus);
                 s.push(']');
             }
             TraceEvent::RoundsSkipped {
@@ -450,18 +567,87 @@ impl TraceEvent {
                 pending,
                 tickets_total,
                 widths,
+                users,
+                user_gpus,
                 ..
             } => {
-                let _ = write!(
-                    s,
-                    ",\"first_round\":{first_round},\"rounds\":{rounds},\"scheduled\":{scheduled},\"gpus_used\":{gpus_used},\"gpus_up\":{gpus_up},\"pending\":{pending},\"tickets_total\":{},\"widths\":[",
-                    fmt_f64(*tickets_total)
-                );
+                s.push_str(",\"first_round\":");
+                push_u64(s, *first_round);
+                s.push_str(",\"rounds\":");
+                push_u64(s, *rounds);
+                s.push_str(",\"scheduled\":");
+                push_u64(s, u64::from(*scheduled));
+                s.push_str(",\"gpus_used\":");
+                push_u64(s, u64::from(*gpus_used));
+                s.push_str(",\"gpus_up\":");
+                push_u64(s, u64::from(*gpus_up));
+                s.push_str(",\"pending\":");
+                push_u64(s, u64::from(*pending));
+                s.push_str(",\"tickets_total\":");
+                push_f64(s, *tickets_total);
+                s.push_str(",\"widths\":[");
                 for (i, w) in widths.iter().enumerate() {
                     if i > 0 {
                         s.push(',');
                     }
-                    let _ = write!(s, "{w}");
+                    push_u64(s, u64::from(*w));
+                }
+                s.push_str("],\"users\":[");
+                push_user_shares(s, users);
+                s.push_str("],\"user_gpus\":[");
+                push_user_grants(s, user_gpus);
+                s.push(']');
+            }
+            TraceEvent::Decision {
+                decision,
+                job,
+                user,
+                chosen,
+                tie_break,
+                considered,
+                candidates,
+                rejected,
+                ..
+            } => {
+                s.push_str(",\"decision\":\"");
+                push_escaped(s, decision);
+                s.push_str("\",\"job\":");
+                match job {
+                    Some(j) => push_u64(s, j.index() as u64),
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"user\":");
+                match user {
+                    Some(u) => push_u64(s, u.index() as u64),
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"chosen\":\"");
+                push_escaped(s, chosen);
+                s.push_str("\",\"tie_break\":\"");
+                push_escaped(s, tie_break);
+                s.push_str("\",\"considered\":");
+                push_u64(s, u64::from(*considered));
+                s.push_str(",\"candidates\":[");
+                for (i, c) in candidates.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"label\":\"");
+                    push_escaped(s, &c.label);
+                    s.push_str("\",\"score\":");
+                    push_f64(s, c.score);
+                    s.push('}');
+                }
+                s.push_str("],\"rejected\":[");
+                for (i, r) in rejected.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"reason\":\"");
+                    push_escaped(s, &r.reason);
+                    s.push_str("\",\"count\":");
+                    push_u64(s, u64::from(r.count));
+                    s.push('}');
                 }
                 s.push(']');
             }
@@ -502,29 +688,400 @@ impl TraceEvent {
             }
         }
         s.push('}');
-        s
     }
+
+    /// Parses one JSONL trace line back into an event — the inverse of
+    /// [`to_json_line`](Self::to_json_line). This is the contract
+    /// `gfair-trace` and the golden-trace schema test are built on: renaming
+    /// or dropping a field fails here with a message naming the event kind
+    /// and the missing field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: invalid JSON, an
+    /// unknown `kind`, or a missing/mistyped field.
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, String> {
+        let v = serde_json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let kind = field(&v, "<event>", "kind")?
+            .as_str()
+            .ok_or_else(|| "field `kind` must be a string".to_string())?
+            .to_string();
+        let k = kind.as_str();
+        let t = SimTime::from_micros(get_u64(&v, k, "t_us")?);
+        match k {
+            "server_up" => Ok(TraceEvent::ServerUp {
+                t,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+                gen: GenId::new(get_u32(&v, k, "gen")?),
+                gpus: get_u32(&v, k, "gpus")?,
+            }),
+            "server_down" => Ok(TraceEvent::ServerDown {
+                t,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+                evicted: get_u32(&v, k, "evicted")?,
+            }),
+            "job_arrive" => Ok(TraceEvent::JobArrive {
+                t,
+                job: JobId::new(get_u32(&v, k, "job")?),
+                user: UserId::new(get_u32(&v, k, "user")?),
+                gang: get_u32(&v, k, "gang")?,
+                service_secs: get_f64(&v, k, "service_secs")?,
+            }),
+            "job_finish" => Ok(TraceEvent::JobFinish {
+                t,
+                job: JobId::new(get_u32(&v, k, "job")?),
+                user: UserId::new(get_u32(&v, k, "user")?),
+            }),
+            "placement" => Ok(TraceEvent::Placement {
+                t,
+                job: JobId::new(get_u32(&v, k, "job")?),
+                server: ServerId::new(get_u32(&v, k, "server")?),
+                gang: get_u32(&v, k, "gang")?,
+            }),
+            "migration" => Ok(TraceEvent::Migration {
+                t,
+                job: JobId::new(get_u32(&v, k, "job")?),
+                from: ServerId::new(get_u32(&v, k, "from")?),
+                to: ServerId::new(get_u32(&v, k, "to")?),
+                outage_secs: get_f64(&v, k, "outage_secs")?,
+            }),
+            "migration_failed" => {
+                let reason_str = get_str(&v, k, "reason")?;
+                let reason = MigrationFailReason::parse(&reason_str).ok_or_else(|| {
+                    format!("{k}: unknown migration failure reason `{reason_str}`")
+                })?;
+                Ok(TraceEvent::MigrationFailed {
+                    t,
+                    job: JobId::new(get_u32(&v, k, "job")?),
+                    from: ServerId::new(get_u32(&v, k, "from")?),
+                    to: ServerId::new(get_u32(&v, k, "to")?),
+                    reason,
+                    attempt: get_u32(&v, k, "attempt")?,
+                })
+            }
+            "partition_start" => Ok(TraceEvent::PartitionStart {
+                t,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+            }),
+            "partition_end" => Ok(TraceEvent::PartitionEnd {
+                t,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+            }),
+            "reconcile" => Ok(TraceEvent::Reconcile {
+                t,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+                users_resynced: get_u32(&v, k, "users_resynced")?,
+                jobs_revalidated: get_u32(&v, k, "jobs_revalidated")?,
+                drift: get_u32(&v, k, "drift")?,
+            }),
+            "gang_packed" => Ok(TraceEvent::GangPacked {
+                t,
+                round: get_u64(&v, k, "round")?,
+                server: ServerId::new(get_u32(&v, k, "server")?),
+                job: JobId::new(get_u32(&v, k, "job")?),
+                user: UserId::new(get_u32(&v, k, "user")?),
+                width: get_u32(&v, k, "width")?,
+                gang: get_u32(&v, k, "gang")?,
+            }),
+            "round_planned" => Ok(TraceEvent::RoundPlanned {
+                t,
+                round: get_u64(&v, k, "round")?,
+                scheduled: get_u32(&v, k, "scheduled")?,
+                gpus_used: get_u32(&v, k, "gpus_used")?,
+                gpus_up: get_u32(&v, k, "gpus_up")?,
+                pending: get_u32(&v, k, "pending")?,
+                tickets_total: get_f64(&v, k, "tickets_total")?,
+                users: get_user_shares(&v, k)?,
+                user_gpus: get_user_gpus(&v, k)?,
+            }),
+            "rounds_skipped" => {
+                let widths = field(&v, k, "widths")?
+                    .as_array()
+                    .ok_or_else(|| format!("{k}: field `widths` must be an array"))?
+                    .iter()
+                    .map(|w| {
+                        w.as_u64()
+                            .map(|w| w as u32)
+                            .ok_or_else(|| format!("{k}: widths entries must be integers"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(TraceEvent::RoundsSkipped {
+                    t,
+                    first_round: get_u64(&v, k, "first_round")?,
+                    rounds: get_u64(&v, k, "rounds")?,
+                    scheduled: get_u32(&v, k, "scheduled")?,
+                    gpus_used: get_u32(&v, k, "gpus_used")?,
+                    gpus_up: get_u32(&v, k, "gpus_up")?,
+                    pending: get_u32(&v, k, "pending")?,
+                    tickets_total: get_f64(&v, k, "tickets_total")?,
+                    widths,
+                    users: get_user_shares(&v, k)?,
+                    user_gpus: get_user_gpus(&v, k)?,
+                })
+            }
+            "decision" => {
+                let candidates = field(&v, k, "candidates")?
+                    .as_array()
+                    .ok_or_else(|| format!("{k}: field `candidates` must be an array"))?
+                    .iter()
+                    .map(|c| {
+                        Ok(Candidate {
+                            label: get_str(c, k, "label")?,
+                            score: get_f64(c, k, "score")?,
+                        })
+                    })
+                    .collect::<Result<Vec<Candidate>, String>>()?;
+                let rejected = field(&v, k, "rejected")?
+                    .as_array()
+                    .ok_or_else(|| format!("{k}: field `rejected` must be an array"))?
+                    .iter()
+                    .map(|r| {
+                        Ok(Rejection {
+                            reason: get_str(r, k, "reason")?,
+                            count: get_u32(r, k, "count")?,
+                        })
+                    })
+                    .collect::<Result<Vec<Rejection>, String>>()?;
+                Ok(TraceEvent::Decision {
+                    t,
+                    decision: get_str(&v, k, "decision")?,
+                    job: get_opt_u32(&v, k, "job")?.map(JobId::new),
+                    user: get_opt_u32(&v, k, "user")?.map(UserId::new),
+                    chosen: get_str(&v, k, "chosen")?,
+                    tie_break: get_str(&v, k, "tie_break")?,
+                    considered: get_u32(&v, k, "considered")?,
+                    candidates,
+                    rejected,
+                })
+            }
+            "trade_executed" => Ok(TraceEvent::TradeExecuted {
+                t,
+                seller: UserId::new(get_u32(&v, k, "seller")?),
+                buyer: UserId::new(get_u32(&v, k, "buyer")?),
+                gen: GenId::new(get_u32(&v, k, "gen")?),
+                fast_gpus: get_f64(&v, k, "fast_gpus")?,
+                base_gpus: get_f64(&v, k, "base_gpus")?,
+                price: get_f64(&v, k, "price")?,
+            }),
+            "profile_inferred" => Ok(TraceEvent::ProfileInferred {
+                t,
+                model: get_str(&v, k, "model")?,
+                gen: GenId::new(get_u32(&v, k, "gen")?),
+                rate: get_f64(&v, k, "rate")?,
+                samples: get_u64(&v, k, "samples")?,
+            }),
+            other => Err(format!(
+                "unknown event kind `{other}` (known kinds: {})",
+                TraceEvent::KINDS.join(", ")
+            )),
+        }
+    }
+}
+
+// --- from_json_line field accessors -----------------------------------------
+//
+// Every accessor names the event kind and the field in its error so schema
+// drift (a renamed or dropped field) fails tests and tooling with an
+// actionable message instead of a silent misparse.
+
+fn field<'v>(v: &'v JsonValue, kind: &str, name: &str) -> Result<&'v JsonValue, String> {
+    v.get(name)
+        .ok_or_else(|| format!("{kind}: missing field `{name}`"))
+}
+
+fn get_u64(v: &JsonValue, kind: &str, name: &str) -> Result<u64, String> {
+    field(v, kind, name)?
+        .as_u64()
+        .ok_or_else(|| format!("{kind}: field `{name}` must be a non-negative integer"))
+}
+
+fn get_u32(v: &JsonValue, kind: &str, name: &str) -> Result<u32, String> {
+    Ok(get_u64(v, kind, name)? as u32)
+}
+
+fn get_opt_u32(v: &JsonValue, kind: &str, name: &str) -> Result<Option<u32>, String> {
+    match field(v, kind, name)? {
+        JsonValue::Null => Ok(None),
+        val => val
+            .as_u64()
+            .map(|x| Some(x as u32))
+            .ok_or_else(|| format!("{kind}: field `{name}` must be an integer or null")),
+    }
+}
+
+fn get_f64(v: &JsonValue, kind: &str, name: &str) -> Result<f64, String> {
+    field(v, kind, name)?
+        .as_f64()
+        .ok_or_else(|| format!("{kind}: field `{name}` must be a number"))
+}
+
+fn get_str(v: &JsonValue, kind: &str, name: &str) -> Result<String, String> {
+    field(v, kind, name)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{kind}: field `{name}` must be a string"))
+}
+
+fn get_user_shares(v: &JsonValue, kind: &str) -> Result<Vec<UserShare>, String> {
+    field(v, kind, "users")?
+        .as_array()
+        .ok_or_else(|| format!("{kind}: field `users` must be an array"))?
+        .iter()
+        .map(|u| {
+            Ok(UserShare {
+                user: UserId::new(get_u32(u, kind, "user")?),
+                tickets: get_f64(u, kind, "tickets")?,
+                pass: get_f64(u, kind, "pass")?,
+            })
+        })
+        .collect()
+}
+
+fn get_user_gpus(v: &JsonValue, kind: &str) -> Result<Vec<UserGrant>, String> {
+    field(v, kind, "user_gpus")?
+        .as_array()
+        .ok_or_else(|| format!("{kind}: field `user_gpus` must be an array"))?
+        .iter()
+        .map(|g| {
+            Ok(UserGrant {
+                user: UserId::new(get_u32(g, kind, "user")?),
+                gpus: get_u32(g, kind, "gpus")?,
+            })
+        })
+        .collect()
+}
+
+/// Appends a decimal integer without going through `core::fmt` — the
+/// serialization hot path for id- and count-heavy event variants.
+fn push_u64(s: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&buf[i..]).expect("digits are ASCII"));
 }
 
 /// Formats a float so the JSON value stays a float (integral values get a
 /// `.0`), using Rust's shortest round-trip representation otherwise.
-fn fmt_f64(x: f64) -> String {
+/// Appends a `users` array body (no brackets) of [`UserShare`] objects.
+fn push_user_shares(s: &mut String, users: &[UserShare]) {
+    for (i, u) in users.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"user\":");
+        push_u64(s, u.user.index() as u64);
+        s.push_str(",\"tickets\":");
+        push_f64(s, u.tickets);
+        s.push_str(",\"pass\":");
+        push_f64(s, u.pass);
+        s.push('}');
+    }
+}
+
+/// Appends a `user_gpus` array body (no brackets) of [`UserGrant`] objects.
+fn push_user_grants(s: &mut String, grants: &[UserGrant]) {
+    for (i, g) in grants.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"user\":");
+        push_u64(s, g.user.index() as u64);
+        s.push_str(",\"gpus\":");
+        push_u64(s, u64::from(g.gpus));
+        s.push('}');
+    }
+}
+
+/// Appends the trace representation of `x`: integers as `N.0` via
+/// [`push_u64`], fractions at six decimals with trailing zeros trimmed.
+///
+/// Six decimals is microsecond resolution on second-scale durations and
+/// far below scheduling significance for loads, passes, and prices. The
+/// bounded precision is what makes this cheap: shortest-representation
+/// formatting (`{x}`) falls back to an arbitrary-precision search on
+/// values like stride-pass accumulators (`64.00000000000003`), which at
+/// one `RoundPlanned` per round times every user is the single hottest
+/// formatting site in a trace.
+fn push_f64(s: &mut String, x: f64) {
     if !x.is_finite() {
         // Traces never carry non-finite values; clamp rather than emit
         // invalid JSON if an upstream bug produces one.
-        return "null".to_string();
+        s.push_str("null");
+        return;
     }
     if x == x.trunc() && x.abs() < 1e15 {
-        format!("{x:.1}")
-    } else {
-        format!("{x}")
+        if x.is_sign_negative() && x != 0.0 {
+            s.push('-');
+        }
+        push_u64(s, x.abs() as u64);
+        s.push_str(".0");
+        return;
     }
+    let ax = x.abs();
+    if ax < 9e12 {
+        // Fixed-point in integer arithmetic: scale to micro-units once and
+        // split digits, avoiding the float formatter entirely.
+        let scaled = (ax * 1e6).round() as u64;
+        if x.is_sign_negative() && scaled > 0 {
+            s.push('-');
+        }
+        push_u64(s, scaled / 1_000_000);
+        s.push('.');
+        let mut frac = scaled % 1_000_000;
+        if frac == 0 {
+            s.push('0');
+            return;
+        }
+        let mut digits = [b'0'; 6];
+        for d in digits.iter_mut().rev() {
+            *d = b'0' + (frac % 10) as u8;
+            frac /= 10;
+        }
+        let mut end = digits.len();
+        while end > 1 && digits[end - 1] == b'0' {
+            end -= 1;
+        }
+        s.push_str(std::str::from_utf8(&digits[..end]).expect("ascii digits"));
+        return;
+    }
+    // Magnitudes past micro-unit range: six decimals are noise anyway.
+    let _ = write!(s, "{x:.6}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    let mut s = String::with_capacity(24);
+    push_f64(&mut s, x);
+    s
 }
 
 /// Escapes a string for embedding in a JSON string literal.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
+    push_escaped(&mut out, s);
+    out
+}
+
+/// Appends `input` to `out` with JSON string escaping, allocation-free for
+/// the overwhelmingly common clean case.
+fn push_escaped(out: &mut String, input: &str) {
+    if !input.bytes().any(|b| b == b'"' || b == b'\\' || b < 0x20) {
+        out.push_str(input);
+        return;
+    }
+    for c in input.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
@@ -537,7 +1094,6 @@ fn escape_json(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -594,6 +1150,7 @@ mod tests {
                     pass: 2.5,
                 },
             ],
+            user_gpus: vec![],
         };
         let line = ev.to_json_line();
         assert!(line.contains("\"users\":[{\"user\":0,\"tickets\":5.0,\"pass\":1.25},"));
@@ -668,13 +1225,253 @@ mod tests {
             pending: 1,
             tickets_total: 8.0,
             widths: vec![4, 2],
+            users: vec![UserShare {
+                user: UserId::new(0),
+                tickets: 8.0,
+                pass: 1.5,
+            }],
+            user_gpus: vec![UserGrant {
+                user: UserId::new(0),
+                gpus: 6,
+            }],
         };
         assert_eq!(ev.kind(), "rounds_skipped");
         assert_eq!(ev.time(), SimTime::from_secs(120));
         assert_eq!(
             ev.to_json_line(),
-            "{\"kind\":\"rounds_skipped\",\"t_us\":120000000,\"first_round\":3,\"rounds\":5,\"scheduled\":2,\"gpus_used\":6,\"gpus_up\":8,\"pending\":1,\"tickets_total\":8.0,\"widths\":[4,2]}"
+            "{\"kind\":\"rounds_skipped\",\"t_us\":120000000,\"first_round\":3,\"rounds\":5,\"scheduled\":2,\"gpus_used\":6,\"gpus_up\":8,\"pending\":1,\"tickets_total\":8.0,\"widths\":[4,2],\"users\":[{\"user\":0,\"tickets\":8.0,\"pass\":1.5}],\"user_gpus\":[{\"user\":0,\"gpus\":6}]}"
         );
+    }
+
+    #[test]
+    fn decision_renders_stable_line() {
+        let ev = TraceEvent::Decision {
+            t: SimTime::from_secs(30),
+            decision: "placement".to_string(),
+            job: Some(JobId::new(7)),
+            user: Some(UserId::new(1)),
+            chosen: "server:12".to_string(),
+            tie_break: "lowest server id".to_string(),
+            considered: 5,
+            candidates: vec![
+                Candidate {
+                    label: "server:12".to_string(),
+                    score: 0.25,
+                },
+                Candidate {
+                    label: "server:3".to_string(),
+                    score: 0.5,
+                },
+            ],
+            rejected: vec![Rejection {
+                reason: "does_not_fit".to_string(),
+                count: 2,
+            }],
+        };
+        assert_eq!(ev.kind(), "decision");
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"kind\":\"decision\",\"t_us\":30000000,\"decision\":\"placement\",\"job\":7,\"user\":1,\"chosen\":\"server:12\",\"tie_break\":\"lowest server id\",\"considered\":5,\"candidates\":[{\"label\":\"server:12\",\"score\":0.25},{\"label\":\"server:3\",\"score\":0.5}],\"rejected\":[{\"reason\":\"does_not_fit\",\"count\":2}]}"
+        );
+        // Absent job/user serialize as null and parse back to None.
+        let ev = TraceEvent::Decision {
+            t: SimTime::ZERO,
+            decision: "eviction".to_string(),
+            job: None,
+            user: None,
+            chosen: "none".to_string(),
+            tie_break: "none".to_string(),
+            considered: 0,
+            candidates: vec![],
+            rejected: vec![],
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"job\":null,\"user\":null"));
+        assert_eq!(TraceEvent::from_json_line(&line).unwrap(), ev);
+    }
+
+    /// One exemplar of every variant, used by the round-trip test below and
+    /// kept in `KINDS` order.
+    fn exemplars() -> Vec<TraceEvent> {
+        let t = SimTime::from_secs(9);
+        vec![
+            TraceEvent::ServerUp {
+                t,
+                server: ServerId::new(1),
+                gen: GenId::new(2),
+                gpus: 8,
+            },
+            TraceEvent::ServerDown {
+                t,
+                server: ServerId::new(1),
+                evicted: 3,
+            },
+            TraceEvent::JobArrive {
+                t,
+                job: JobId::new(4),
+                user: UserId::new(2),
+                gang: 2,
+                service_secs: 1800.5,
+            },
+            TraceEvent::JobFinish {
+                t,
+                job: JobId::new(4),
+                user: UserId::new(2),
+            },
+            TraceEvent::Placement {
+                t,
+                job: JobId::new(4),
+                server: ServerId::new(1),
+                gang: 2,
+            },
+            TraceEvent::Migration {
+                t,
+                job: JobId::new(4),
+                from: ServerId::new(1),
+                to: ServerId::new(2),
+                outage_secs: 30.0,
+            },
+            TraceEvent::MigrationFailed {
+                t,
+                job: JobId::new(4),
+                from: ServerId::new(1),
+                to: ServerId::new(2),
+                reason: MigrationFailReason::TargetDown,
+                attempt: 2,
+            },
+            TraceEvent::PartitionStart {
+                t,
+                server: ServerId::new(3),
+            },
+            TraceEvent::PartitionEnd {
+                t,
+                server: ServerId::new(3),
+            },
+            TraceEvent::Reconcile {
+                t,
+                server: ServerId::new(3),
+                users_resynced: 2,
+                jobs_revalidated: 5,
+                drift: 1,
+            },
+            TraceEvent::GangPacked {
+                t,
+                round: 12,
+                server: ServerId::new(1),
+                job: JobId::new(4),
+                user: UserId::new(2),
+                width: 2,
+                gang: 2,
+            },
+            TraceEvent::RoundPlanned {
+                t,
+                round: 12,
+                scheduled: 1,
+                gpus_used: 2,
+                gpus_up: 8,
+                pending: 0,
+                tickets_total: 8.0,
+                users: vec![UserShare {
+                    user: UserId::new(2),
+                    tickets: 8.0,
+                    pass: 3.25,
+                }],
+                user_gpus: vec![],
+            },
+            TraceEvent::RoundsSkipped {
+                t,
+                first_round: 13,
+                rounds: 4,
+                scheduled: 1,
+                gpus_used: 2,
+                gpus_up: 8,
+                pending: 0,
+                tickets_total: 8.0,
+                widths: vec![2],
+                users: vec![UserShare {
+                    user: UserId::new(2),
+                    tickets: 8.0,
+                    pass: 3.25,
+                }],
+                user_gpus: vec![UserGrant {
+                    user: UserId::new(2),
+                    gpus: 2,
+                }],
+            },
+            TraceEvent::Decision {
+                t,
+                decision: "migration".to_string(),
+                job: Some(JobId::new(4)),
+                user: Some(UserId::new(2)),
+                chosen: "server:2".to_string(),
+                tie_break: "least load, lowest server id".to_string(),
+                considered: 3,
+                candidates: vec![Candidate {
+                    label: "server:2".to_string(),
+                    score: 0.125,
+                }],
+                rejected: vec![Rejection {
+                    reason: "unreachable".to_string(),
+                    count: 1,
+                }],
+            },
+            TraceEvent::TradeExecuted {
+                t,
+                seller: UserId::new(0),
+                buyer: UserId::new(2),
+                gen: GenId::new(1),
+                fast_gpus: 1.5,
+                base_gpus: 3.0,
+                price: 2.0,
+            },
+            TraceEvent::ProfileInferred {
+                t,
+                model: "resnet50".to_string(),
+                gen: GenId::new(1),
+                rate: 2.25,
+                samples: 6,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_jsonl() {
+        let all = exemplars();
+        assert_eq!(all.len(), TraceEvent::KINDS.len());
+        for (ev, &kind) in all.iter().zip(TraceEvent::KINDS.iter()) {
+            assert_eq!(ev.kind(), kind, "exemplar order must match KINDS");
+            let line = ev.to_json_line();
+            let back = TraceEvent::from_json_line(&line)
+                .unwrap_or_else(|e| panic!("{kind} failed to parse: {e}\nline: {line}"));
+            assert_eq!(&back, ev, "{kind} did not round-trip");
+            // And the re-rendered line is byte-identical.
+            assert_eq!(back.to_json_line(), line, "{kind} re-render differs");
+        }
+    }
+
+    #[test]
+    fn from_json_line_reports_schema_drift_clearly() {
+        // Unknown kind.
+        let err = TraceEvent::from_json_line("{\"kind\":\"teleport\",\"t_us\":0}").unwrap_err();
+        assert!(err.contains("unknown event kind `teleport`"), "{err}");
+        // A dropped field names the kind and the field.
+        let err = TraceEvent::from_json_line("{\"kind\":\"job_finish\",\"t_us\":0,\"job\":1}")
+            .unwrap_err();
+        assert!(
+            err.contains("job_finish") && err.contains("`user`"),
+            "unhelpful error: {err}"
+        );
+        // A mistyped field is caught too.
+        let err = TraceEvent::from_json_line(
+            "{\"kind\":\"job_finish\",\"t_us\":0,\"job\":\"one\",\"user\":0}",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("`job`") && err.contains("integer"),
+            "unhelpful error: {err}"
+        );
+        // Garbage is invalid JSON.
+        assert!(TraceEvent::from_json_line("not json").is_err());
     }
 
     #[test]

@@ -28,17 +28,20 @@
 
 mod audit;
 mod event;
+mod ledger;
 mod metrics;
 mod sink;
 mod spans;
 
 pub use audit::{Auditor, Violation, ViolationKind};
-pub use event::{TraceEvent, UserShare};
-pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, ObsSummary};
+pub use event::{Candidate, Rejection, TraceEvent, UserGrant, UserShare};
+pub use ledger::{FairnessLedger, LedgerSummary, LedgerUserRow, RhoSummary};
+pub use metrics::{FixedHistogram, Histogram, HistogramSummary, MetricsRegistry, ObsSummary};
 pub use sink::{JsonlSink, RingHandle, RingSink, Tracer};
 pub use spans::{Phase, PhaseStats, SpanStats, PHASES};
 
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -50,6 +53,7 @@ struct ObsInner {
     sinks: Vec<Box<dyn Tracer>>,
     metrics: MetricsRegistry,
     auditor: Auditor,
+    ledger: FairnessLedger,
     spans: SpanStats,
     events: u64,
 }
@@ -61,6 +65,11 @@ struct ObsInner {
 #[derive(Default)]
 pub struct Obs {
     inner: Mutex<ObsInner>,
+    /// Lock-free mirror of `!inner.sinks.is_empty()`, so hot paths can ask
+    /// [`Obs::tracing`] without taking the mutex.
+    has_sink: AtomicBool,
+    /// Opt-in full-provenance tier; see [`Obs::why`].
+    want_why: AtomicBool,
 }
 
 impl std::fmt::Debug for Obs {
@@ -84,6 +93,41 @@ impl Obs {
     /// Installs a trace sink; every subsequent event is forwarded to it.
     pub fn add_sink(&self, sink: Box<dyn Tracer>) {
         self.lock().sinks.push(sink);
+        self.has_sink.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any trace sink is attached.
+    ///
+    /// Decision-provenance emitters check this before *building* their
+    /// allocation-heavy [`TraceEvent::Decision`] events: provenance is a
+    /// trace-only product, so untraced runs skip the cost entirely (and
+    /// their `decisions*` counters stay at zero). Everything else — trace
+    /// events proper, metrics, the auditor, the fairness ledger — is fed
+    /// unconditionally, so attaching a sink never changes scheduling and
+    /// never changes any other `SimReport` field.
+    pub fn tracing(&self) -> bool {
+        self.has_sink.load(Ordering::Relaxed)
+    }
+
+    /// Whether per-placement decision provenance is wanted (the
+    /// full-provenance tier).
+    ///
+    /// Tracing has two tiers. The default tier ([`Obs::tracing`]) is a
+    /// flight recorder: arrivals, finishes, placements, migrations, round
+    /// summaries, plus decision provenance for the *rare* events — trades,
+    /// balancer migrations, evictions. The full tier adds a
+    /// [`TraceEvent::Decision`] with the scored candidate set for every
+    /// placement and retry, which at cluster scale means one provenance
+    /// construction per scheduled job — too hot for always-on use. Enable
+    /// it with [`Obs::enable_why`] (the CLI's `--trace-full`) when a trace
+    /// must answer `gfair-trace why --job` for placements.
+    pub fn why(&self) -> bool {
+        self.has_sink.load(Ordering::Relaxed) && self.want_why.load(Ordering::Relaxed)
+    }
+
+    /// Opts this pipeline into the full-provenance tier; see [`Obs::why`].
+    pub fn enable_why(&self) {
+        self.want_why.store(true, Ordering::Relaxed);
     }
 
     /// Convenience: install a [`JsonlSink`] writing to `path`.
@@ -93,6 +137,18 @@ impl Obs {
     /// Returns any I/O error from creating the file.
     pub fn jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         self.add_sink(Box::new(JsonlSink::create(path)?));
+        Ok(())
+    }
+
+    /// Convenience: install a full-fidelity [`JsonlSink`] (per-gang stream
+    /// included) and enable the full-provenance tier ([`Obs::enable_why`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file.
+    pub fn jsonl_full(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.add_sink(Box::new(JsonlSink::full_fidelity(path)?));
+        self.enable_why();
         Ok(())
     }
 
@@ -121,6 +177,7 @@ impl Obs {
             inner.events += 1;
         }
         update_metrics(&mut inner.metrics, &event);
+        inner.ledger.ingest(&event);
         inner.auditor.process(&event);
         for sink in &mut inner.sinks {
             sink.record(&event);
@@ -178,9 +235,16 @@ impl Obs {
             counters,
             gauges,
             histograms,
+            ledger: inner.ledger.summary(),
             violations: inner.auditor.violations().len() as u64,
             warnings: inner.auditor.warnings(),
         }
+    }
+
+    /// Snapshot of the fairness ledger alone (also embedded in
+    /// [`Obs::summary`]).
+    pub fn ledger(&self) -> LedgerSummary {
+        self.lock().ledger.summary()
     }
 
     /// Wall-clock p50/p99 per instrumented phase (phases with ≥1 span).
@@ -275,6 +339,19 @@ fn update_metrics(m: &mut MetricsRegistry, event: &TraceEvent) {
                 }
             }
         }
+        TraceEvent::Decision { decision, .. } => {
+            m.inc("decisions", 1);
+            // Per-site counters keyed on the stable decision vocabulary.
+            let per_site = match decision.as_str() {
+                "placement" => "decisions_placement",
+                "retry" => "decisions_retry",
+                "migration" => "decisions_migration",
+                "trade" => "decisions_trade",
+                "eviction" => "decisions_eviction",
+                _ => "decisions_other",
+            };
+            m.inc(per_site, 1);
+        }
         TraceEvent::TradeExecuted {
             fast_gpus, price, ..
         } => {
@@ -332,6 +409,7 @@ mod tests {
             pending: 0,
             tickets_total: 2.0,
             users: vec![],
+            user_gpus: vec![],
         });
     }
 
@@ -419,6 +497,10 @@ mod tests {
                 pending: 0,
                 tickets_total: 2.0,
                 users: vec![],
+                user_gpus: vec![UserGrant {
+                    user: UserId::new(0),
+                    gpus: 2,
+                }],
             });
         }
         let batched = Obs::new();
@@ -433,12 +515,18 @@ mod tests {
             pending: 0,
             tickets_total: 2.0,
             widths: vec![2],
+            users: vec![],
+            user_gpus: vec![UserGrant {
+                user: UserId::new(0),
+                gpus: 2,
+            }],
         });
         let (a, b) = (naive.summary(), batched.summary());
         assert_eq!(a.events, b.events);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.gauges, b.gauges);
         assert_eq!(a.histograms, b.histograms);
+        assert_eq!(a.ledger, b.ledger);
         assert_eq!(a, b);
     }
 

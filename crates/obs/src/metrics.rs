@@ -99,6 +99,130 @@ impl Histogram {
     }
 }
 
+/// Fixed-bucket histogram: a static list of bucket upper bounds and one
+/// counter per bucket (plus an overflow bucket). `observe` touches no heap —
+/// the counters are allocated once at construction — so it is safe on the
+/// scheduler's hot path where the decimating [`Histogram`] would reallocate.
+///
+/// Quantiles are bucket-bound estimates: the reported value is the upper
+/// bound of the bucket where the cumulative count crosses the quantile,
+/// clamped to the exact observed maximum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    seen: u64,
+    sum: f64,
+    max: f64,
+    min: f64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram over the given ascending bucket upper bounds.
+    /// Values above the last bound land in an implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &'static [f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "fixed histogram needs at least one bucket"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        FixedHistogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            seen: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are dropped. No allocation.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.seen += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+        if value < self.min {
+            self.min = value;
+        }
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations, or None when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.sum / self.seen as f64)
+        }
+    }
+
+    /// Largest observation, or None when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Smallest observation, or None when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Bucket-bound estimate of the `q`-quantile (0.0–1.0), or None when
+    /// empty. Observations in the overflow bucket report the exact maximum.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.seen == 0 {
+            return None;
+        }
+        let rank = ((self.seen as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let est = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 /// Serializable summary of one histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
@@ -253,6 +377,8 @@ pub struct ObsSummary {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries, by name.
     pub histograms: Vec<HistogramSummary>,
+    /// The fairness ledger's deserved-vs-received accounting.
+    pub ledger: crate::ledger::LedgerSummary,
     /// Fatal invariant violations detected by the auditor (0 on any healthy
     /// run — a violation aborts the simulation).
     pub violations: u64,
@@ -337,5 +463,43 @@ mod tests {
         h.observe(f64::INFINITY);
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), None);
+    }
+
+    const TEST_BOUNDS: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];
+
+    #[test]
+    fn fixed_histogram_buckets_and_stats() {
+        let mut h = FixedHistogram::new(&TEST_BOUNDS);
+        for v in [0.5, 5.0, 50.0, 500.0, 5000.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Some(5000.0));
+        assert_eq!(h.min(), Some(0.5));
+        assert!((h.mean().unwrap() - 1111.1).abs() < 1e-9);
+        // p50 of 5 observations is the 3rd: bucket (10, 100] → bound 100.
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        // p99 lands in the overflow bucket → the exact max.
+        assert_eq!(h.quantile(0.99), Some(5000.0));
+    }
+
+    #[test]
+    fn fixed_histogram_quantile_clamps_to_observed_range() {
+        let mut h = FixedHistogram::new(&TEST_BOUNDS);
+        h.observe(3.0);
+        h.observe(4.0);
+        // Both fall in bucket (1, 10]; the bound estimate 10.0 is clamped to
+        // the observed max.
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(0.0), Some(4.0));
+        assert_eq!(FixedHistogram::new(&TEST_BOUNDS).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn fixed_histogram_rejects_unsorted_bounds() {
+        static BAD: [f64; 2] = [2.0, 1.0];
+        let _ = FixedHistogram::new(&BAD);
     }
 }

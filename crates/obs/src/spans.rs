@@ -7,8 +7,17 @@
 //! surfaced through [`PhaseStats`] for `--obs-summary` and the benchmark
 //! trajectories.
 
-use crate::metrics::Histogram;
+use crate::metrics::FixedHistogram;
 use std::time::Duration;
+
+/// Bucket upper bounds (microseconds) for phase spans: roughly geometric
+/// from 1 µs to 1 s. Fixed buckets keep `observe` allocation-free on the
+/// hot path; span quantiles are bucket-bound estimates, which is plenty for
+/// wall-clock profiling (timings never enter reports).
+const SPAN_US_BOUNDS: [f64; 19] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6,
+];
 
 /// The instrumented scheduler phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,9 +79,17 @@ pub struct PhaseStats {
 }
 
 /// Per-phase span aggregation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpanStats {
-    phases: [Histogram; 4],
+    phases: [FixedHistogram; 4],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            phases: std::array::from_fn(|_| FixedHistogram::new(&SPAN_US_BOUNDS)),
+        }
+    }
 }
 
 impl SpanStats {
@@ -93,7 +110,7 @@ impl SpanStats {
                 Some(PhaseStats {
                     phase,
                     count: h.count(),
-                    total_ms: h.mean().unwrap_or(0.0) * h.count() as f64 / 1e3,
+                    total_ms: h.sum() / 1e3,
                     p50_us: h.quantile(0.5).unwrap_or(0.0),
                     p99_us: h.quantile(0.99).unwrap_or(0.0),
                     max_us: h.max().unwrap_or(0.0),

@@ -561,6 +561,29 @@ impl Simulation {
             server,
             evicted: evicted.len() as u32,
         });
+        // Eviction provenance: there is no alternative to evicting residents
+        // of a dead server, so the "candidates" are the victims themselves.
+        // Trace-only, like every Decision event: skipped without a sink.
+        for &job in &evicted {
+            if !self.obs.tracing() {
+                break;
+            }
+            let info = &self.jobs[job].info;
+            self.obs.emit(TraceEvent::Decision {
+                t: self.now,
+                decision: "eviction".to_string(),
+                job: Some(job),
+                user: Some(info.user),
+                chosen: format!("evict from server:{}", server.index()),
+                tie_break: "none (server failed)".to_string(),
+                considered: 1,
+                candidates: vec![gfair_obs::Candidate {
+                    label: format!("job:{}", job.index()),
+                    score: f64::from(info.gang),
+                }],
+                rejected: vec![],
+            });
+        }
         for &job in &evicted {
             if self.jobs[job].finishing {
                 continue;
@@ -873,6 +896,9 @@ impl Simulation {
         let mut seen: BTreeSet<JobId> = BTreeSet::new();
         let mut scheduled = 0u32;
         let mut gpus_used = 0u32;
+        // Per-user grant totals for the round summary. User counts are small,
+        // so a linear-probed vec beats a map on this per-gang path.
+        let mut per_user: Vec<(gfair_types::UserId, u32)> = Vec::new();
         for (&server, run) in &plan.run {
             let srv = self
                 .cluster
@@ -893,6 +919,10 @@ impl Simulation {
                 }
                 requested += j.info.gang;
                 let (user, gang) = (j.info.user, j.info.gang);
+                match per_user.iter_mut().find(|(u, _)| *u == user) {
+                    Some((_, g)) => *g += gang,
+                    None => per_user.push((user, gang)),
+                }
                 self.obs.emit(TraceEvent::GangPacked {
                     t: self.now,
                     round: self.rounds,
@@ -931,6 +961,11 @@ impl Simulation {
             .filter(|&&id| !self.jobs[id].finishing)
             .count() as u32;
         let users = scheduler.user_shares(&self.view());
+        per_user.sort_unstable_by_key(|&(u, _)| u);
+        let user_gpus = per_user
+            .into_iter()
+            .map(|(user, gpus)| gfair_obs::UserGrant { user, gpus })
+            .collect();
         self.obs.emit(TraceEvent::RoundPlanned {
             t: self.now,
             round: self.rounds,
@@ -940,6 +975,7 @@ impl Simulation {
             pending,
             tickets_total: self.cluster.total_gpus() as f64,
             users,
+            user_gpus,
         });
         if let Some(v) = self.obs.take_fatal() {
             return Err(violation_to_error(v));
@@ -1124,14 +1160,24 @@ impl Simulation {
         let mut gpus_used = 0u32;
         let mut scheduled = 0u32;
         let mut widths = Vec::with_capacity(plan.num_running());
+        let mut per_user: std::collections::BTreeMap<gfair_types::UserId, u32> =
+            std::collections::BTreeMap::new();
         for run in plan.run.values() {
             for &job in run {
                 let gang = self.jobs[job].info.gang;
                 widths.push(gang);
                 gpus_used += gang;
                 scheduled += 1;
+                *per_user.entry(self.jobs[job].info.user).or_insert(0) += gang;
             }
         }
+        // The same aggregation the ledger performs over the naive path's
+        // per-round GangPacked events: total granted GPUs per user,
+        // ascending by user.
+        let user_gpus: Vec<gfair_obs::UserGrant> = per_user
+            .into_iter()
+            .map(|(user, gpus)| gfair_obs::UserGrant { user, gpus })
+            .collect();
         let gpus_up: u32 = self
             .cluster
             .servers
@@ -1155,6 +1201,8 @@ impl Simulation {
             pending,
             tickets_total: self.cluster.total_gpus() as f64,
             widths,
+            users: scheduler.user_shares(&self.view()),
+            user_gpus,
         });
         if let Some(v) = self.obs.take_fatal() {
             return Err(violation_to_error(v));

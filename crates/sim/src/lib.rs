@@ -30,6 +30,8 @@
 //! seed in [`gfair_types::SimConfig`]. Two runs with the same inputs produce
 //! byte-identical reports.
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod event;
 mod index;

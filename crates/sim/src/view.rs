@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Read-only snapshot of simulation state at a callback.
 ///
 /// Job- and residency-centric queries answer from the engine's materialized
-/// [`ClusterIndex`] in O(answer) — they never scan finished jobs or the full
+/// cluster index in O(answer) — they never scan finished jobs or the full
 /// job table.
 pub struct SimView<'a> {
     pub(crate) now: SimTime,

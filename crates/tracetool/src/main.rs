@@ -1,0 +1,133 @@
+//! `gfair-trace`: query, aggregate, and diff gfair JSONL trace files.
+//!
+//! ```text
+//! gfair-trace why --job 1234 trace.jsonl
+//! gfair-trace fairness [--user 3] [--plot-ascii] trace.jsonl
+//! gfair-trace diff a.jsonl b.jsonl
+//! gfair-trace kinds trace.jsonl
+//! ```
+
+use gfair_tracetool::{diff_traces, fairness_report, kind_counts, load_events, why_job};
+use gfair_types::{JobId, UserId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gfair-trace: query gfair JSONL traces
+
+USAGE:
+  gfair-trace why --job <id> <trace.jsonl>
+      Reconstruct one job's life: arrival, every decision that touched it
+      (candidates, scores, tie-break), placements, migrations, finish.
+
+  gfair-trace fairness [--user <id>] [--plot-ascii] <trace.jsonl>
+      Replay the trace through the fairness ledger: deserved vs. received
+      shares, Jain, Gini, finish-time-fairness rho.
+
+  gfair-trace diff <a.jsonl> <b.jsonl>
+      Per-kind event counts, first divergent event, fairness side by side.
+
+  gfair-trace kinds <trace.jsonl>
+      Event counts per kind.
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("gfair-trace: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn parse_id(flag: &str, value: Option<String>) -> Result<u32, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<u32>()
+        .map_err(|_| format!("{flag} expects a numeric id, got `{v}`"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return fail("missing command");
+    };
+    let mut job: Option<u32> = None;
+    let mut user: Option<u32> = None;
+    let mut plot = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--job" => match parse_id("--job", args.next()) {
+                Ok(v) => job = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--user" => match parse_id("--user", args.next()) {
+                Ok(v) => user = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--plot-ascii" => plot = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                return fail(&format!("unknown flag `{other}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let load = |path: &PathBuf| load_events(path).map_err(|e| format!("load failed: {e}"));
+    let result: Result<String, String> = match command.as_str() {
+        "why" => {
+            let (Some(job), [path]) = (job, paths.as_slice()) else {
+                return fail("why needs --job <id> and exactly one trace file");
+            };
+            load(path).map(|events| {
+                let lines = why_job(&events, JobId::new(job));
+                if lines.is_empty() {
+                    format!("job {job} does not appear in {}", path.display())
+                } else {
+                    format!("job {job}:\n{}", lines.join("\n"))
+                }
+            })
+        }
+        "fairness" => {
+            let [path] = paths.as_slice() else {
+                return fail("fairness needs exactly one trace file");
+            };
+            load(path).map(|events| fairness_report(&events, user.map(UserId::new), plot))
+        }
+        "diff" => {
+            let [a, b] = paths.as_slice() else {
+                return fail("diff needs exactly two trace files");
+            };
+            load(a).and_then(|ea| load(b).map(|eb| diff_traces(&ea, &eb)))
+        }
+        "kinds" => {
+            let [path] = paths.as_slice() else {
+                return fail("kinds needs exactly one trace file");
+            };
+            load(path).map(|events| {
+                let mut out = String::new();
+                for (kind, n) in kind_counts(&events) {
+                    if n > 0 {
+                        out.push_str(&format!("{kind:>16} {n}\n"));
+                    }
+                }
+                out
+            })
+        }
+        other => return fail(&format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gfair-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,6 +37,17 @@ impl MigrationFailReason {
             MigrationFailReason::Unreachable => "unreachable",
         }
     }
+
+    /// Inverse of [`as_str`](Self::as_str): parses the stable trace string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "checkpoint" => Some(MigrationFailReason::Checkpoint),
+            "restore" => Some(MigrationFailReason::Restore),
+            "target_down" => Some(MigrationFailReason::TargetDown),
+            "unreachable" => Some(MigrationFailReason::Unreachable),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MigrationFailReason {
@@ -56,5 +67,18 @@ mod tests {
         assert_eq!(MigrationFailReason::TargetDown.as_str(), "target_down");
         assert_eq!(MigrationFailReason::Unreachable.as_str(), "unreachable");
         assert_eq!(MigrationFailReason::Restore.to_string(), "restore");
+    }
+
+    #[test]
+    fn parse_round_trips_every_reason() {
+        for r in [
+            MigrationFailReason::Checkpoint,
+            MigrationFailReason::Restore,
+            MigrationFailReason::TargetDown,
+            MigrationFailReason::Unreachable,
+        ] {
+            assert_eq!(MigrationFailReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(MigrationFailReason::parse("gremlins"), None);
     }
 }

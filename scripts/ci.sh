@@ -21,12 +21,12 @@ cargo build --release
 echo "### cargo test"
 cargo test --workspace -q
 
-echo "### cargo doc (deny warnings: types, obs, faults)"
-# The vocabulary, observability, and fault-model crates carry
-# #![warn(missing_docs)]; deny rustdoc warnings so public-API doc gaps
-# fail the gate instead of rotting.
+echo "### cargo doc (deny warnings: types, obs, faults, sim, core, metrics)"
+# These crates carry #![warn(missing_docs)]; deny rustdoc warnings so
+# public-API doc gaps fail the gate instead of rotting.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
-    -p gfair-types -p gfair-obs -p gfair-faults
+    -p gfair-types -p gfair-obs -p gfair-faults \
+    -p gfair-sim -p gfair-core -p gfair-metrics
 
 echo "### bench smoke"
 # Criterion micro-benches in test mode (one iteration, no measurement) and a
@@ -44,5 +44,11 @@ echo "### fast-forward equivalence gate (1000 GPUs)"
 # Any divergence between the analytic multi-quantum step and the naive
 # round loop fails the gate.
 cargo run --release -p gfair-bench --bin bench_sim -- --verify --only 1000gpu
+
+echo "### observability overhead smoke (1000 GPUs)"
+# Runs the 1000-GPU scale tracing-off vs tracing-on (the default-tier JSONL
+# sink) in the same process and fails if traced throughput drops below 90%
+# of untraced. Guards the "pay for what you observe" contract.
+cargo run --release -p gfair-bench --bin bench_sim -- --obs-overhead --only 1000gpu
 
 echo "CI gate passed."

@@ -1,10 +1,21 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the reconstructed evaluation.
 # Usage: scripts/run_experiments.sh [seed]
+#
+# Every cluster-scale experiment writes a default-tier JSONL trace per
+# simulation into target/exp_traces/ (via GFAIR_TRACE_DIR, see
+# gfair_bench::exp_trace), and gfair-trace replays the first trace of each
+# experiment through the fairness ledger so each figure ships with a
+# fairness summary. exp_f2/exp_a2 are single-server stride micro-benches
+# with no cluster simulation, hence no trace.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SEED="${1:-42}"
-cargo build --release -p gfair-bench --bins
+cargo build --release -p gfair-bench --bins -p gfair-tracetool
+TRACE_DIR="target/exp_traces"
+rm -rf "$TRACE_DIR"
+mkdir -p "$TRACE_DIR"
+export GFAIR_TRACE_DIR="$TRACE_DIR"
 for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
            exp_f4_efficiency exp_f5_trading exp_f6_load_balance \
            exp_f7_scale exp_f8_quantum_sweep exp_f9_failure \
@@ -13,5 +24,12 @@ for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
            exp_a1_price_ablation exp_a2_split_stride exp_a3_lottery_variance; do
   echo "### $exp"
   "./target/release/$exp" --seed "$SEED"
+  echo
+  for t in "$TRACE_DIR/${exp}_"*.jsonl; do
+    [ -e "$t" ] || continue
+    echo "--- fairness ledger ($(basename "$t"))"
+    ./target/release/gfair-trace fairness "$t"
+    break
+  done
   echo
 done

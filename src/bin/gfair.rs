@@ -20,7 +20,9 @@
 //!   --save-trace <path>      write the generated trace as JSON
 //!   --load-trace <path>      replay a trace saved earlier (overrides generation)
 //!   --json <path>            write the full SimReport as JSON
-//!   --trace <path.jsonl>     stream every scheduler decision as JSONL
+//!   --trace <path.jsonl>     stream scheduler events as JSONL (lean tier)
+//!   --trace-full <path.jsonl> full tier: adds per-placement decision
+//!                            provenance and the per-gang packing stream
 //!   --obs-summary            print per-phase wall-clock p50/p99, counters,
 //!                            and auditor findings after the run
 //!   --fail <s>@<h1>[-<h2>]   fail server s at hour h1 (recover at h2)
@@ -207,7 +209,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     }
 
     let obs: SharedObs = Arc::new(Obs::new());
-    if let Some(path) = args.value_of("--trace") {
+    if let Some(path) = args.value_of("--trace-full") {
+        obs.jsonl_full(path)
+            .map_err(|e| format!("opening trace file {path}: {e}"))?;
+    } else if let Some(path) = args.value_of("--trace") {
         obs.jsonl(path)
             .map_err(|e| format!("opening trace file {path}: {e}"))?;
     }
@@ -312,8 +317,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if args.flag("--obs-summary") {
         print_obs_summary(&obs);
     }
-    if let Some(path) = args.value_of("--trace") {
-        eprintln!("decision trace written to {path}");
+    if let Some(path) = args.value_of("--trace-full") {
+        eprintln!("full-provenance trace written to {path}");
+    } else if let Some(path) = args.value_of("--trace") {
+        eprintln!("trace written to {path}");
     }
 
     if let Some(path) = args.value_of("--json") {
@@ -335,6 +342,10 @@ fn print_obs_summary(obs: &SharedObs) {
         let mut t = Table::new(vec![
             "phase", "spans", "total ms", "p50 us", "p99 us", "max us",
         ]);
+        // Name order, not instrumentation order: every section of this
+        // summary sorts by name so runs diff cleanly.
+        let mut stats = stats;
+        stats.sort_by_key(|s| s.phase.name());
         for s in &stats {
             t.row(vec![
                 s.phase.name().to_string(),
@@ -354,6 +365,50 @@ fn print_obs_summary(obs: &SharedObs) {
         t.row(vec![name.clone(), value.to_string()]);
     }
     println!("{}", t.render());
+
+    if !summary.gauges.is_empty() {
+        let mut t = Table::new(vec!["gauge", "value"]);
+        for (name, value) in &summary.gauges {
+            t.row(vec![name.clone(), format!("{value:.3}")]);
+        }
+        println!("{}", t.render());
+    }
+
+    if !summary.histograms.is_empty() {
+        let mut hists = summary.histograms.clone();
+        hists.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut t = Table::new(vec!["histogram", "count", "mean", "p50", "p99", "max"]);
+        for h in &hists {
+            t.row(vec![
+                h.name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean),
+                format!("{:.2}", h.p50),
+                format!("{:.2}", h.p99),
+                format!("{:.2}", h.max),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    let ledger = &summary.ledger;
+    println!(
+        "fairness ledger: rounds {} jain {:.4} gini {:.4} rho(n {} mean {:.3} p99 {:.3})",
+        ledger.rounds, ledger.jain, ledger.gini, ledger.rho.count, ledger.rho.mean, ledger.rho.p99
+    );
+    if !ledger.users.is_empty() {
+        let mut t = Table::new(vec!["user", "deserved", "received", "finished", "rho mean"]);
+        for row in &ledger.users {
+            t.row(vec![
+                row.user.to_string(),
+                format!("{:.1}", row.deserved),
+                format!("{:.1}", row.received),
+                row.finished.to_string(),
+                format!("{:.3}", row.rho_mean),
+            ]);
+        }
+        println!("{}", t.render());
+    }
 
     if summary.violations == 0 {
         println!(
@@ -418,7 +473,10 @@ SIMULATE OPTIONS:
   --save-trace <path>   write the generated trace as JSON
   --load-trace <path>   replay a previously saved trace
   --json <path>         write the full report as JSON
-  --trace <path.jsonl>  stream scheduler decisions as JSONL events
+  --trace <path.jsonl>  stream scheduler events as JSONL (lean tier:
+                        no per-placement provenance, no per-gang stream)
+  --trace-full <path.jsonl>  full tier: every event plus decision
+                        provenance for placements and retries
   --obs-summary         print phase p50/p99 timings, counters, and
                         auditor findings after the run
   --fail <s>@<h1>[-<h2>]  fail server s at hour h1 (recover at h2)

@@ -72,6 +72,44 @@ fn trace_covers_the_event_taxonomy() {
     }
 }
 
+/// The DESIGN.md event table and `TraceEvent::KINDS` must list exactly the
+/// same kinds: documenting a new event (or retiring one) is part of adding
+/// it. Rows may group related kinds with " / ".
+#[test]
+fn design_md_event_table_matches_the_event_taxonomy() {
+    let design = include_str!("../DESIGN.md");
+    let mut documented = std::collections::BTreeSet::new();
+    let mut in_table = false;
+    for line in design.lines() {
+        if line.starts_with("| Kind | Emitted when |") {
+            in_table = true;
+            continue;
+        }
+        if in_table && !line.starts_with('|') {
+            break;
+        }
+        if !in_table {
+            continue;
+        }
+        // Table rows look like: | `kind_a` / `kind_b` | prose |
+        let Some(first_cell) = line.strip_prefix("| `").and_then(|r| r.split('|').next()) else {
+            continue;
+        };
+        for kind in first_cell.split(" / ") {
+            let kind = kind.trim().trim_matches('`');
+            if kind.chars().all(|c| c.is_ascii_lowercase() || c == '_') && !kind.is_empty() {
+                documented.insert(kind.to_string());
+            }
+        }
+    }
+    let expected: std::collections::BTreeSet<String> =
+        TraceEvent::KINDS.iter().map(|k| k.to_string()).collect();
+    assert_eq!(
+        documented, expected,
+        "DESIGN.md's event table and TraceEvent::KINDS have drifted"
+    );
+}
+
 #[test]
 fn auditor_is_clean_on_every_builtin_scheduler() {
     let (cluster, users, _) = setup(5);
