@@ -1,0 +1,36 @@
+//! Experiment P1 `policy_faceoff` — the policy zoo head-to-head on a clean
+//! cluster.
+//!
+//! All three allocation policies (`gfair`, `gavel-hetero`, `themis-ftf`;
+//! see POLICIES.md) run the *same* Philly-like trace on the paper's 200-GPU
+//! heterogeneous testbed with no faults. The fairness columns come from the
+//! trace-driven fairness ledger, so every policy is scored by the same
+//! instrument: cumulative Jain, instantaneous Gini, worst finish-time ρ,
+//! and integrated cluster GPU-hours.
+//!
+//! Run: `cargo run -p gfair-bench --release --bin exp_p1_policy_faceoff
+//! [--seed N] [--horizon-hours H]`
+
+use gfair_bench::{banner, horizon_arg, policy_faceoff, seed_arg, testbed};
+use gfair_types::UserSpec;
+use gfair_workloads::{PhillyParams, TraceBuilder};
+
+fn main() {
+    let seed = seed_arg();
+    banner(
+        "P1 policy_faceoff",
+        "on a clean heterogeneous cluster, all three policies keep Jain high; they differ in worst-case rho and GPU-hours",
+    );
+    println!("200-GPU testbed, 6 equal-ticket users, Philly trace (150 jobs), no faults\n");
+
+    let users = UserSpec::equal_users(6, 100);
+    let mut params = PhillyParams::default();
+    params.num_jobs = 150;
+    params.jobs_per_hour = 120.0;
+    params.median_service_mins = 30.0;
+    let jobs = TraceBuilder::new(params, seed).build(&users);
+
+    let table = policy_faceoff(&testbed(), &users, &jobs, seed, horizon_arg(8), None);
+    println!("{}", table.render());
+    println!("(all columns except finished/util come from the fairness ledger)");
+}

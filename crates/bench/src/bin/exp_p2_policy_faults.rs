@@ -1,0 +1,46 @@
+//! Experiment P2 `policy_faults` — the policy zoo head-to-head under
+//! degraded mode.
+//!
+//! A heavier trace than P1, and a *V100* server — the scarce fast
+//! generation — fails at hour 2 and recovers at hour 5. Every policy must
+//! honor reachability (PR 3's fault model): `gavel-hetero` water-fills
+//! only reachable capacity, `gfair` and `themis-ftf` keep entitlements on
+//! static supply while the planner's stale-weight snapshots park
+//! unreachable servers. The ledger columns show how much fairness each
+//! policy gives up during the outage window.
+//!
+//! Run: `cargo run -p gfair-bench --release --bin exp_p2_policy_faults
+//! [--seed N] [--horizon-hours H]`
+
+use gfair_bench::{banner, horizon_arg, policy_faceoff, seed_arg, testbed};
+use gfair_types::{ServerId, UserSpec};
+use gfair_workloads::{PhillyParams, TraceBuilder};
+
+fn main() {
+    let seed = seed_arg();
+    banner(
+        "P2 policy_faults",
+        "with a V100 server down for hours 2-5, every policy degrades gracefully; fairness dips are bounded and recover after heal",
+    );
+    println!(
+        "200-GPU testbed, 6 equal-ticket users, Philly trace (250 jobs), V100 server 30 down 2h-5h\n"
+    );
+
+    let users = UserSpec::equal_users(6, 100);
+    let mut params = PhillyParams::default();
+    params.num_jobs = 250;
+    params.jobs_per_hour = 150.0;
+    params.median_service_mins = 60.0;
+    let jobs = TraceBuilder::new(params, seed).build(&users);
+
+    let table = policy_faceoff(
+        &testbed(),
+        &users,
+        &jobs,
+        seed,
+        horizon_arg(8),
+        Some((ServerId::new(30), 2, 5)),
+    );
+    println!("{}", table.render());
+    println!("(all columns except finished/util come from the fairness ledger)");
+}

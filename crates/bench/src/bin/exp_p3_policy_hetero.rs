@@ -1,0 +1,42 @@
+//! Experiment P3 `policy_hetero` — the policy zoo where heterogeneity
+//! matters most.
+//!
+//! The trading cluster (80 K80s, 12 scarce V100s) with mixed model classes
+//! is where the policies' heterogeneity handling separates: `gfair` trades
+//! fast-GPU entitlements to the users who benefit, `gavel-hetero` steers
+//! fast GPUs via profiled speedups inside the water-fill, and `themis-ftf`
+//! ignores heterogeneity except through its effect on finish times.
+//!
+//! Run: `cargo run -p gfair-bench --release --bin exp_p3_policy_hetero
+//! [--seed N] [--horizon-hours H]`
+
+use gfair_bench::{banner, horizon_arg, policy_faceoff, seed_arg, trading_cluster};
+use gfair_types::UserSpec;
+use gfair_workloads::{PhillyParams, TraceBuilder};
+
+fn main() {
+    let seed = seed_arg();
+    banner(
+        "P3 policy_hetero",
+        "with scarce fast GPUs, heterogeneity-aware policies (gfair trading, gavel water-filling) convert speedup estimates into extra effective GPU-hours",
+    );
+    println!("92-GPU trading cluster (80 K80 + 12 V100), 6 equal-ticket users, Philly trace (120 jobs)\n");
+
+    let users = UserSpec::equal_users(6, 100);
+    let mut params = PhillyParams::default();
+    params.num_jobs = 120;
+    params.jobs_per_hour = 90.0;
+    params.median_service_mins = 30.0;
+    let jobs = TraceBuilder::new(params, seed).build(&users);
+
+    let table = policy_faceoff(
+        &trading_cluster(),
+        &users,
+        &jobs,
+        seed,
+        horizon_arg(6),
+        None,
+    );
+    println!("{}", table.render());
+    println!("(all columns except finished/util come from the fairness ledger)");
+}

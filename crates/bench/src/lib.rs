@@ -5,9 +5,14 @@
 //! for recorded outputs). All binaries accept `--seed <n>` and print
 //! deterministic ASCII tables.
 
+use gfair_core::{GfairConfig, PolicyId};
+use gfair_metrics::Table;
+use gfair_obs::{Obs, SharedObs};
+use gfair_policies::build_policy;
 use gfair_sim::Simulation;
-use gfair_types::{ClusterSpec, GenCatalog, SimConfig, SimTime};
+use gfair_types::{ClusterSpec, GenCatalog, JobSpec, ServerId, SimConfig, SimTime, UserSpec};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Parses `--seed <n>` from argv; defaults to 42.
 pub fn seed_arg() -> u64 {
@@ -72,6 +77,84 @@ pub fn exp_trace(sim: Simulation) -> Simulation {
         eprintln!("exp_trace: cannot open {}: {e}", path.display());
     }
     sim
+}
+
+/// One optional fault for a [`policy_faceoff`] run: fail a server at an
+/// hour, recover it at a later hour.
+pub type FaceoffFault = (ServerId, u64, u64);
+
+/// Runs every policy in [`PolicyId::ALL`] on the *same* cluster, trace,
+/// seed and (optional) fault schedule, and renders the head-to-head
+/// comparison table the P-family experiments share. All fairness columns
+/// come from the trace-driven fairness ledger (`ObsSummary::ledger`), not
+/// the report: cumulative Jain over entitlement-normalized service, Gini
+/// over the ledger's per-user received totals, worst finish-time-fairness
+/// ρ over finished jobs, and cluster GPU-hours integrated from per-round
+/// received GPU-rounds.
+pub fn policy_faceoff(
+    cluster: &ClusterSpec,
+    users: &[UserSpec],
+    jobs: &[JobSpec],
+    seed: u64,
+    horizon: SimTime,
+    fault: Option<FaceoffFault>,
+) -> Table {
+    let mut table = Table::new(vec![
+        "policy",
+        "jain",
+        "gini",
+        "worst rho",
+        "gpu-hours",
+        "finished",
+        "util",
+    ]);
+    for policy in PolicyId::ALL {
+        let obs: SharedObs = Arc::new(Obs::new());
+        let mut sim = Simulation::new(
+            cluster.clone(),
+            users.to_vec(),
+            jobs.to_vec(),
+            sim_config(seed),
+        )
+        .expect("valid setup")
+        .with_obs(Arc::clone(&obs));
+        if let Some((server, down_h, up_h)) = fault {
+            sim = sim
+                .with_server_failure(server, SimTime::from_secs(down_h * 3600))
+                .with_server_recovery(server, SimTime::from_secs(up_h * 3600));
+        }
+        let sim = exp_trace(sim);
+        let mut sched = build_policy(GfairConfig::default().with_policy(policy), Arc::clone(&obs));
+        let report = sim.run_until(sched.as_mut(), horizon).expect("valid run");
+        let ledger = obs.summary().ledger;
+        // Ledger rows carry GPU-rounds; one round is one quantum.
+        let quantum_hours = sim_config(seed).quantum.as_secs_f64() / 3600.0;
+        let gpu_hours: f64 = ledger
+            .users
+            .iter()
+            .map(|row| row.received * quantum_hours)
+            .sum();
+        let worst_rho = ledger
+            .users
+            .iter()
+            .map(|row| row.rho_max)
+            .fold(ledger.rho.max, f64::max);
+        // Run-level Gini over what each user received in total (the
+        // ledger's own `gini` field is the *latest round's* spread, which
+        // degenerates once the trace drains).
+        let received: Vec<f64> = ledger.users.iter().map(|row| row.received).collect();
+        let gini = gfair_metrics::fairness::gini(&received);
+        table.row(vec![
+            policy.name().to_string(),
+            format!("{:.3}", ledger.jain),
+            format!("{gini:.3}"),
+            format!("{worst_rho:.2}"),
+            format!("{gpu_hours:.1}"),
+            format!("{}/{}", report.finished_jobs(), report.jobs.len()),
+            format!("{:.1}%", report.utilization() * 100.0),
+        ]);
+    }
+    table
 }
 
 /// Prints the standard experiment header.

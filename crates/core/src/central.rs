@@ -1,8 +1,10 @@
 //! The central Gandiva_fair scheduler.
 //!
 //! Orchestrates everything: placement of arriving jobs, per-round gang
-//! scheduling through the per-server [`LocalScheduler`]s, periodic
-//! entitlement refresh + trading, and periodic migration-based balancing.
+//! scheduling through the per-server local schedulers (via the shared
+//! `RoundPlanner`), periodic entitlement refresh + trading
+//! (the [`TicketTrading`] allocation policy), and periodic migration-based
+//! balancing.
 //!
 //! ## Decision flow per round
 //!
@@ -14,19 +16,25 @@
 //!    about to migrate) and with user weights = the user's post-trade
 //!    entitlement on that server's generation.
 //! 4. Collect each server's gang-aware stride selection into the round plan.
+//!
+//! Relative to the generic [`crate::PolicyScheduler`] driver, this scheduler
+//! adds the migration retry machinery (exponential backoff, generation
+//! re-targeting) that the gfair experiments measure.
 
 use crate::balance::plan_migrations_traced;
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
-use crate::local::LocalScheduler;
-use crate::pool::WorkerPool;
-use crate::profiler::Profiler;
-use crate::trade::{run_market_traced, Trade};
-use gfair_obs::{Candidate, Obs, Phase, Rejection, SharedObs, TraceEvent, UserShare};
-use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
-use gfair_types::{
-    GenId, JobId, JobState, MigrationFailReason, ServerId, ServerSpec, SimTime, UserId,
+use crate::placement::{Placer, TIE_BREAK_LOAD};
+use crate::planner::RoundPlanner;
+use crate::policy::{
+    active_signature, record_profile_report, AllocPolicy, PolicyRound, TicketTrading,
 };
+use crate::policy::{demands, user_speedups};
+use crate::profiler::Profiler;
+use crate::trade::Trade;
+use gfair_obs::{Obs, Rejection, SharedObs, TraceEvent, UserShare};
+use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
+use gfair_types::{GenId, JobId, JobState, MigrationFailReason, ServerId, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -66,46 +74,22 @@ pub struct GandivaFair {
     name: &'static str,
     profiler: Option<Profiler>,
     ent: Option<Entitlements>,
-    locals: BTreeMap<ServerId, LocalScheduler>,
+    /// Shared per-server stride planning (locals, weight caches, pool).
+    planner: RoundPlanner,
+    /// Shared placement logic with in-flight demand tracking.
+    placer: Placer,
     /// Active-user signature the current entitlements were computed from.
     active_sig: Vec<(UserId, u64)>,
     next_trade: SimTime,
     next_balance: SimTime,
-    /// Executed trades with their timestamps, for experiment reporting.
-    trade_log: Vec<(SimTime, Trade)>,
-    /// GPU demand of placements issued this round but not yet applied by the
-    /// engine (placement callbacks run before the round boundary), so that
-    /// simultaneous arrivals do not pile onto one server. Indexed by
-    /// `ServerId::index()` (server ids are dense) — this is read once per
-    /// candidate server on every placement, the hottest lookup in the
-    /// arrival path.
-    inflight: Vec<u32>,
+    /// The entitlement + trading allocation policy.
+    policy: TicketTrading,
     /// Jobs whose migration failed and is being retried with backoff.
     retry: BTreeMap<JobId, RetryState>,
-    /// Per-generation stride weight vectors derived from the current
-    /// entitlements, indexed by `GenId::index()` and id-sorted per vector
-    /// (entitlements iterate users in id order). Weights depend only on a
-    /// server's generation, so the cache is rebuilt once per entitlement
-    /// refresh — a few vectors — instead of once per server per round.
-    gen_weights: Vec<Vec<(UserId, f64)>>,
-    /// Weight snapshots for servers that were unreachable at an entitlement
-    /// refresh: an unreachable server cannot receive updates, so its local
-    /// scheduler keeps running on the last weights it was sent until it is
-    /// reachable again (graceful degradation). Entries are dropped the
-    /// moment the server is reachable again.
-    stale_weights: BTreeMap<ServerId, Vec<(UserId, f64)>>,
     /// Observability pipeline: trade and profile-convergence events plus
     /// self-profiling spans for the hot phases. Share the simulation's
     /// instance via [`GandivaFair::with_obs`] to get one unified trace.
     obs: SharedObs,
-    /// Persistent planning workers, created on the first parallel round and
-    /// reused every round thereafter (per-round thread spawns dominate the
-    /// planning phase at benchmark scale).
-    pool: Option<WorkerPool>,
-    /// Resolved planning-worker count, computed once at init:
-    /// `available_parallelism` re-reads cgroup state on every call, which is
-    /// far too slow for the per-round path.
-    workers: usize,
 }
 
 impl GandivaFair {
@@ -116,18 +100,14 @@ impl GandivaFair {
             name: "gandiva-fair",
             profiler: None,
             ent: None,
-            locals: BTreeMap::new(),
+            planner: RoundPlanner::new(),
+            placer: Placer::new(),
             active_sig: Vec::new(),
             next_trade: SimTime::ZERO,
             next_balance: SimTime::ZERO,
-            trade_log: Vec::new(),
-            inflight: Vec::new(),
+            policy: TicketTrading::new(&cfg),
             retry: BTreeMap::new(),
-            gen_weights: Vec::new(),
-            stale_weights: BTreeMap::new(),
             obs: Arc::new(Obs::new()),
-            pool: None,
-            workers: 0,
         }
     }
 
@@ -147,7 +127,7 @@ impl GandivaFair {
 
     /// Trades executed so far, with timestamps.
     pub fn trades(&self) -> &[(SimTime, Trade)] {
-        &self.trade_log
+        self.policy.trades()
     }
 
     /// The profiler's current state (None before the first round).
@@ -160,7 +140,7 @@ impl GandivaFair {
         self.ent.as_ref()
     }
 
-    /// Lazily builds the profiler and local schedulers from the cluster.
+    /// Lazily builds the profiler and shared planning state.
     fn ensure_init(&mut self, view: &SimView<'_>) {
         if self.profiler.is_none() {
             self.profiler = Some(Profiler::new(
@@ -168,307 +148,32 @@ impl GandivaFair {
                 self.cfg.min_profile_samples,
             ));
         }
-        if self.locals.is_empty() {
-            for s in &view.cluster().servers {
-                self.locals.insert(
-                    s.id,
-                    LocalScheduler::new(s.id, s.num_gpus, self.cfg.gang_policy),
-                );
-            }
-        }
-        if self.inflight.len() < view.cluster().servers.len() {
-            self.inflight.resize(view.cluster().servers.len(), 0);
-        }
-        if self.workers == 0 {
-            self.workers = planning_workers(self.cfg.planning_workers, self.locals.len());
-        }
+        self.planner
+            .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
+        self.placer.ensure_capacity(view.cluster().servers.len());
     }
 
-    /// The active-user signature: (user, tickets) for users with active jobs.
-    fn active_signature(view: &SimView<'_>) -> Vec<(UserId, u64)> {
-        let tickets: BTreeMap<UserId, u64> =
-            view.users().iter().map(|u| (u.id, u.tickets)).collect();
-        view.active_users()
-            .into_iter()
-            .map(|u| (u, tickets.get(&u).copied().unwrap_or(1)))
-            .collect()
-    }
-
-    /// Per-user total GPU demand (sum of active gang sizes).
-    fn demands(view: &SimView<'_>) -> BTreeMap<UserId, f64> {
-        let mut d = BTreeMap::new();
-        for j in view.active_jobs() {
-            *d.entry(j.user).or_insert(0.0) += j.gang as f64;
-        }
-        d
-    }
-
-    /// Per-user, per-generation speedup estimates: the demand-weighted mean
-    /// of the profiled speedups of the user's active jobs' models. `None`
-    /// where no job of the user is profiled on that generation.
-    fn user_speedups(&self, view: &SimView<'_>) -> BTreeMap<UserId, Vec<Option<f64>>> {
-        let profiler = self.profiler.as_ref().expect("initialized");
-        let base = GenId::new(0);
-        let num_gens = view.cluster().catalog.len();
-        let mut out: BTreeMap<UserId, Vec<Option<f64>>> = BTreeMap::new();
-        let mut weights: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
-        let mut sums: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
-        for j in view.active_jobs() {
-            for g in 0..num_gens {
-                let gen = GenId::new(g as u32);
-                if let Some(s) = profiler.speedup(&j.model, gen, base) {
-                    *weights.entry((j.user, g)).or_insert(0.0) += j.gang as f64;
-                    *sums.entry((j.user, g)).or_insert(0.0) += s * j.gang as f64;
-                }
-            }
-        }
-        for u in view.active_users() {
-            let mut row = vec![None; num_gens];
-            row[0] = Some(1.0);
-            for (g, slot) in row.iter_mut().enumerate().skip(1) {
-                if let (Some(&w), Some(&s)) = (weights.get(&(u, g)), sums.get(&(u, g))) {
-                    if w > 0.0 {
-                        *slot = Some(s / w);
-                    }
-                }
-            }
-            out.insert(u, row);
-        }
-        out
-    }
-
-    /// Recomputes base entitlements and re-runs the market.
+    /// Recomputes base entitlements, re-runs the market and pushes the
+    /// derived weights into the planner.
     fn refresh_entitlements(&mut self, view: &SimView<'_>, active: Vec<(UserId, u64)>) {
-        let gpus = view.cluster().gpus_per_gen();
-        let mut ent = Entitlements::base(&gpus, &active);
-        if self.cfg.trading && !active.is_empty() {
-            let speedups = self.user_speedups(view);
-            let demand = Self::demands(view);
-            let now = view.now();
-            let trades = run_market_traced(
-                &self.obs,
-                now,
-                &mut ent,
-                &speedups,
-                &demand,
-                view.config().price_strategy,
-                self.cfg.trade_margin,
-            );
-            self.trade_log.extend(trades.into_iter().map(|t| (now, t)));
-        }
+        let profiler = self.profiler.as_ref().expect("initialized");
+        let speedups = user_speedups(profiler, view);
+        let demand = demands(view);
+        let rho = BTreeMap::new();
+        let round = PolicyRound {
+            view,
+            now: view.now(),
+            active: &active,
+            demands: &demand,
+            speedups: &speedups,
+            rho: &rho,
+            obs: &self.obs,
+        };
+        let ent = self.policy.allocate(&round);
+        self.planner
+            .refresh_weights(view, &ent, self.cfg.min_weight);
         self.ent = Some(ent);
         self.active_sig = active;
-        // Servers that cannot be reached right now keep the weights they
-        // last received: snapshot those (the pre-refresh per-gen vectors)
-        // before rebuilding the cache, unless an earlier refresh already
-        // recorded a snapshot for them.
-        {
-            let gen_weights = &self.gen_weights;
-            let stale = &mut self.stale_weights;
-            for s in &view.cluster().servers {
-                if !view.is_reachable(s.id) {
-                    stale.entry(s.id).or_insert_with(|| {
-                        gen_weights.get(s.gen.index()).cloned().unwrap_or_default()
-                    });
-                }
-            }
-        }
-        let ent = self.ent.as_ref().expect("assigned above");
-        let min_weight = self.cfg.min_weight;
-        let num_gens = view.cluster().catalog.ids().count();
-        let mut gen_weights = vec![Vec::new(); num_gens];
-        for gen in view.cluster().catalog.ids() {
-            gen_weights[gen.index()] = ent
-                .users()
-                .map(|u| (u, ent.get(u, gen).max(min_weight)))
-                .collect();
-        }
-        self.gen_weights = gen_weights;
-    }
-
-    /// Server load including placements issued this round but not yet
-    /// applied by the engine.
-    fn projected_load(&self, view: &SimView<'_>, server: ServerId) -> f64 {
-        let gpus = view.cluster().server(server).num_gpus;
-        let pending = self.inflight.get(server.index()).copied().unwrap_or(0);
-        (view.resident_demand(server) + pending) as f64 / gpus as f64
-    }
-
-    /// Scores every server in `scope` that fits the gang by projected load
-    /// and picks the minimum (ties to the lowest id). Returns the winner
-    /// plus the provenance rows: fitting-server count, servers ruled out as
-    /// too narrow, and the top-[`MAX_WHY_CANDIDATES`] candidates by score.
-    fn pick_least_loaded<'a>(
-        &self,
-        view: &SimView<'_>,
-        gang: u32,
-        scope: impl Iterator<Item = &'a ServerSpec>,
-        want_why: bool,
-    ) -> (Option<ServerId>, u32, u32, Vec<Candidate>) {
-        let mut too_narrow = 0u32;
-        if !want_why {
-            // Allocation-free fast path for untraced runs: the same
-            // selection rule (least projected load, then lowest id), no
-            // provenance materialized.
-            let mut considered = 0u32;
-            let mut best: Option<(f64, ServerId)> = None;
-            for s in scope {
-                if s.num_gpus < gang {
-                    too_narrow += 1;
-                    continue;
-                }
-                considered += 1;
-                let load = self.projected_load(view, s.id);
-                let better = match best {
-                    None => true,
-                    Some((bl, bid)) => load.total_cmp(&bl).then(s.id.cmp(&bid)).is_lt(),
-                };
-                if better {
-                    best = Some((load, s.id));
-                }
-            }
-            return (best.map(|(_, id)| id), considered, too_narrow, Vec::new());
-        }
-        // Scores stay as plain pairs until after truncation: formatting a
-        // label per scanned server would put ~100 heap allocations on every
-        // job arrival at the 1000-GPU scale.
-        let mut scored: Vec<(f64, ServerId)> = Vec::new();
-        for s in scope {
-            if s.num_gpus < gang {
-                too_narrow += 1;
-                continue;
-            }
-            scored.push((self.projected_load(view, s.id), s.id));
-        }
-        let considered = scored.len() as u32;
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let best = scored.first().map(|&(_, id)| id);
-        scored.truncate(MAX_WHY_CANDIDATES);
-        let candidates = scored
-            .into_iter()
-            .map(|(load, id)| Candidate {
-                label: format!("server:{}", id.index()),
-                score: load,
-            })
-            .collect();
-        (best, considered, too_narrow, candidates)
-    }
-
-    /// Picks a server for an arriving job: prefer the generation where the
-    /// user has the most entitlement slack, then the least-loaded server of
-    /// that generation that fits; fall back to least-loaded overall. Only
-    /// reachable servers are considered — a placement sent to a partitioned
-    /// server could not be delivered.
-    ///
-    /// Alongside the choice, returns the [`ChoiceWhy`] provenance the
-    /// caller renders into a [`TraceEvent::Decision`].
-    fn choose_server_explained(
-        &self,
-        view: &SimView<'_>,
-        user: UserId,
-        gang: u32,
-        want_why: bool,
-    ) -> (Option<ServerId>, Option<ChoiceWhy>) {
-        // Current per-gen usage of this user.
-        let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
-        for j in view.jobs_of_user(user) {
-            if let Some(s) = j.server {
-                *used.entry(view.cluster().server(s).gen).or_insert(0.0) += j.gang as f64;
-            }
-        }
-        let mut rejected: Vec<Rejection> = Vec::new();
-        if let Some(ent) = &self.ent {
-            let mut gens_without_slack = 0u32;
-            let mut best_gen: Option<(GenId, f64)> = None;
-            for gen in view.cluster().catalog.ids() {
-                let slack = ent.get(user, gen) - used.get(&gen).copied().unwrap_or(0.0);
-                if slack <= 0.0 {
-                    gens_without_slack += 1;
-                    continue;
-                }
-                if best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
-                    // Only generations with an online server wide enough
-                    // for the gang.
-                    if view
-                        .reachable_servers_of_gen(gen)
-                        .any(|s| s.num_gpus >= gang)
-                    {
-                        best_gen = Some((gen, slack));
-                    }
-                }
-            }
-            if want_why && gens_without_slack > 0 {
-                rejected.push(Rejection {
-                    reason: "gen_without_slack".to_string(),
-                    count: gens_without_slack,
-                });
-            }
-            if let Some((gen, slack)) = best_gen {
-                let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
-                    view,
-                    gang,
-                    view.reachable_servers_of_gen(gen),
-                    want_why,
-                );
-                if let Some(server) = target {
-                    if !want_why {
-                        return (Some(server), None);
-                    }
-                    if too_narrow > 0 {
-                        rejected.push(Rejection {
-                            reason: "gang_too_wide_for_server".to_string(),
-                            count: too_narrow,
-                        });
-                    }
-                    let why = ChoiceWhy {
-                        chosen: format!(
-                            "server:{} (gen:{} slack-first, slack {:.2})",
-                            server.index(),
-                            gen.index(),
-                            slack
-                        ),
-                        tie_break: TIE_BREAK_LOAD,
-                        considered,
-                        candidates,
-                        rejected,
-                    };
-                    return (Some(server), Some(why));
-                }
-            }
-        }
-        // Work conservation fallback: least-loaded fitting server anywhere.
-        if want_why {
-            let total = view.cluster().servers.len() as u32;
-            let reachable = view.reachable_servers().count() as u32;
-            if total > reachable {
-                rejected.push(Rejection {
-                    reason: "unreachable".to_string(),
-                    count: total - reachable,
-                });
-            }
-        }
-        let (target, considered, too_narrow, candidates) =
-            self.pick_least_loaded(view, gang, view.reachable_servers(), want_why);
-        if !want_why {
-            return (target, None);
-        }
-        if too_narrow > 0 {
-            rejected.push(Rejection {
-                reason: "gang_too_wide_for_server".to_string(),
-                count: too_narrow,
-            });
-        }
-        let why = ChoiceWhy {
-            chosen: match target {
-                Some(s) => format!("server:{} (work-conserving fallback)", s.index()),
-                None => "none (no reachable server fits)".to_string(),
-            },
-            tie_break: TIE_BREAK_LOAD,
-            considered,
-            candidates,
-            rejected,
-        };
-        (target, Some(why))
     }
 
     /// Re-issues failed migrations whose backoff window has expired.
@@ -518,12 +223,13 @@ impl GandivaFair {
                         continue;
                     }
                     let want_why = self.obs.why();
-                    let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
-                        view,
-                        info.gang,
-                        view.reachable_servers_of_gen(state.gen),
-                        want_why,
-                    );
+                    let (target, considered, too_narrow, candidates) =
+                        self.placer.pick_least_loaded(
+                            view,
+                            info.gang,
+                            view.reachable_servers_of_gen(state.gen),
+                            want_why,
+                        );
                     if let Some(to) = target {
                         if to != cur {
                             if want_why {
@@ -560,53 +266,6 @@ impl GandivaFair {
     }
 }
 
-/// Tie-break rule shared by every load-based server selection; quoted
-/// verbatim in [`TraceEvent::Decision`] provenance.
-const TIE_BREAK_LOAD: &str = "least projected load, then lowest server id";
-
-/// Cap on the scored candidates carried in one decision event. The full
-/// candidate count is still reported via `considered`.
-const MAX_WHY_CANDIDATES: usize = 8;
-
-/// Provenance for one server choice: what was picked, how ties were
-/// broken, and what was ruled out. Rendered into a
-/// [`TraceEvent::Decision`] by the caller, which knows the decision site.
-struct ChoiceWhy {
-    /// Human-readable selected alternative (or `none (...)`).
-    chosen: String,
-    /// Tie-break rule applied among equally-scored candidates.
-    tie_break: &'static str,
-    /// Fitting servers that were scored.
-    considered: u32,
-    /// Best-scoring alternatives, winner first (bounded).
-    candidates: Vec<Candidate>,
-    /// Alternatives ruled out, grouped by reason.
-    rejected: Vec<Rejection>,
-}
-
-/// Weight of `u` in an id-sorted per-server weight vec, if present.
-fn weight_lookup(weights: &[(UserId, f64)], u: UserId) -> Option<f64> {
-    weights
-        .binary_search_by_key(&u, |&(user, _)| user)
-        .ok()
-        .map(|i| weights[i].1)
-}
-
-/// Resolves the configured planning-worker count against the machine and
-/// the number of servers: `0` means auto-size from available parallelism,
-/// and the pool never exceeds the server count (an idle worker is pure
-/// spawn overhead).
-fn planning_workers(configured: usize, servers: usize) -> usize {
-    let requested = if configured == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        configured
-    };
-    requested.min(servers).max(1)
-}
-
 impl ClusterScheduler for GandivaFair {
     fn name(&self) -> &'static str {
         self.name
@@ -616,7 +275,13 @@ impl ClusterScheduler for GandivaFair {
         self.ensure_init(view);
         let info = view.job(job).expect("arriving job is known");
         let want_why = self.obs.why();
-        let (target, why) = self.choose_server_explained(view, info.user, info.gang, want_why);
+        let (target, why) = self.placer.choose_server_explained(
+            view,
+            self.ent.as_ref(),
+            info.user,
+            info.gang,
+            want_why,
+        );
         if let Some(why) = why {
             self.obs.emit(TraceEvent::Decision {
                 t: view.now(),
@@ -632,7 +297,7 @@ impl ClusterScheduler for GandivaFair {
         }
         match target {
             Some(server) => {
-                self.inflight[server.index()] += info.gang;
+                self.placer.note_placement(server, info.gang);
                 vec![Action::Place { job, server }]
             }
             // Unplaceable gangs are rejected at simulation construction, so
@@ -643,23 +308,8 @@ impl ClusterScheduler for GandivaFair {
 
     fn on_profile_report(&mut self, view: &SimView<'_>, report: &ProfileReport) -> Vec<Action> {
         self.ensure_init(view);
-        if let Some(info) = view.job(report.job) {
-            let profiler = self.profiler.as_mut().expect("initialized");
-            let converged = profiler.record(&info.model, report.gen, report.rate);
-            if converged {
-                // The estimate just crossed the sample threshold: announce
-                // the inferred rate once per (model, generation).
-                self.obs.emit(TraceEvent::ProfileInferred {
-                    t: view.now(),
-                    model: info.model.to_string(),
-                    gen: report.gen,
-                    rate: profiler
-                        .rate(&info.model, report.gen)
-                        .expect("just recorded"),
-                    samples: profiler.samples(&info.model, report.gen),
-                });
-            }
-        }
+        let profiler = self.profiler.as_mut().expect("initialized");
+        record_profile_report(profiler, &self.obs, view, report);
         Vec::new()
     }
 
@@ -710,11 +360,7 @@ impl ClusterScheduler for GandivaFair {
         // last-known membership. The next sync() repairs any drift; the
         // Reconcile event records how much there was.
         self.active_sig.clear();
-        let local_jobs: BTreeSet<JobId> = self
-            .locals
-            .get(&server)
-            .map(|l| l.jobs().collect())
-            .unwrap_or_default();
+        let local_jobs = self.planner.jobs_on(server);
         let actual: BTreeSet<JobId> = view.resident(server).collect();
         let drift = local_jobs.symmetric_difference(&actual).count() as u32;
         let users_resynced = self
@@ -735,11 +381,11 @@ impl ClusterScheduler for GandivaFair {
     fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
         self.ensure_init(view);
         // Queued placements were applied before this callback.
-        self.inflight.fill(0);
+        self.placer.reset();
         let now = view.now();
 
         // 1. Entitlements: refresh on churn or on the trade timer.
-        let active = Self::active_signature(view);
+        let active = active_signature(view);
         let trade_due = now >= self.next_trade;
         let refreshed = trade_due || active != self.active_sig || self.ent.is_none();
         if refreshed {
@@ -776,7 +422,9 @@ impl ClusterScheduler for GandivaFair {
             .collect();
         let want_why = self.obs.why();
         for (job, user, gang) in retries {
-            let (target, why) = self.choose_server_explained(view, user, gang, want_why);
+            let (target, why) =
+                self.placer
+                    .choose_server_explained(view, self.ent.as_ref(), user, gang, want_why);
             if let Some(server) = target {
                 self.retry.remove(&job);
                 // Emit only on success: an unplaceable job would otherwise
@@ -807,104 +455,10 @@ impl ClusterScheduler for GandivaFair {
                 Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
             })
             .collect();
-        let min_weight = self.cfg.min_weight;
-        // A reachable server always plans on the current per-gen weights;
-        // any stale snapshot it held while unreachable is dropped the round
-        // it comes back (entitlements are re-refreshed on heal, so it
-        // converges to the live economy immediately). A dropped snapshot
-        // changes that server's effective weights, so the round counts as
-        // weight-dirty just like an entitlement refresh.
-        let mut weights_dirty = refreshed;
-        self.stale_weights.retain(|s, _| {
-            let keep = !view.is_reachable(*s);
-            weights_dirty |= !keep;
-            keep
-        });
-        let mut plan = RoundPlan {
-            run: BTreeMap::new(),
-            actions,
-        };
-        let workers = self.workers.max(1);
-        let pool = &mut self.pool;
-        if workers > 1 && pool.as_ref().map(WorkerPool::size) != Some(workers) {
-            *pool = Some(WorkerPool::new(workers));
-        }
-        let locals = &mut self.locals;
-        let gen_weights = &self.gen_weights;
-        let stale_weights = &self.stale_weights;
-        let cluster = view.cluster();
-        // The weight vector a server plans on: its stale snapshot while
-        // unreachable, the live per-gen vector otherwise.
-        let weights_of = |server: ServerId| -> &[(UserId, f64)] {
-            stale_weights
-                .get(&server)
-                .map(Vec::as_slice)
-                .unwrap_or_else(|| {
-                    gen_weights
-                        .get(cluster.server(server).gen.index())
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[])
-                })
-        };
-        let obs = Arc::clone(&self.obs);
-        obs.time(Phase::GangPacking, || {
-            if workers <= 1 {
-                for (&server, local) in locals.iter_mut() {
-                    let weights = weights_of(server);
-                    local.sync(
-                        view,
-                        &departing,
-                        |u| weight_lookup(weights, u).unwrap_or(min_weight),
-                        weights_dirty,
-                    );
-                    let selected = local.plan();
-                    if !selected.is_empty() {
-                        plan.run.insert(server, selected);
-                    }
-                }
-                return;
-            }
-            // Parallel fan-out. Each server's local scheduler is an
-            // independent piece of state and the weight function is pure, so
-            // per-server planning commutes; workers take contiguous chunks
-            // of the id-ordered server list and the merge below re-inserts
-            // in that same order — the resulting plan is byte-identical to
-            // the sequential path no matter the worker count.
-            let departing = &departing;
-            let mut work: Vec<(ServerId, &mut LocalScheduler)> =
-                locals.iter_mut().map(|(&s, l)| (s, l)).collect();
-            let chunk = work.len().div_ceil(workers);
-            let mut results: Vec<Vec<(ServerId, Vec<JobId>)>> =
-                vec![Vec::new(); work.len().div_ceil(chunk)];
-            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = work
-                .chunks_mut(chunk)
-                .zip(results.iter_mut())
-                .map(|(slice, out)| {
-                    Box::new(move || {
-                        *out = slice
-                            .iter_mut()
-                            .map(|(server, local)| {
-                                let weights = weights_of(*server);
-                                local.sync(
-                                    view,
-                                    departing,
-                                    |u| weight_lookup(weights, u).unwrap_or(min_weight),
-                                    weights_dirty,
-                                );
-                                (*server, local.plan())
-                            })
-                            .collect();
-                    }) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            pool.as_ref().expect("pool sized above").run(tasks);
-            for (server, selected) in results.into_iter().flatten() {
-                if !selected.is_empty() {
-                    plan.run.insert(server, selected);
-                }
-            }
-        });
-        plan
+        let run =
+            self.planner
+                .plan_runs(view, &departing, self.cfg.min_weight, refreshed, &self.obs);
+        RoundPlan { run, actions }
     }
 
     fn next_decision_time(&self) -> Option<SimTime> {
@@ -924,7 +478,7 @@ impl ClusterScheduler for GandivaFair {
     }
 
     fn probe_fast_forward(&mut self, view: &SimView<'_>, plan: &RoundPlan, k: u64) -> u64 {
-        if !self.cfg.fast_forward || k == 0 || self.locals.is_empty() {
+        if !self.cfg.fast_forward || k == 0 || self.planner.is_empty() {
             return 0;
         }
         // Anything that would steer the next plan_round down a different
@@ -948,21 +502,11 @@ impl ClusterScheduler for GandivaFair {
         // minimum over every local scheduler's differential check against
         // the cached plan (absent servers must reproduce an empty
         // selection).
-        let mut j = k;
-        for (&server, local) in self.locals.iter() {
-            let expected = plan.run.get(&server).map(Vec::as_slice).unwrap_or(&[]);
-            j = j.min(local.quiescent_rounds(expected, k));
-            if j == 0 {
-                return 0;
-            }
-        }
-        j
+        self.planner.probe(&plan.run, k)
     }
 
     fn commit_fast_forward(&mut self, j: u64) {
-        for local in self.locals.values_mut() {
-            local.fast_forward(j);
-        }
+        self.planner.commit(j);
     }
 
     fn user_shares(&self, _view: &SimView<'_>) -> Vec<UserShare> {
@@ -970,23 +514,8 @@ impl ClusterScheduler for GandivaFair {
             return Vec::new();
         };
         // The user's effective priority is the best (lowest) stride pass
-        // among their jobs anywhere in the cluster. Fold it in one pass over
-        // the locals instead of scanning every server once per entitled user
-        // — locals dominate users at bench scale, so this turns a
-        // users × servers sweep into servers + users.
-        let mut min_pass: BTreeMap<UserId, f64> = BTreeMap::new();
-        for local in self.locals.values() {
-            local.for_each_user_pass(|u, p| {
-                min_pass
-                    .entry(u)
-                    .and_modify(|m| {
-                        if p.total_cmp(m).is_lt() {
-                            *m = p;
-                        }
-                    })
-                    .or_insert(p);
-            });
-        }
+        // among their jobs anywhere in the cluster.
+        let min_pass = self.planner.fold_min_passes();
         ent.users()
             .map(|user| UserShare {
                 user,

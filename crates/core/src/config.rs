@@ -6,10 +6,60 @@
 
 use gfair_stride::GangPolicy;
 use gfair_types::SimDuration;
+use std::fmt;
+
+/// Selector for the allocation policy that drives scheduling decisions.
+///
+/// The id is just a name — the mapping to a concrete scheduler lives in the
+/// `gfair-policies` crate (`build_policy`), which keeps this core crate free
+/// of policy implementations it doesn't own. `POLICIES.md` documents each
+/// policy; its table is cross-checked against [`PolicyId::ALL`] by a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PolicyId {
+    /// The paper's policy: ticket-proportional entitlements plus the
+    /// big/small trading market ([`crate::GandivaFair`]).
+    Gfair,
+    /// Gavel-style heterogeneity-aware max-min fairness via deterministic
+    /// water-filling over estimated per-generation throughput.
+    GavelHetero,
+    /// Themis-style finish-time fairness: online ρ̂ tracking with a
+    /// partial-allocation auction among the worst-off users each lease.
+    ThemisFtf,
+}
+
+impl PolicyId {
+    /// Every selectable policy, in CLI-listing order.
+    pub const ALL: [PolicyId; 3] = [PolicyId::Gfair, PolicyId::GavelHetero, PolicyId::ThemisFtf];
+
+    /// The CLI / report name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyId::Gfair => "gfair",
+            PolicyId::GavelHetero => "gavel-hetero",
+            PolicyId::ThemisFtf => "themis-ftf",
+        }
+    }
+
+    /// Parses a CLI name back into a policy id.
+    pub fn parse(s: &str) -> Option<PolicyId> {
+        PolicyId::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for PolicyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Policy toggles and tuning constants for [`crate::GandivaFair`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GfairConfig {
+    /// Which allocation policy drives scheduling. The default is the
+    /// paper's entitlement + trading policy; `gavel-hetero` and
+    /// `themis-ftf` select the alternative formulations from
+    /// `gfair-policies`.
+    pub policy: PolicyId,
     /// Run the trading market (ablation: off reproduces "fairness without
     /// heterogeneity awareness").
     pub trading: bool,
@@ -54,11 +104,19 @@ pub struct GfairConfig {
     /// fast-forward"). Purely a performance knob: reports and traces are
     /// byte-identical either way, which the differential tests assert.
     pub fast_forward: bool,
+    /// Themis lease length: how often the partial-allocation auction among
+    /// the worst-ρ̂ users re-runs (only read by the `themis-ftf` policy).
+    pub themis_lease: SimDuration,
+    /// Fraction of active users admitted to each Themis auction, taken from
+    /// the worst-ρ̂ end (only read by the `themis-ftf` policy). Clamped to
+    /// at least one user.
+    pub themis_filter: f64,
 }
 
 impl Default for GfairConfig {
     fn default() -> Self {
         GfairConfig {
+            policy: PolicyId::Gfair,
             trading: true,
             balancing: true,
             profiling_migrations: true,
@@ -71,11 +129,27 @@ impl Default for GfairConfig {
             max_migration_retries: 3,
             backoff_base: SimDuration::from_secs(60),
             fast_forward: true,
+            themis_lease: SimDuration::from_mins(10),
+            themis_filter: 0.5,
         }
     }
 }
 
 impl GfairConfig {
+    /// Selects the allocation policy (builder-style).
+    pub fn with_policy(mut self, policy: PolicyId) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the Themis auction knobs (builder-style): lease length and
+    /// the worst-ρ̂ fraction admitted to each auction.
+    pub fn with_themis(mut self, lease: SimDuration, filter: f64) -> Self {
+        self.themis_lease = lease;
+        self.themis_filter = filter;
+        self
+    }
+
     /// Disables trading (builder-style).
     pub fn without_trading(mut self) -> Self {
         self.trading = false;
@@ -129,6 +203,25 @@ mod tests {
         let c = GfairConfig::default();
         assert!(c.trading && c.balancing && c.profiling_migrations);
         assert_eq!(c.gang_policy, GangPolicy::GangAware);
+        assert_eq!(c.policy, PolicyId::Gfair);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in PolicyId::ALL {
+            assert_eq!(PolicyId::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(PolicyId::parse("no-such-policy"), None);
+    }
+
+    #[test]
+    fn policy_builders() {
+        let c = GfairConfig::default().with_policy(PolicyId::GavelHetero);
+        assert_eq!(c.policy, PolicyId::GavelHetero);
+        let c = GfairConfig::default().with_themis(SimDuration::from_mins(5), 0.25);
+        assert_eq!(c.themis_lease, SimDuration::from_mins(5));
+        assert_eq!(c.themis_filter, 0.25);
     }
 
     #[test]

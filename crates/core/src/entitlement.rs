@@ -48,6 +48,28 @@ impl Entitlements {
         Entitlements { num_gens, alloc }
     }
 
+    /// Builds entitlements directly from explicit per-user rows (one slot
+    /// per generation, indexed by `GenId::index()`), for policies that
+    /// compute allocations by their own rule rather than from tickets.
+    ///
+    /// The caller is responsible for the conservation invariant: summed
+    /// over users, each generation's slots should equal its physical GPU
+    /// count (the trace auditor checks this every round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `num_gens`.
+    pub fn from_shares(num_gens: usize, alloc: BTreeMap<UserId, Vec<f64>>) -> Self {
+        for (user, row) in &alloc {
+            assert!(
+                row.len() == num_gens,
+                "user {user} row has {} slots, expected {num_gens}",
+                row.len()
+            );
+        }
+        Entitlements { num_gens, alloc }
+    }
+
     /// Number of generations covered.
     pub fn num_gens(&self) -> usize {
         self.num_gens

@@ -21,6 +21,17 @@
 //!
 //! The central scheduler in [`central`] wires these into the
 //! [`gfair_sim::ClusterScheduler`] interface.
+//!
+//! ## The policy boundary
+//!
+//! The machinery above is policy-agnostic: placement, per-server stride
+//! planning, balancing and fast-forward live behind [`policy::AllocPolicy`]
+//! — a per-epoch allocation rule — driven by the generic
+//! [`PolicyScheduler`]. [`GandivaFair`] runs the paper's entitlement +
+//! trading rule ([`TicketTrading`]) through the same shared planner;
+//! alternative fairness formulations (Gavel-style water-filling,
+//! Themis-style finish-time fairness) plug in from the `gfair-policies`
+//! crate. See `POLICIES.md` at the repo root for the catalogue.
 
 #![warn(missing_docs)]
 
@@ -29,12 +40,16 @@ pub mod central;
 pub mod config;
 pub mod entitlement;
 pub mod local;
+mod placement;
+mod planner;
+pub mod policy;
 mod pool;
 pub mod profiler;
 pub mod trade;
 
 pub use central::GandivaFair;
-pub use config::GfairConfig;
+pub use config::{GfairConfig, PolicyId};
 pub use entitlement::Entitlements;
+pub use policy::{AllocPolicy, PolicyRound, PolicyScheduler, TicketTrading};
 pub use profiler::Profiler;
 pub use trade::{run_market, Trade};

@@ -1,0 +1,267 @@
+//! Shared server-selection logic for placements, retries and migrations.
+//!
+//! Every policy-side decision "which server should this gang land on?" goes
+//! through [`Placer`]: an entitlement-slack-first generation choice followed
+//! by least-projected-load selection among the reachable servers of that
+//! generation, with a work-conserving fallback across the whole reachable
+//! cluster. The placer also owns the *in-flight* demand book-keeping —
+//! placements issued this round but not yet applied by the engine — so that
+//! simultaneous arrivals do not pile onto one server.
+//!
+//! Extracted from the central Gandiva_fair scheduler so that every policy
+//! behind the [`crate::policy::AllocPolicy`] boundary places jobs with the
+//! same rules, the same provenance rows, and the same tie-breaks.
+
+use crate::entitlement::Entitlements;
+use gfair_obs::{Candidate, Rejection};
+use gfair_sim::SimView;
+use gfair_types::{GenId, ServerId, ServerSpec, UserId};
+use std::collections::BTreeMap;
+
+/// Tie-break rule shared by every load-based server selection; quoted
+/// verbatim in [`gfair_obs::TraceEvent::Decision`] provenance.
+pub(crate) const TIE_BREAK_LOAD: &str = "least projected load, then lowest server id";
+
+/// Cap on the scored candidates carried in one decision event. The full
+/// candidate count is still reported via `considered`.
+pub(crate) const MAX_WHY_CANDIDATES: usize = 8;
+
+/// Provenance for one server choice: what was picked, how ties were
+/// broken, and what was ruled out. Rendered into a
+/// [`gfair_obs::TraceEvent::Decision`] by the caller, which knows the
+/// decision site.
+pub(crate) struct ChoiceWhy {
+    /// Human-readable selected alternative (or `none (...)`).
+    pub chosen: String,
+    /// Tie-break rule applied among equally-scored candidates.
+    pub tie_break: &'static str,
+    /// Fitting servers that were scored.
+    pub considered: u32,
+    /// Best-scoring alternatives, winner first (bounded).
+    pub candidates: Vec<Candidate>,
+    /// Alternatives ruled out, grouped by reason.
+    pub rejected: Vec<Rejection>,
+}
+
+/// Load-aware server picker with in-flight placement tracking.
+#[derive(Debug, Default)]
+pub(crate) struct Placer {
+    /// GPU demand of placements issued this round but not yet applied by the
+    /// engine (placement callbacks run before the round boundary). Indexed
+    /// by `ServerId::index()` (server ids are dense) — this is read once per
+    /// candidate server on every placement, the hottest lookup in the
+    /// arrival path.
+    inflight: Vec<u32>,
+}
+
+impl Placer {
+    /// Creates an empty placer.
+    pub fn new() -> Self {
+        Placer::default()
+    }
+
+    /// Grows the in-flight table to cover `servers` servers.
+    pub fn ensure_capacity(&mut self, servers: usize) {
+        if self.inflight.len() < servers {
+            self.inflight.resize(servers, 0);
+        }
+    }
+
+    /// Clears the in-flight book (queued placements were applied by the
+    /// engine before the round boundary). Call once per `plan_round`.
+    pub fn reset(&mut self) {
+        self.inflight.fill(0);
+    }
+
+    /// Records a placement issued this round, so later picks in the same
+    /// round see the projected demand.
+    pub fn note_placement(&mut self, server: ServerId, gang: u32) {
+        self.inflight[server.index()] += gang;
+    }
+
+    /// Server load including placements issued this round but not yet
+    /// applied by the engine.
+    pub fn projected_load(&self, view: &SimView<'_>, server: ServerId) -> f64 {
+        let gpus = view.cluster().server(server).num_gpus;
+        let pending = self.inflight.get(server.index()).copied().unwrap_or(0);
+        (view.resident_demand(server) + pending) as f64 / gpus as f64
+    }
+
+    /// Scores every server in `scope` that fits the gang by projected load
+    /// and picks the minimum (ties to the lowest id). Returns the winner
+    /// plus the provenance rows: fitting-server count, servers ruled out as
+    /// too narrow, and the top-[`MAX_WHY_CANDIDATES`] candidates by score.
+    pub fn pick_least_loaded<'a>(
+        &self,
+        view: &SimView<'_>,
+        gang: u32,
+        scope: impl Iterator<Item = &'a ServerSpec>,
+        want_why: bool,
+    ) -> (Option<ServerId>, u32, u32, Vec<Candidate>) {
+        let mut too_narrow = 0u32;
+        if !want_why {
+            // Allocation-free fast path for untraced runs: the same
+            // selection rule (least projected load, then lowest id), no
+            // provenance materialized.
+            let mut considered = 0u32;
+            let mut best: Option<(f64, ServerId)> = None;
+            for s in scope {
+                if s.num_gpus < gang {
+                    too_narrow += 1;
+                    continue;
+                }
+                considered += 1;
+                let load = self.projected_load(view, s.id);
+                let better = match best {
+                    None => true,
+                    Some((bl, bid)) => load.total_cmp(&bl).then(s.id.cmp(&bid)).is_lt(),
+                };
+                if better {
+                    best = Some((load, s.id));
+                }
+            }
+            return (best.map(|(_, id)| id), considered, too_narrow, Vec::new());
+        }
+        // Scores stay as plain pairs until after truncation: formatting a
+        // label per scanned server would put ~100 heap allocations on every
+        // job arrival at the 1000-GPU scale.
+        let mut scored: Vec<(f64, ServerId)> = Vec::new();
+        for s in scope {
+            if s.num_gpus < gang {
+                too_narrow += 1;
+                continue;
+            }
+            scored.push((self.projected_load(view, s.id), s.id));
+        }
+        let considered = scored.len() as u32;
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let best = scored.first().map(|&(_, id)| id);
+        scored.truncate(MAX_WHY_CANDIDATES);
+        let candidates = scored
+            .into_iter()
+            .map(|(load, id)| Candidate {
+                label: format!("server:{}", id.index()),
+                score: load,
+            })
+            .collect();
+        (best, considered, too_narrow, candidates)
+    }
+
+    /// Picks a server for an arriving job: prefer the generation where the
+    /// user has the most allocation slack under `ent`, then the least-loaded
+    /// server of that generation that fits; fall back to least-loaded
+    /// overall. Only reachable servers are considered — a placement sent to
+    /// a partitioned server could not be delivered.
+    ///
+    /// Alongside the choice, returns the [`ChoiceWhy`] provenance the
+    /// caller renders into a [`gfair_obs::TraceEvent::Decision`].
+    pub fn choose_server_explained(
+        &self,
+        view: &SimView<'_>,
+        ent: Option<&Entitlements>,
+        user: UserId,
+        gang: u32,
+        want_why: bool,
+    ) -> (Option<ServerId>, Option<ChoiceWhy>) {
+        // Current per-gen usage of this user.
+        let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
+        for j in view.jobs_of_user(user) {
+            if let Some(s) = j.server {
+                *used.entry(view.cluster().server(s).gen).or_insert(0.0) += j.gang as f64;
+            }
+        }
+        let mut rejected: Vec<Rejection> = Vec::new();
+        if let Some(ent) = ent {
+            let mut gens_without_slack = 0u32;
+            let mut best_gen: Option<(GenId, f64)> = None;
+            for gen in view.cluster().catalog.ids() {
+                let slack = ent.get(user, gen) - used.get(&gen).copied().unwrap_or(0.0);
+                if slack <= 0.0 {
+                    gens_without_slack += 1;
+                    continue;
+                }
+                if best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
+                    // Only generations with an online server wide enough
+                    // for the gang.
+                    if view
+                        .reachable_servers_of_gen(gen)
+                        .any(|s| s.num_gpus >= gang)
+                    {
+                        best_gen = Some((gen, slack));
+                    }
+                }
+            }
+            if want_why && gens_without_slack > 0 {
+                rejected.push(Rejection {
+                    reason: "gen_without_slack".to_string(),
+                    count: gens_without_slack,
+                });
+            }
+            if let Some((gen, slack)) = best_gen {
+                let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
+                    view,
+                    gang,
+                    view.reachable_servers_of_gen(gen),
+                    want_why,
+                );
+                if let Some(server) = target {
+                    if !want_why {
+                        return (Some(server), None);
+                    }
+                    if too_narrow > 0 {
+                        rejected.push(Rejection {
+                            reason: "gang_too_wide_for_server".to_string(),
+                            count: too_narrow,
+                        });
+                    }
+                    let why = ChoiceWhy {
+                        chosen: format!(
+                            "server:{} (gen:{} slack-first, slack {:.2})",
+                            server.index(),
+                            gen.index(),
+                            slack
+                        ),
+                        tie_break: TIE_BREAK_LOAD,
+                        considered,
+                        candidates,
+                        rejected,
+                    };
+                    return (Some(server), Some(why));
+                }
+            }
+        }
+        // Work conservation fallback: least-loaded fitting server anywhere.
+        if want_why {
+            let total = view.cluster().servers.len() as u32;
+            let reachable = view.reachable_servers().count() as u32;
+            if total > reachable {
+                rejected.push(Rejection {
+                    reason: "unreachable".to_string(),
+                    count: total - reachable,
+                });
+            }
+        }
+        let (target, considered, too_narrow, candidates) =
+            self.pick_least_loaded(view, gang, view.reachable_servers(), want_why);
+        if !want_why {
+            return (target, None);
+        }
+        if too_narrow > 0 {
+            rejected.push(Rejection {
+                reason: "gang_too_wide_for_server".to_string(),
+                count: too_narrow,
+            });
+        }
+        let why = ChoiceWhy {
+            chosen: match target {
+                Some(s) => format!("server:{} (work-conserving fallback)", s.index()),
+                None => "none (no reachable server fits)".to_string(),
+            },
+            tie_break: TIE_BREAK_LOAD,
+            considered,
+            candidates,
+            rejected,
+        };
+        (target, Some(why))
+    }
+}

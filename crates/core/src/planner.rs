@@ -1,0 +1,303 @@
+//! The shared round planner: per-server stride planning behind any policy.
+//!
+//! Every policy in the zoo produces the same *kind* of output — per-user
+//! weights per GPU generation — and hands it to this planner, which owns the
+//! per-server [`LocalScheduler`]s, the per-generation weight cache, the
+//! stale-weight snapshots for unreachable servers, and the persistent
+//! planning worker pool. Because the planner is shared, every policy
+//! inherits the same guarantees for free:
+//!
+//! - **byte-determinism across worker counts** — workers take contiguous
+//!   chunks of the id-ordered server list and results merge in that same
+//!   order;
+//! - **graceful degradation** — a partitioned server keeps planning on the
+//!   weights it last received until it heals;
+//! - **quiescence fast-forward** — [`RoundPlanner::probe`] checks each
+//!   local scheduler's replay horizon and [`RoundPlanner::commit`] advances
+//!   stride state analytically.
+
+use crate::entitlement::Entitlements;
+use crate::local::LocalScheduler;
+use crate::pool::WorkerPool;
+use gfair_obs::{Phase, SharedObs};
+use gfair_sim::SimView;
+use gfair_stride::GangPolicy;
+use gfair_types::{JobId, ServerId, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Weight of `u` in an id-sorted per-server weight vec, if present.
+pub(crate) fn weight_lookup(weights: &[(UserId, f64)], u: UserId) -> Option<f64> {
+    weights
+        .binary_search_by_key(&u, |&(user, _)| user)
+        .ok()
+        .map(|i| weights[i].1)
+}
+
+/// Resolves the configured planning-worker count against the machine and
+/// the number of servers: `0` means auto-size from available parallelism,
+/// and the pool never exceeds the server count (an idle worker is pure
+/// spawn overhead).
+pub(crate) fn planning_workers(configured: usize, servers: usize) -> usize {
+    let requested = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    requested.min(servers).max(1)
+}
+
+/// Per-server stride planning shared by every policy behind the
+/// [`crate::policy::AllocPolicy`] boundary.
+#[derive(Debug, Default)]
+pub(crate) struct RoundPlanner {
+    /// One local scheduler per server, in server-id order.
+    locals: BTreeMap<ServerId, LocalScheduler>,
+    /// Per-generation stride weight vectors derived from the current
+    /// entitlements, indexed by `GenId::index()` and id-sorted per vector
+    /// (entitlements iterate users in id order). Weights depend only on a
+    /// server's generation, so the cache is rebuilt once per entitlement
+    /// refresh — a few vectors — instead of once per server per round.
+    gen_weights: Vec<Vec<(UserId, f64)>>,
+    /// Weight snapshots for servers that were unreachable at an entitlement
+    /// refresh: an unreachable server cannot receive updates, so its local
+    /// scheduler keeps running on the last weights it was sent until it is
+    /// reachable again (graceful degradation). Entries are dropped the
+    /// moment the server is reachable again.
+    stale_weights: BTreeMap<ServerId, Vec<(UserId, f64)>>,
+    /// Persistent planning workers, created on the first parallel round and
+    /// reused every round thereafter (per-round thread spawns dominate the
+    /// planning phase at benchmark scale).
+    pool: Option<WorkerPool>,
+    /// Resolved planning-worker count, computed once at init:
+    /// `available_parallelism` re-reads cgroup state on every call, which is
+    /// far too slow for the per-round path.
+    workers: usize,
+}
+
+impl RoundPlanner {
+    /// Creates an empty planner; call [`ensure_init`](Self::ensure_init)
+    /// before the first round.
+    pub fn new() -> Self {
+        RoundPlanner::default()
+    }
+
+    /// Lazily builds the local schedulers from the cluster and resolves the
+    /// worker count.
+    pub fn ensure_init(&mut self, view: &SimView<'_>, gang_policy: GangPolicy, configured: usize) {
+        if self.locals.is_empty() {
+            for s in &view.cluster().servers {
+                self.locals
+                    .insert(s.id, LocalScheduler::new(s.id, s.num_gpus, gang_policy));
+            }
+        }
+        if self.workers == 0 {
+            self.workers = planning_workers(configured, self.locals.len());
+        }
+    }
+
+    /// True before [`ensure_init`](Self::ensure_init) (or on an empty
+    /// cluster): there is nothing to plan or fast-forward.
+    pub fn is_empty(&self) -> bool {
+        self.locals.is_empty()
+    }
+
+    /// Jobs the local scheduler of `server` currently believes are resident,
+    /// for post-partition reconciliation diffs.
+    pub fn jobs_on(&self, server: ServerId) -> BTreeSet<JobId> {
+        self.locals
+            .get(&server)
+            .map(|l| l.jobs().collect())
+            .unwrap_or_default()
+    }
+
+    /// Rebuilds the per-generation weight cache from fresh entitlements,
+    /// first snapshotting the pre-refresh weights for servers that are
+    /// unreachable right now (they keep planning on what they last
+    /// received).
+    pub fn refresh_weights(&mut self, view: &SimView<'_>, ent: &Entitlements, min_weight: f64) {
+        // Servers that cannot be reached right now keep the weights they
+        // last received: snapshot those (the pre-refresh per-gen vectors)
+        // before rebuilding the cache, unless an earlier refresh already
+        // recorded a snapshot for them.
+        {
+            let gen_weights = &self.gen_weights;
+            let stale = &mut self.stale_weights;
+            for s in &view.cluster().servers {
+                if !view.is_reachable(s.id) {
+                    stale.entry(s.id).or_insert_with(|| {
+                        gen_weights.get(s.gen.index()).cloned().unwrap_or_default()
+                    });
+                }
+            }
+        }
+        let num_gens = view.cluster().catalog.ids().count();
+        let mut gen_weights = vec![Vec::new(); num_gens];
+        for gen in view.cluster().catalog.ids() {
+            gen_weights[gen.index()] = ent
+                .users()
+                .map(|u| (u, ent.get(u, gen).max(min_weight)))
+                .collect();
+        }
+        self.gen_weights = gen_weights;
+    }
+
+    /// Syncs every local scheduler and collects the per-server run sets for
+    /// this quantum, excluding `departing` jobs (ones this round's actions
+    /// move or place). `refreshed` says whether the weight cache was rebuilt
+    /// since the last call.
+    ///
+    /// Sequential (`workers == 1`) and parallel paths produce byte-identical
+    /// run maps: per-server planning commutes and the merge re-inserts in
+    /// server-id order.
+    pub fn plan_runs(
+        &mut self,
+        view: &SimView<'_>,
+        departing: &BTreeSet<JobId>,
+        min_weight: f64,
+        refreshed: bool,
+        obs: &SharedObs,
+    ) -> BTreeMap<ServerId, Vec<JobId>> {
+        // A reachable server always plans on the current per-gen weights;
+        // any stale snapshot it held while unreachable is dropped the round
+        // it comes back (entitlements are re-refreshed on heal, so it
+        // converges to the live economy immediately). A dropped snapshot
+        // changes that server's effective weights, so the round counts as
+        // weight-dirty just like an entitlement refresh.
+        let mut weights_dirty = refreshed;
+        self.stale_weights.retain(|s, _| {
+            let keep = !view.is_reachable(*s);
+            weights_dirty |= !keep;
+            keep
+        });
+        let mut run: BTreeMap<ServerId, Vec<JobId>> = BTreeMap::new();
+        let workers = self.workers.max(1);
+        let pool = &mut self.pool;
+        if workers > 1 && pool.as_ref().map(WorkerPool::size) != Some(workers) {
+            *pool = Some(WorkerPool::new(workers));
+        }
+        let locals = &mut self.locals;
+        let gen_weights = &self.gen_weights;
+        let stale_weights = &self.stale_weights;
+        let cluster = view.cluster();
+        // The weight vector a server plans on: its stale snapshot while
+        // unreachable, the live per-gen vector otherwise.
+        let weights_of = |server: ServerId| -> &[(UserId, f64)] {
+            stale_weights
+                .get(&server)
+                .map(Vec::as_slice)
+                .unwrap_or_else(|| {
+                    gen_weights
+                        .get(cluster.server(server).gen.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+        };
+        let obs = Arc::clone(obs);
+        obs.time(Phase::GangPacking, || {
+            if workers <= 1 {
+                for (&server, local) in locals.iter_mut() {
+                    let weights = weights_of(server);
+                    local.sync(
+                        view,
+                        departing,
+                        |u| weight_lookup(weights, u).unwrap_or(min_weight),
+                        weights_dirty,
+                    );
+                    let selected = local.plan();
+                    if !selected.is_empty() {
+                        run.insert(server, selected);
+                    }
+                }
+                return;
+            }
+            // Parallel fan-out. Each server's local scheduler is an
+            // independent piece of state and the weight function is pure, so
+            // per-server planning commutes; workers take contiguous chunks
+            // of the id-ordered server list and the merge below re-inserts
+            // in that same order — the resulting plan is byte-identical to
+            // the sequential path no matter the worker count.
+            let mut work: Vec<(ServerId, &mut LocalScheduler)> =
+                locals.iter_mut().map(|(&s, l)| (s, l)).collect();
+            let chunk = work.len().div_ceil(workers);
+            let mut results: Vec<Vec<(ServerId, Vec<JobId>)>> =
+                vec![Vec::new(); work.len().div_ceil(chunk)];
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = work
+                .chunks_mut(chunk)
+                .zip(results.iter_mut())
+                .map(|(slice, out)| {
+                    Box::new(move || {
+                        *out = slice
+                            .iter_mut()
+                            .map(|(server, local)| {
+                                let weights = weights_of(*server);
+                                local.sync(
+                                    view,
+                                    departing,
+                                    |u| weight_lookup(weights, u).unwrap_or(min_weight),
+                                    weights_dirty,
+                                );
+                                (*server, local.plan())
+                            })
+                            .collect();
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.as_ref().expect("pool sized above").run(tasks);
+            for (server, selected) in results.into_iter().flatten() {
+                if !selected.is_empty() {
+                    run.insert(server, selected);
+                }
+            }
+        });
+        run
+    }
+
+    /// All-or-nothing fast-forward probe across servers: the replayable
+    /// horizon is the minimum over every local scheduler's differential
+    /// check against the cached plan (absent servers must reproduce an empty
+    /// selection). Must not mutate state.
+    pub fn probe(&self, run: &BTreeMap<ServerId, Vec<JobId>>, k: u64) -> u64 {
+        let mut j = k;
+        for (&server, local) in self.locals.iter() {
+            let expected = run.get(&server).map(Vec::as_slice).unwrap_or(&[]);
+            j = j.min(local.quiescent_rounds(expected, k));
+            if j == 0 {
+                return 0;
+            }
+        }
+        j
+    }
+
+    /// Advances every local scheduler's stride state by `j` quanta in one
+    /// analytic step.
+    pub fn commit(&mut self, j: u64) {
+        for local in self.locals.values_mut() {
+            local.fast_forward(j);
+        }
+    }
+
+    /// Folds the best (lowest) stride pass per user across all servers, for
+    /// [`gfair_sim::ClusterScheduler::user_shares`] reporting. One pass over
+    /// the locals instead of scanning every server once per entitled user —
+    /// locals dominate users at bench scale, so this turns a
+    /// users × servers sweep into servers + users.
+    pub fn fold_min_passes(&self) -> BTreeMap<UserId, f64> {
+        let mut min_pass: BTreeMap<UserId, f64> = BTreeMap::new();
+        for local in self.locals.values() {
+            local.for_each_user_pass(|u, p| {
+                min_pass
+                    .entry(u)
+                    .and_modify(|m| {
+                        if p.total_cmp(m).is_lt() {
+                            *m = p;
+                        }
+                    })
+                    .or_insert(p);
+            });
+        }
+        min_pass
+    }
+}

@@ -1,0 +1,641 @@
+//! The policy boundary: pluggable per-epoch allocation behind a shared
+//! round driver.
+//!
+//! Everything the schedulers in this workspace disagree about fits in one
+//! question: *given the active users, their demand, their estimated
+//! per-generation speedups and (optionally) their finish-time-fairness ρ,
+//! how many GPUs of each generation is each user entitled to right now?*
+//! [`AllocPolicy`] is exactly that question; everything else — placement,
+//! per-server stride planning, migration-based balancing, degraded-mode
+//! handling, fast-forward — is common machinery provided by
+//! [`PolicyScheduler`] (the generic driver) on top of the shared
+//! `RoundPlanner` and `Placer` internals.
+//!
+//! ## Determinism obligations
+//!
+//! An [`AllocPolicy`] implementation must be a pure function of the
+//! [`PolicyRound`] inputs plus its own deterministic state: no wall-clock,
+//! no ambient randomness, no iteration over unordered containers. The
+//! driver guarantees the inputs themselves are deterministic (id-ordered
+//! maps, integer-microsecond ρ accounting), so policy output — and with it
+//! the whole trace — is byte-identical across planning worker counts and
+//! fast-forward settings.
+//!
+//! ## Fast-forward opt-in
+//!
+//! [`AllocPolicy::fast_forward_ok`] defaults to `false`: a policy must
+//! explicitly declare that replaying a cached plan across quiescent quanta
+//! cannot change its future decisions. Opting in is sound iff the policy's
+//! allocation depends only on inputs the driver refreshes at epoch
+//! boundaries — the driver never fast-forwards across an epoch boundary,
+//! a pending job, or a due balancing pass.
+
+use crate::balance::plan_migrations_traced;
+use crate::config::GfairConfig;
+use crate::entitlement::Entitlements;
+use crate::placement::Placer;
+use crate::planner::RoundPlanner;
+use crate::profiler::Profiler;
+use crate::trade::{run_market_traced, Trade};
+use gfair_obs::{Obs, SharedObs, TraceEvent, UserShare};
+use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
+use gfair_types::{GenId, JobId, ServerId, SimConfig, SimDuration, SimTime, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The active-user signature: (user, tickets) for users with active jobs.
+pub(crate) fn active_signature(view: &SimView<'_>) -> Vec<(UserId, u64)> {
+    let tickets: BTreeMap<UserId, u64> = view.users().iter().map(|u| (u.id, u.tickets)).collect();
+    view.active_users()
+        .into_iter()
+        .map(|u| (u, tickets.get(&u).copied().unwrap_or(1)))
+        .collect()
+}
+
+/// Per-user total GPU demand (sum of active gang sizes).
+pub(crate) fn demands(view: &SimView<'_>) -> BTreeMap<UserId, f64> {
+    let mut d = BTreeMap::new();
+    for j in view.active_jobs() {
+        *d.entry(j.user).or_insert(0.0) += j.gang as f64;
+    }
+    d
+}
+
+/// Per-user, per-generation speedup estimates: the demand-weighted mean
+/// of the profiled speedups of the user's active jobs' models. `None`
+/// where no job of the user is profiled on that generation.
+pub(crate) fn user_speedups(
+    profiler: &Profiler,
+    view: &SimView<'_>,
+) -> BTreeMap<UserId, Vec<Option<f64>>> {
+    let base = GenId::new(0);
+    let num_gens = view.cluster().catalog.len();
+    let mut out: BTreeMap<UserId, Vec<Option<f64>>> = BTreeMap::new();
+    let mut weights: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
+    let mut sums: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
+    for j in view.active_jobs() {
+        for g in 0..num_gens {
+            let gen = GenId::new(g as u32);
+            if let Some(s) = profiler.speedup(&j.model, gen, base) {
+                *weights.entry((j.user, g)).or_insert(0.0) += j.gang as f64;
+                *sums.entry((j.user, g)).or_insert(0.0) += s * j.gang as f64;
+            }
+        }
+    }
+    for u in view.active_users() {
+        let mut row = vec![None; num_gens];
+        row[0] = Some(1.0);
+        for (g, slot) in row.iter_mut().enumerate().skip(1) {
+            if let (Some(&w), Some(&s)) = (weights.get(&(u, g)), sums.get(&(u, g))) {
+                if w > 0.0 {
+                    *slot = Some(s / w);
+                }
+            }
+        }
+        out.insert(u, row);
+    }
+    out
+}
+
+/// Feeds a profile observation into the estimator, announcing the inferred
+/// rate once per (model, generation) when the estimate first crosses the
+/// sample threshold.
+pub(crate) fn record_profile_report(
+    profiler: &mut Profiler,
+    obs: &SharedObs,
+    view: &SimView<'_>,
+    report: &ProfileReport,
+) {
+    if let Some(info) = view.job(report.job) {
+        let converged = profiler.record(&info.model, report.gen, report.rate);
+        if converged {
+            // The estimate just crossed the sample threshold: announce
+            // the inferred rate once per (model, generation).
+            obs.emit(TraceEvent::ProfileInferred {
+                t: view.now(),
+                model: info.model.to_string(),
+                gen: report.gen,
+                rate: profiler
+                    .rate(&info.model, report.gen)
+                    .expect("just recorded"),
+                samples: profiler.samples(&info.model, report.gen),
+            });
+        }
+    }
+}
+
+/// Everything an allocation policy may consult for one epoch decision.
+///
+/// All collections are id-ordered (`BTreeMap`, id-sorted slices), so any
+/// iteration a policy performs over them is deterministic.
+pub struct PolicyRound<'a> {
+    /// Read-only cluster state (topology, jobs, reachability).
+    pub view: &'a SimView<'a>,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Active users and their configured tickets, in user-id order.
+    pub active: &'a [(UserId, u64)],
+    /// Per-user total GPU demand (sum of active gang sizes).
+    pub demands: &'a BTreeMap<UserId, f64>,
+    /// Per-user, per-generation speedup estimates from the online profiler;
+    /// `None` where unprofiled (policies should assume the base rate 1.0).
+    pub speedups: &'a BTreeMap<UserId, Vec<Option<f64>>>,
+    /// Per-user online finish-time-fairness estimate ρ̂ (worst active job).
+    /// Populated only for policies that return `true` from
+    /// [`AllocPolicy::wants_rho`]; empty otherwise.
+    pub rho: &'a BTreeMap<UserId, f64>,
+    /// Observability pipeline for policy-side trace events (trades,
+    /// auction outcomes).
+    pub obs: &'a SharedObs,
+}
+
+/// An allocation policy: decides per-(user, generation) GPU entitlements
+/// once per epoch. See the module docs for the determinism contract.
+pub trait AllocPolicy {
+    /// Policy name as reported by the scheduler and the CLI.
+    fn name(&self) -> &'static str;
+
+    /// Computes the per-(user, generation) allocation for this epoch.
+    ///
+    /// The returned entitlements must conserve physical capacity: summed
+    /// over users, each generation's allocation must equal the cluster's
+    /// *static* GPU count for that generation (the trace auditor checks
+    /// round tickets against static supply). Policies that want to steer
+    /// work away from unreachable servers do so by *shaping* who gets the
+    /// capacity, not by shrinking it.
+    fn allocate(&mut self, round: &PolicyRound<'_>) -> Entitlements;
+
+    /// How often the allocation is recomputed on a timer (it is also
+    /// recomputed whenever the active-user set changes).
+    fn epoch(&self, config: &SimConfig) -> SimDuration;
+
+    /// Whether quiescence fast-forward is sound for this policy: replaying
+    /// a cached plan across quanta must not change any future allocation.
+    /// Defaults to `false` — policies opt in explicitly (or stay opted
+    /// out, which forces the engine to step every quantum).
+    fn fast_forward_ok(&self) -> bool {
+        false
+    }
+
+    /// Whether the driver should maintain online per-user ρ̂ estimates and
+    /// pass them in [`PolicyRound::rho`]. Defaults to `false` (the
+    /// accounting costs a per-round sweep over the scheduled jobs).
+    fn wants_rho(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's allocation policy: ticket-proportional entitlements per
+/// generation, then the big/small trading market on top.
+///
+/// This is [`crate::GandivaFair`]'s economy behind the [`AllocPolicy`]
+/// boundary; the full gfair scheduler composes it with retry backoff and
+/// the shared driver machinery.
+#[derive(Debug)]
+pub struct TicketTrading {
+    trading: bool,
+    margin: f64,
+    trade_log: Vec<(SimTime, Trade)>,
+}
+
+impl TicketTrading {
+    /// Creates the policy from the gfair toggles (trading on/off, margin).
+    pub fn new(cfg: &GfairConfig) -> Self {
+        TicketTrading {
+            trading: cfg.trading,
+            margin: cfg.trade_margin,
+            trade_log: Vec::new(),
+        }
+    }
+
+    /// Trades executed so far, with timestamps.
+    pub fn trades(&self) -> &[(SimTime, Trade)] {
+        &self.trade_log
+    }
+}
+
+impl AllocPolicy for TicketTrading {
+    fn name(&self) -> &'static str {
+        "gfair"
+    }
+
+    fn allocate(&mut self, round: &PolicyRound<'_>) -> Entitlements {
+        let gpus = round.view.cluster().gpus_per_gen();
+        let mut ent = Entitlements::base(&gpus, round.active);
+        if self.trading && !round.active.is_empty() {
+            let trades = run_market_traced(
+                round.obs,
+                round.now,
+                &mut ent,
+                round.speedups,
+                round.demands,
+                round.view.config().price_strategy,
+                self.margin,
+            );
+            self.trade_log
+                .extend(trades.into_iter().map(|t| (round.now, t)));
+        }
+        ent
+    }
+
+    fn epoch(&self, config: &SimConfig) -> SimDuration {
+        config.trade_interval
+    }
+
+    fn fast_forward_ok(&self) -> bool {
+        true
+    }
+}
+
+/// Generic round driver: runs any [`AllocPolicy`] as a full
+/// [`ClusterScheduler`].
+///
+/// The driver owns the machinery every policy shares — placement via
+/// the placer, per-server stride planning via the shared planner,
+/// migration-based balancing toward the policy's entitlements, pending-job
+/// re-placement after outages, epoch timers, optional online ρ̂ accounting,
+/// and fast-forward probing — so a policy implementation is nothing but its
+/// allocation rule.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gfair_core::{GfairConfig, PolicyScheduler, TicketTrading};
+/// use gfair_sim::Simulation;
+/// use gfair_types::{ClusterSpec, SimConfig, UserSpec};
+///
+/// let cfg = GfairConfig::default();
+/// let sim = Simulation::new(
+///     ClusterSpec::paper_testbed(),
+///     UserSpec::equal_users(4, 100),
+///     vec![],
+///     SimConfig::default(),
+/// )
+/// .unwrap();
+/// let mut sched = PolicyScheduler::new(TicketTrading::new(&cfg), cfg);
+/// let report = sim.run(&mut sched).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct PolicyScheduler<P: AllocPolicy> {
+    policy: P,
+    cfg: GfairConfig,
+    profiler: Option<Profiler>,
+    ent: Option<Entitlements>,
+    planner: RoundPlanner,
+    placer: Placer,
+    /// Active-user signature the current entitlements were computed from.
+    active_sig: Vec<(UserId, u64)>,
+    next_epoch: SimTime,
+    next_balance: SimTime,
+    /// Quantum length in integer microseconds, cached at init so that
+    /// [`ClusterScheduler::commit_fast_forward`] (which has no view) can
+    /// account skipped service exactly.
+    quantum_micros: u64,
+    /// Cumulative scheduled time per job in integer microseconds, indexed
+    /// by `JobId::index()`. Integer accounting makes the ρ̂ inputs — and
+    /// therefore the allocations — byte-identical with fast-forward on or
+    /// off. Maintained only when the policy wants ρ̂.
+    sched_micros: Vec<u64>,
+    /// Jobs scheduled by the most recent plan, for fast-forward service
+    /// accounting (a skipped span replays exactly this run set).
+    last_plan_jobs: Vec<JobId>,
+    /// Observability pipeline; share the simulation's instance via
+    /// [`PolicyScheduler::with_obs`] to get one unified trace.
+    obs: SharedObs,
+}
+
+impl<P: AllocPolicy> PolicyScheduler<P> {
+    /// Creates the driver around an allocation policy.
+    pub fn new(policy: P, cfg: GfairConfig) -> Self {
+        PolicyScheduler {
+            policy,
+            cfg,
+            profiler: None,
+            ent: None,
+            planner: RoundPlanner::new(),
+            placer: Placer::new(),
+            active_sig: Vec::new(),
+            next_epoch: SimTime::ZERO,
+            next_balance: SimTime::ZERO,
+            quantum_micros: 0,
+            sched_micros: Vec::new(),
+            last_plan_jobs: Vec::new(),
+            obs: Arc::new(Obs::new()),
+        }
+    }
+
+    /// Attaches a shared observability pipeline. Pass the same instance to
+    /// `Simulation::with_obs` so scheduler-side and engine-side events land
+    /// in one ordered trace.
+    pub fn with_obs(mut self, obs: SharedObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The wrapped allocation policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The current entitlements (None before the first round).
+    pub fn entitlements(&self) -> Option<&Entitlements> {
+        self.ent.as_ref()
+    }
+
+    /// Lazily builds the profiler, planner and placer from the cluster.
+    fn ensure_init(&mut self, view: &SimView<'_>) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::new(
+                view.cluster().catalog.len(),
+                self.cfg.min_profile_samples,
+            ));
+        }
+        self.planner
+            .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
+        self.placer.ensure_capacity(view.cluster().servers.len());
+        if self.quantum_micros == 0 {
+            self.quantum_micros = view.config().quantum.as_micros();
+        }
+    }
+
+    /// Online finish-time-fairness estimate per user: the worst ratio of
+    /// time-in-system to time-served over the user's active jobs,
+    /// quantum-smoothed so brand-new jobs start at ρ̂ = 1 instead of ∞.
+    ///
+    /// Both numerator and denominator are integer microseconds, so the
+    /// estimate is exact and replay-stable; T_ideal is approximated by the
+    /// job's attained service (a job that was never descheduled has ρ̂ = 1).
+    fn online_rho(&self, view: &SimView<'_>, now: SimTime) -> BTreeMap<UserId, f64> {
+        let q = self.quantum_micros;
+        let mut rho: BTreeMap<UserId, f64> = BTreeMap::new();
+        for j in view.active_jobs() {
+            let attained = self.sched_micros.get(j.id.index()).copied().unwrap_or(0);
+            let elapsed = now.as_micros().saturating_sub(j.arrival.as_micros());
+            let r = (elapsed + q) as f64 / (attained + q) as f64;
+            rho.entry(j.user)
+                .and_modify(|m| {
+                    if r > *m {
+                        *m = r;
+                    }
+                })
+                .or_insert(r);
+        }
+        rho
+    }
+
+    /// Recomputes the allocation through the policy and pushes the derived
+    /// weights into the planner.
+    fn refresh_allocation(&mut self, view: &SimView<'_>, active: Vec<(UserId, u64)>) {
+        let now = view.now();
+        let profiler = self.profiler.as_ref().expect("initialized");
+        let speedups = user_speedups(profiler, view);
+        let demand = demands(view);
+        let rho = if self.policy.wants_rho() {
+            self.online_rho(view, now)
+        } else {
+            BTreeMap::new()
+        };
+        let round = PolicyRound {
+            view,
+            now,
+            active: &active,
+            demands: &demand,
+            speedups: &speedups,
+            rho: &rho,
+            obs: &self.obs,
+        };
+        let ent = self.policy.allocate(&round);
+        self.planner
+            .refresh_weights(view, &ent, self.cfg.min_weight);
+        self.ent = Some(ent);
+        self.active_sig = active;
+    }
+}
+
+impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn on_job_arrival(&mut self, view: &SimView<'_>, job: JobId) -> Vec<Action> {
+        self.ensure_init(view);
+        let info = view.job(job).expect("arriving job is known");
+        let want_why = self.obs.why();
+        let (target, why) = self.placer.choose_server_explained(
+            view,
+            self.ent.as_ref(),
+            info.user,
+            info.gang,
+            want_why,
+        );
+        if let Some(why) = why {
+            self.obs.emit(TraceEvent::Decision {
+                t: view.now(),
+                decision: "placement".to_string(),
+                job: Some(job),
+                user: Some(info.user),
+                chosen: why.chosen,
+                tie_break: why.tie_break.to_string(),
+                considered: why.considered,
+                candidates: why.candidates,
+                rejected: why.rejected,
+            });
+        }
+        match target {
+            Some(server) => {
+                self.placer.note_placement(server, info.gang);
+                vec![Action::Place { job, server }]
+            }
+            // Unplaceable gangs are rejected at simulation construction, so
+            // this only happens for an empty cluster.
+            None => Vec::new(),
+        }
+    }
+
+    fn on_profile_report(&mut self, view: &SimView<'_>, report: &ProfileReport) -> Vec<Action> {
+        self.ensure_init(view);
+        let profiler = self.profiler.as_mut().expect("initialized");
+        record_profile_report(profiler, &self.obs, view, report);
+        Vec::new()
+    }
+
+    fn on_partition_heal(&mut self, view: &SimView<'_>, server: ServerId) -> Vec<Action> {
+        self.ensure_init(view);
+        // Reconcile: clearing the active signature forces an allocation
+        // refresh at the next round, and the healed server's residency is
+        // re-validated against the local scheduler's last-known membership.
+        // The next sync() repairs any drift; the Reconcile event records
+        // how much there was.
+        self.active_sig.clear();
+        let local_jobs = self.planner.jobs_on(server);
+        let actual: BTreeSet<JobId> = view.resident(server).collect();
+        let drift = local_jobs.symmetric_difference(&actual).count() as u32;
+        let users_resynced = self
+            .ent
+            .as_ref()
+            .map(|e| e.users().count() as u32)
+            .unwrap_or(0);
+        self.obs.emit(TraceEvent::Reconcile {
+            t: view.now(),
+            server,
+            users_resynced,
+            jobs_revalidated: actual.len() as u32,
+            drift,
+        });
+        Vec::new()
+    }
+
+    fn plan_round(&mut self, view: &SimView<'_>) -> RoundPlan {
+        self.ensure_init(view);
+        // Queued placements were applied before this callback.
+        self.placer.reset();
+        let now = view.now();
+
+        // 1. Allocation: refresh on churn or on the epoch timer.
+        let active = active_signature(view);
+        let epoch_due = now >= self.next_epoch;
+        let refreshed = epoch_due || active != self.active_sig || self.ent.is_none();
+        if refreshed {
+            self.refresh_allocation(view, active);
+            if epoch_due {
+                self.next_epoch = now + self.policy.epoch(view.config());
+            }
+        }
+
+        // 2. Balancing: realize the allocation by migration (plus the
+        // profiling and load-spreading passes).
+        let mut actions = Vec::new();
+        if self.cfg.balancing && now >= self.next_balance {
+            let ent = self.ent.as_ref().expect("refreshed above");
+            let profiler = self.profiler.as_ref().expect("initialized");
+            actions = plan_migrations_traced(&self.obs, view, ent, profiler, &self.cfg);
+            self.next_balance = now + view.config().balance_interval;
+        }
+
+        // 3. Re-place pending jobs (deferred arrivals, outage evictions,
+        // stranded restores).
+        let retries: Vec<(JobId, UserId, u32)> = view
+            .pending_jobs()
+            .map(|j| (j.id, j.user, j.gang))
+            .collect();
+        let want_why = self.obs.why();
+        for (job, user, gang) in retries {
+            let (target, why) =
+                self.placer
+                    .choose_server_explained(view, self.ent.as_ref(), user, gang, want_why);
+            if let Some(server) = target {
+                // Emit only on success: an unplaceable job would otherwise
+                // flood the trace with one identical decision per round.
+                if let Some(why) = why {
+                    self.obs.emit(TraceEvent::Decision {
+                        t: now,
+                        decision: "retry".to_string(),
+                        job: Some(job),
+                        user: Some(user),
+                        chosen: why.chosen,
+                        tie_break: why.tie_break.to_string(),
+                        considered: why.considered,
+                        candidates: why.candidates,
+                        rejected: why.rejected,
+                    });
+                }
+                actions.push(Action::Place { job, server });
+            }
+        }
+
+        // 4. Sync locals and collect per-server selections. Jobs involved
+        // in this round's actions (migrating away or just being placed) are
+        // excluded from the run sets.
+        let departing: BTreeSet<JobId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
+            })
+            .collect();
+        let run =
+            self.planner
+                .plan_runs(view, &departing, self.cfg.min_weight, refreshed, &self.obs);
+
+        // 5. Service accounting for ρ̂: every scheduled job accrues one
+        // quantum (integer micros, replayed exactly on fast-forward).
+        if self.policy.wants_rho() {
+            self.last_plan_jobs.clear();
+            let q = self.quantum_micros;
+            for jobs in run.values() {
+                for &job in jobs {
+                    let idx = job.index();
+                    if self.sched_micros.len() <= idx {
+                        self.sched_micros.resize(idx + 1, 0);
+                    }
+                    self.sched_micros[idx] += q;
+                    self.last_plan_jobs.push(job);
+                }
+            }
+        }
+        RoundPlan { run, actions }
+    }
+
+    fn next_decision_time(&self) -> Option<SimTime> {
+        // Epoch timers are the only internal clocks that can change a plan
+        // with otherwise-unchanged inputs.
+        let mut t = self.next_epoch;
+        if self.cfg.balancing {
+            t = t.min(self.next_balance);
+        }
+        Some(t)
+    }
+
+    fn probe_fast_forward(&mut self, view: &SimView<'_>, plan: &RoundPlan, k: u64) -> u64 {
+        if !self.cfg.fast_forward
+            || !self.policy.fast_forward_ok()
+            || k == 0
+            || self.planner.is_empty()
+        {
+            return 0;
+        }
+        // Anything that would steer the next plan_round down a different
+        // path declines: a pending job could be placed, an epoch timer
+        // could fire. The engine already bounds k by next_decision_time,
+        // so these are defensive.
+        if view.pending_jobs().next().is_some() {
+            return 0;
+        }
+        let now = view.now();
+        if now >= self.next_epoch {
+            return 0;
+        }
+        if self.cfg.balancing && now >= self.next_balance {
+            return 0;
+        }
+        self.planner.probe(&plan.run, k)
+    }
+
+    fn commit_fast_forward(&mut self, j: u64) {
+        self.planner.commit(j);
+        if self.policy.wants_rho() {
+            // The skipped span replays the cached plan j more times: each
+            // job in it accrues j further quanta of service, keeping ρ̂
+            // byte-identical to the naive per-round path.
+            let q = self.quantum_micros;
+            for &job in &self.last_plan_jobs {
+                self.sched_micros[job.index()] += q * j;
+            }
+        }
+    }
+
+    fn user_shares(&self, _view: &SimView<'_>) -> Vec<UserShare> {
+        let Some(ent) = &self.ent else {
+            return Vec::new();
+        };
+        // The user's effective priority is the best (lowest) stride pass
+        // among their jobs anywhere in the cluster.
+        let min_pass = self.planner.fold_min_passes();
+        ent.users()
+            .map(|user| UserShare {
+                user,
+                tickets: ent.gpus_of(user),
+                pass: min_pass.get(&user).copied().unwrap_or(0.0),
+            })
+            .collect()
+    }
+}

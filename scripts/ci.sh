@@ -21,12 +21,12 @@ cargo build --release
 echo "### cargo test"
 cargo test --workspace -q
 
-echo "### cargo doc (deny warnings: types, obs, faults, sim, core, metrics)"
+echo "### cargo doc (deny warnings: types, obs, faults, sim, core, metrics, policies)"
 # These crates carry #![warn(missing_docs)]; deny rustdoc warnings so
 # public-API doc gaps fail the gate instead of rotting.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p gfair-types -p gfair-obs -p gfair-faults \
-    -p gfair-sim -p gfair-core -p gfair-metrics
+    -p gfair-sim -p gfair-core -p gfair-metrics -p gfair-policies
 
 echo "### bench smoke"
 # Criterion micro-benches in test mode (one iteration, no measurement) and a
@@ -36,6 +36,13 @@ echo "### bench smoke"
 cargo bench --workspace -- --test
 cargo run --release -p gfair-bench --bin bench_sim -- --quick \
     --out target/BENCH_sim.quick.json
+
+echo "### policy zoo smoke (P1 faceoff, 2h horizon)"
+# Runs all three AllocPolicy implementations (gfair, gavel-hetero,
+# themis-ftf) end-to-end on a short horizon. Catches a policy that
+# panics, deadlocks, or trips the invariant auditor without paying for
+# the full 8-hour P1 run.
+cargo run --release -p gfair-bench --bin exp_p1_policy_faceoff -- --horizon-hours 2
 
 echo "### fast-forward equivalence gate (1000 GPUs)"
 # Runs the 1000-GPU scale twice — fast-forward on and with

@@ -7,7 +7,10 @@
 # gfair_bench::exp_trace), and gfair-trace replays the first trace of each
 # experiment through the fairness ledger so each figure ships with a
 # fairness summary. exp_f2/exp_a2 are single-server stride micro-benches
-# with no cluster simulation, hence no trace.
+# with no cluster simulation, hence no trace. The P-family policy
+# faceoffs run one simulation per policy, so for exp_p* every trace is
+# replayed — one per-policy fairness summary each, in PolicyId::ALL
+# order (gfair, gavel-hetero, themis-ftf).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 SEED="${1:-42}"
@@ -21,7 +24,8 @@ for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
            exp_f7_scale exp_f8_quantum_sweep exp_f9_failure \
            exp_f10_migration_faults exp_f11_partition \
            exp_t2_migration_overhead exp_t3_fairness_summary \
-           exp_a1_price_ablation exp_a2_split_stride exp_a3_lottery_variance; do
+           exp_a1_price_ablation exp_a2_split_stride exp_a3_lottery_variance \
+           exp_p1_policy_faceoff exp_p2_policy_faults exp_p3_policy_hetero; do
   echo "### $exp"
   "./target/release/$exp" --seed "$SEED"
   echo
@@ -29,7 +33,7 @@ for exp in exp_t1_model_zoo exp_f2_gang_stride exp_f3_user_churn \
     [ -e "$t" ] || continue
     echo "--- fairness ledger ($(basename "$t"))"
     ./target/release/gfair-trace fairness "$t"
-    break
+    case "$exp" in exp_p*) ;; *) break ;; esac
   done
   echo
 done

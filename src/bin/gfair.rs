@@ -9,6 +9,9 @@
 //!   --cluster <paper|trading|homogeneous:<servers>x<gpus>>   (default paper)
 //!   --scheduler <gandiva-fair|gandiva-like|static|drf|fifo|lottery>
 //!                                                            (default gandiva-fair)
+//!   --policy <gfair|gavel-hetero|themis-ftf>   allocation policy for the
+//!                            gfair machinery (overrides --scheduler; see
+//!                            POLICIES.md)
 //!   --users <n>              number of equal-ticket users    (default 4)
 //!   --jobs <n>               trace length                    (default 200)
 //!   --jobs-per-hour <x>      Poisson arrival rate            (default 60)
@@ -144,6 +147,18 @@ fn make_scheduler(
         cfg = cfg.without_balancing();
     }
     cfg = cfg.with_planning_workers(args.parsed("--planning-workers", 0usize)?);
+    // --policy selects an allocation policy behind the gfair machinery and
+    // takes precedence over --scheduler (the baselines have no policy
+    // boundary to plug into).
+    if let Some(policy) = args.value_of("--policy") {
+        let policy = PolicyId::parse(policy).ok_or_else(|| {
+            format!(
+                "unknown policy: {policy} (expected one of: {})",
+                PolicyId::ALL.map(|p| p.name()).join("|")
+            )
+        })?;
+        return Ok(build_policy(cfg.with_policy(policy), Arc::clone(obs)));
+    }
     Ok(match name {
         "gandiva-fair" => Box::new(GandivaFair::new(cfg).with_obs(Arc::clone(obs))),
         "gandiva-like" => Box::new(GandivaLike::new()),
@@ -462,6 +477,9 @@ USAGE:
 SIMULATE OPTIONS:
   --cluster <paper|trading|homogeneous:<servers>x<gpus>>  (default paper)
   --scheduler <gandiva-fair|gandiva-like|static|drf|fifo|lottery>
+  --policy <gfair|gavel-hetero|themis-ftf>  allocation policy for the
+                        gfair machinery (overrides --scheduler; the
+                        policy guide is POLICIES.md)
   --users <n>           equal-ticket users          (default 4)
   --jobs <n>            trace length                (default 200)
   --jobs-per-hour <x>   Poisson arrival rate        (default 60)

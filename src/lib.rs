@@ -14,7 +14,11 @@
 //! * [`sim`] — the deterministic discrete-event cluster simulator.
 //! * [`stride`] — stride/lottery/gang-aware/split-stride scheduling
 //!   primitives.
-//! * [`core`] — the Gandiva_fair scheduler itself.
+//! * [`core`] — the Gandiva_fair scheduler itself, plus the pluggable
+//!   [`AllocPolicy`](core::AllocPolicy) boundary it runs behind.
+//! * [`policies`] — the policy zoo: Gavel-style heterogeneity-aware
+//!   max-min fairness and Themis-style finish-time fairness behind the
+//!   same boundary (see `POLICIES.md`).
 //! * [`baselines`] — comparison schedulers (Gandiva-like, static
 //!   partitioning, DRF, FIFO).
 //! * [`workloads`] — the model zoo and Philly-like trace generation.
@@ -47,6 +51,7 @@ pub use gfair_core as core;
 pub use gfair_faults as faults;
 pub use gfair_metrics as metrics;
 pub use gfair_obs as obs;
+pub use gfair_policies as policies;
 pub use gfair_sim as sim;
 pub use gfair_stride as stride;
 pub use gfair_types as types;
@@ -55,10 +60,11 @@ pub use gfair_workloads as workloads;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use gfair_baselines::{Drf, Fifo, GandivaLike, LotteryGang, StaticPartition};
-    pub use gfair_core::{GandivaFair, GfairConfig};
+    pub use gfair_core::{GandivaFair, GfairConfig, PolicyId, PolicyScheduler};
     pub use gfair_faults::{FaultInjector, FaultKind, FaultPlan};
     pub use gfair_metrics::{jain_index, max_min_ratio, JctStats, Table};
     pub use gfair_obs::{Obs, ObsSummary, SharedObs, TraceEvent};
+    pub use gfair_policies::{build_policy, GavelHetero, ThemisFtf};
     pub use gfair_sim::{ClusterScheduler, SimReport, Simulation};
     pub use gfair_types::{
         ClusterSpec, GenCatalog, GenId, JobId, JobSpec, ModelProfile, PriceStrategy, ServerId,
