@@ -136,8 +136,10 @@ struct Planner<'a, 'v> {
     budget: u32,
     /// Jobs already scheduled to move this tick.
     moved: BTreeSet<JobId>,
-    /// Projected per-server GPU demand after the moves planned so far.
-    demand: BTreeMap<ServerId, u32>,
+    /// Per-server GPU-demand delta from the moves planned so far, overlaid
+    /// on the view's live residency demand. Only touched servers carry an
+    /// entry, so a tick starts O(1) instead of snapshotting every server.
+    delta: BTreeMap<ServerId, i64>,
     actions: Vec<Action>,
     /// Whether to record provenance at all (a trace sink is attached).
     want_why: bool,
@@ -147,29 +149,28 @@ struct Planner<'a, 'v> {
 
 impl<'a, 'v> Planner<'a, 'v> {
     fn new(view: &'a SimView<'v>, cfg: &'a GfairConfig, want_why: bool) -> Self {
-        let demand = view
-            .cluster()
-            .servers
-            .iter()
-            .map(|s| (s.id, view.resident_demand(s.id)))
-            .collect();
         Planner {
             view,
             cfg,
             now: view.now(),
             budget: view.config().max_migrations_per_tick,
             moved: BTreeSet::new(),
-            demand,
+            delta: BTreeMap::new(),
             actions: Vec::new(),
             want_why,
             why: Vec::new(),
         }
     }
 
+    /// Projected GPU demand of a server after the moves planned so far.
+    fn projected_demand(&self, server: ServerId) -> i64 {
+        self.view.resident_demand(server) as i64 + self.delta.get(&server).copied().unwrap_or(0)
+    }
+
     /// Projected load of a server (demand after planned moves / GPUs).
     fn load(&self, server: ServerId) -> f64 {
         let gpus = self.view.cluster().server(server).num_gpus;
-        self.demand[&server] as f64 / gpus as f64
+        self.projected_demand(server) as f64 / gpus as f64
     }
 
     /// Whether a job may move this tick. A job on a partitioned server is
@@ -190,28 +191,63 @@ impl<'a, 'v> Planner<'a, 'v> {
         }
     }
 
+    /// Extreme reachable server of `gen` able to host `gang` under the
+    /// `(projected load ⟨total_cmp⟩, server id)` total order — the minimum
+    /// (`most == false`, a migration target) or the maximum (`most == true`,
+    /// a spreading source).
+    ///
+    /// Reads the sim's load index instead of scanning the generation: a
+    /// server no planned move has touched carries no `delta` entry, so its
+    /// projected load *is* its index key and the ordered walk can stop at
+    /// the first fitting entry. Only the handful of delta-touched servers
+    /// are then re-scored live. Selection is exactly the full scan's:
+    /// untouched extreme vs. touched extremes under the same total order.
+    fn extreme_in_gen(&self, gen: GenId, gang: u32, most: bool) -> Option<ServerId> {
+        let view = self.view;
+        let untouched = |s: &ServerId| {
+            !self.delta.contains_key(s)
+                && view.is_reachable(*s)
+                && view.cluster().server(*s).num_gpus >= gang
+        };
+        let mut best: Option<(f64, ServerId)> = if most {
+            view.servers_by_load(gen).rev().find(untouched)
+        } else {
+            view.servers_by_load(gen).find(untouched)
+        }
+        .map(|s| (self.load(s), s));
+        for &s in self.delta.keys() {
+            let spec = view.cluster().server(s);
+            if spec.gen != gen || !view.is_reachable(s) || spec.num_gpus < gang {
+                continue;
+            }
+            let load = self.load(s);
+            let better = match best {
+                None => true,
+                Some((bl, bid)) => {
+                    let ord = load.total_cmp(&bl).then(s.cmp(&bid));
+                    if most {
+                        ord.is_gt()
+                    } else {
+                        ord.is_lt()
+                    }
+                }
+            };
+            if better {
+                best = Some((load, s));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
     /// Least-loaded reachable server of `gen` that can host `gang`, by
     /// projected load, plus the fitting-server count and scored candidates
     /// for decision provenance.
     fn target_in_gen(&self, gen: GenId, gang: u32) -> (Option<ServerId>, u32, Vec<Candidate>) {
         if !self.want_why {
-            // Untraced: plain min-scan, no allocation.
-            let mut best: Option<(f64, ServerId)> = None;
-            let mut considered = 0u32;
-            for s in self.view.reachable_servers_of_gen(gen) {
-                if s.num_gpus < gang {
-                    continue;
-                }
-                considered += 1;
-                let load = self.load(s.id);
-                if best
-                    .map(|(bl, bid)| load.total_cmp(&bl).then(s.id.cmp(&bid)).is_lt())
-                    .unwrap_or(true)
-                {
-                    best = Some((load, s.id));
-                }
-            }
-            return (best.map(|(_, id)| id), considered, Vec::new());
+            // Untraced: index-backed min, no allocation. The considered
+            // count is only ever read into provenance, which this path
+            // skips, so it is not tallied here.
+            return (self.extreme_in_gen(gen, gang, false), 0, Vec::new());
         }
         // Scores stay as plain pairs until after truncation (see the same
         // pattern in the central scheduler): label formatting is deferred
@@ -250,8 +286,8 @@ impl<'a, 'v> Planner<'a, 'v> {
         candidates: Vec<Candidate>,
     ) {
         let from = job.server.expect("resident job has a server");
-        *self.demand.get_mut(&from).expect("known server") -= job.gang;
-        *self.demand.get_mut(&to).expect("known server") += job.gang;
+        *self.delta.entry(from).or_insert(0) -= job.gang as i64;
+        *self.delta.entry(to).or_insert(0) += job.gang as i64;
         self.moved.insert(job.id);
         self.budget -= 1;
         self.actions.push(Action::Migrate { job: job.id, to });
@@ -272,34 +308,54 @@ impl<'a, 'v> Planner<'a, 'v> {
     /// Pass 1: send jobs of unprofiled models to the generations the
     /// profiler is missing (at most two per tick — profiling is background
     /// work, not the main event).
+    ///
+    /// Walks the index's model → active-jobs map, so a model's missing
+    /// generations are computed once per model instead of once per job and
+    /// fully-profiled models (the steady state) cost one lookup each.
+    /// The index's model → active-jobs map narrows the scan to jobs of
+    /// still-unprofiled models: in the steady state (every model profiled)
+    /// the pass costs one profiler lookup per active model and returns
+    /// before touching any job. The candidate jobs are visited in id order,
+    /// exactly as the former full active-job scan did.
     fn profiling_pass(&mut self, profiler: &Profiler) {
-        let mut sent_models: BTreeSet<std::sync::Arc<str>> = BTreeSet::new();
+        let view = self.view;
+        let mut missing_by_model: BTreeMap<&std::sync::Arc<str>, Vec<GenId>> = BTreeMap::new();
+        let mut probe_jobs: BTreeSet<JobId> = BTreeSet::new();
+        for (model, jobs) in view.active_models() {
+            let unprofiled = profiler.unprofiled_gens(model);
+            if !unprofiled.is_empty() {
+                missing_by_model.insert(model, unprofiled);
+                probe_jobs.extend(jobs.iter().copied());
+            }
+        }
+        if missing_by_model.is_empty() {
+            return;
+        }
+        let mut sent_models: BTreeSet<&std::sync::Arc<str>> = BTreeSet::new();
         let mut sent = 0u32;
-        let jobs: Vec<&JobInfo> = self.view.active_jobs().collect();
-        for job in jobs {
+        for &id in &probe_jobs {
             if self.budget == 0 || sent >= 2 {
                 return;
             }
+            let Some(job) = view.job(id) else {
+                continue;
+            };
             if !self.eligible(job) || sent_models.contains(&job.model) {
                 continue;
             }
             let Some(cur_server) = job.server else {
                 continue;
             };
-            let cur_gen = self.view.cluster().server(cur_server).gen;
+            let cur_gen = view.cluster().server(cur_server).gen;
             // Only consider gens this job could actually run on, and prefer
             // the fastest unprofiled one (most valuable information).
-            let missing: Vec<GenId> = profiler
-                .unprofiled_gens(&job.model)
-                .into_iter()
-                .filter(|&g| g != cur_gen)
-                .collect();
-            let Some(&gen) = missing.last() else {
+            let unprofiled = &missing_by_model[&job.model];
+            let Some(&gen) = unprofiled.iter().rfind(|&&g| g != cur_gen) else {
                 continue;
             };
             let (target, considered, candidates) = self.target_in_gen(gen, job.gang);
             if let Some(to) = target {
-                sent_models.insert(std::sync::Arc::clone(&job.model));
+                sent_models.insert(&job.model);
                 self.push_move(job, to, "profiling", TIE_BREAK_LOAD, considered, candidates);
                 sent += 1;
             }
@@ -310,14 +366,9 @@ impl<'a, 'v> Planner<'a, 'v> {
     /// from generations where they exceed their allocation toward
     /// generations where they have slack, biggest jobs first.
     fn realization_pass(&mut self, ent: &Entitlements) {
-        // Per (user, gen): GPUs currently consumed by resident jobs.
-        let mut used: BTreeMap<(gfair_types::UserId, GenId), f64> = BTreeMap::new();
-        for job in self.view.active_jobs() {
-            if let Some(server) = job.server {
-                let gen = self.view.cluster().server(server).gen;
-                *used.entry((job.user, gen)).or_insert(0.0) += job.gang as f64;
-            }
-        }
+        // Per (user, gen) GPUs consumed by placed jobs: read straight from
+        // the engine's materialized index (exact integer sums) instead of
+        // re-summing every active job each tick.
         let num_gens = ent.num_gens();
         let users: Vec<gfair_types::UserId> = ent.users().collect();
         for user in users {
@@ -329,7 +380,7 @@ impl<'a, 'v> Planner<'a, 'v> {
             let mut under: Option<(GenId, f64)> = None;
             for g in 0..num_gens {
                 let gen = GenId::new(g as u32);
-                let u = used.get(&(user, gen)).copied().unwrap_or(0.0);
+                let u = self.view.user_gen_assigned(user, gen) as f64;
                 let a = ent.get(user, gen);
                 let excess = u - a;
                 if excess > 1.0 && over.map(|(_, e)| excess > e).unwrap_or(true) {
@@ -381,19 +432,9 @@ impl<'a, 'v> Planner<'a, 'v> {
     fn fairness_pass(&mut self, ent: &Entitlements) {
         let gens: Vec<GenId> = self.view.cluster().catalog.ids().collect();
         let users: Vec<gfair_types::UserId> = ent.users().collect();
-        // Per-user demand, computed once for the whole pass: by server, and
-        // totaled by generation. The old code rescanned the user's job list
-        // for every (generation, user) pair.
-        let mut user_server_demand: BTreeMap<(gfair_types::UserId, ServerId), f64> =
-            BTreeMap::new();
-        let mut user_gen_demand: BTreeMap<(gfair_types::UserId, GenId), f64> = BTreeMap::new();
-        for job in self.view.active_jobs() {
-            if let Some(srv) = job.server {
-                let gen = self.view.cluster().server(srv).gen;
-                *user_server_demand.entry((job.user, srv)).or_insert(0.0) += job.gang as f64;
-                *user_gen_demand.entry((job.user, gen)).or_insert(0.0) += job.gang as f64;
-            }
-        }
+        // Per-user placed demand — by server and totaled by generation —
+        // comes from the engine's materialized index (exact integer sums),
+        // so the pass never scans the active-job list.
         for gen in gens {
             if self.budget == 0 {
                 return;
@@ -407,6 +448,12 @@ impl<'a, 'v> Planner<'a, 'v> {
                 continue;
             }
             let gen_gpus: u32 = servers.iter().map(|&(_, g)| g).sum();
+            // Size-ranked server list for the absence probe below: a server
+            // the user is absent from has deficit proportional to its size,
+            // so the best such candidate is the first entry of this list
+            // (biggest, then lowest-id) the user has nothing placed on.
+            let mut by_size: Vec<(ServerId, u32)> = servers.clone();
+            by_size.sort_by_key(|&(s, g)| (std::cmp::Reverse(g), s));
             for &user in &users {
                 if self.budget == 0 {
                     return;
@@ -417,9 +464,8 @@ impl<'a, 'v> Planner<'a, 'v> {
                 if alloc <= 0.0 {
                     continue;
                 }
-                // This user's demand on this generation, from the per-pass
-                // precomputed maps.
-                let total = user_gen_demand.get(&(user, gen)).copied().unwrap_or(0.0);
+                // This user's placed demand on this generation.
+                let total = self.view.user_gen_assigned(user, gen) as f64;
                 if total <= 0.0 {
                     continue;
                 }
@@ -427,18 +473,45 @@ impl<'a, 'v> Planner<'a, 'v> {
                 // per-server presence proportional to server size, capped by
                 // total demand.
                 let spreadable = total.min(alloc);
+                // Folding every server of the generation collapses to two
+                // sparse walks: servers the user is present on (the
+                // per-user index range — excess and deficit can both arise
+                // there) plus the single best absent server (`have == 0`,
+                // deficit == target — every other absent server has a
+                // smaller-or-equal deficit and a higher id). Ties keep the
+                // lowest id, exactly as the dense first-strict-max fold did.
                 let mut over: Option<(ServerId, f64)> = None;
                 let mut under: Option<(ServerId, f64)> = None;
-                for &(srv, gpus) in &servers {
+                let mut consider = |srv: ServerId, gpus: u32, have: f64| {
                     let target = spreadable * gpus as f64 / gen_gpus as f64;
-                    let have = user_server_demand.get(&(user, srv)).copied().unwrap_or(0.0);
                     let excess = have - target;
-                    if excess > 0.5 && over.map(|(_, e)| excess > e).unwrap_or(true) {
+                    if excess > 0.5
+                        && over
+                            .map(|(s, e)| excess > e || (excess == e && srv < s))
+                            .unwrap_or(true)
+                    {
                         over = Some((srv, excess));
                     }
                     let deficit = target - have;
-                    if deficit > 0.5 && under.map(|(_, d)| deficit > d).unwrap_or(true) {
+                    if deficit > 0.5
+                        && under
+                            .map(|(s, d)| deficit > d || (deficit == d && srv < s))
+                            .unwrap_or(true)
+                    {
                         under = Some((srv, deficit));
+                    }
+                };
+                for (srv, have) in self.view.user_server_assignments(user) {
+                    let spec = self.view.cluster().server(srv);
+                    if spec.gen != gen || !self.view.is_reachable(srv) {
+                        continue;
+                    }
+                    consider(srv, spec.num_gpus, have as f64);
+                }
+                for &(srv, gpus) in &by_size {
+                    if self.view.user_server_assigned(user, srv) == 0 {
+                        consider(srv, gpus, 0.0);
+                        break;
                     }
                 }
                 let (Some((src, excess)), Some((dst, deficit))) = (over, under) else {
@@ -485,26 +558,30 @@ impl<'a, 'v> Planner<'a, 'v> {
     fn spreading_pass(&mut self) {
         let gens: Vec<GenId> = self.view.cluster().catalog.ids().collect();
         for gen in gens {
+            // Reachability cannot change mid-tick, so the per-gen server
+            // list is collected once per generation, not once per move.
+            let servers: Vec<ServerId> = self
+                .view
+                .reachable_servers_of_gen(gen)
+                .map(|s| s.id)
+                .collect();
+            if servers.len() < 2 {
+                continue;
+            }
             loop {
                 if self.budget == 0 {
                     return;
                 }
-                let servers: Vec<ServerId> = self
-                    .view
-                    .reachable_servers_of_gen(gen)
-                    .map(|s| s.id)
-                    .collect();
-                if servers.len() < 2 {
-                    break;
-                }
-                let hi = *servers
-                    .iter()
-                    .max_by(|a, b| self.load(**a).total_cmp(&self.load(**b)).then(a.cmp(b)))
-                    .expect("non-empty");
-                let lo = *servers
-                    .iter()
-                    .min_by(|a, b| self.load(**a).total_cmp(&self.load(**b)).then(a.cmp(b)))
-                    .expect("non-empty");
+                // Most- and least-loaded under the same (load, id) total
+                // order the old dense max_by/min_by scans used, but read
+                // from the load index plus the move-delta overlay instead
+                // of re-scoring every server per move.
+                let hi = self
+                    .extreme_in_gen(gen, 0, true)
+                    .expect("guard ensures ≥ 2 reachable servers");
+                let lo = self
+                    .extreme_in_gen(gen, 0, false)
+                    .expect("guard ensures ≥ 2 reachable servers");
                 if self.load(hi) - self.load(lo) <= self.cfg.load_spread {
                     break;
                 }
@@ -520,8 +597,8 @@ impl<'a, 'v> Planner<'a, 'v> {
                     .filter(|j| self.eligible(j))
                     .filter(|j| j.gang as f64 <= lo_gpus)
                     .filter(|j| {
-                        let new_lo = (self.demand[&lo] + j.gang) as f64 / lo_gpus;
-                        let old_hi = self.demand[&hi] as f64 / hi_gpus;
+                        let new_lo = (self.projected_demand(lo) + j.gang as i64) as f64 / lo_gpus;
+                        let old_hi = self.projected_demand(hi) as f64 / hi_gpus;
                         new_lo < old_hi
                     })
                     .max_by_key(|j| (j.gang, std::cmp::Reverse(j.id)));

@@ -150,7 +150,7 @@ impl GandivaFair {
         }
         self.planner
             .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
-        self.placer.ensure_capacity(view.cluster().servers.len());
+        self.placer.ensure_capacity(view);
     }
 
     /// Recomputes base entitlements, re-runs the market and pushes the
@@ -236,7 +236,7 @@ impl GandivaFair {
                                 let mut rejected = Vec::new();
                                 if too_narrow > 0 {
                                     rejected.push(Rejection {
-                                        reason: "gang_too_wide_for_server".to_string(),
+                                        reason: "gang_too_wide_for_server".into(),
                                         count: too_narrow,
                                     });
                                 }
@@ -297,7 +297,7 @@ impl ClusterScheduler for GandivaFair {
         }
         match target {
             Some(server) => {
-                self.placer.note_placement(server, info.gang);
+                self.placer.note_placement(view, server, info.gang);
                 vec![Action::Place { job, server }]
             }
             // Unplaceable gangs are rejected at simulation construction, so
@@ -455,9 +455,14 @@ impl ClusterScheduler for GandivaFair {
                 Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
             })
             .collect();
-        let run =
-            self.planner
-                .plan_runs(view, &departing, self.cfg.min_weight, refreshed, &self.obs);
+        let run = self.planner.plan_runs(
+            view,
+            &departing,
+            self.cfg.min_weight,
+            refreshed,
+            self.cfg.lazy_planning,
+            &self.obs,
+        );
         RoundPlan { run, actions }
     }
 
@@ -514,8 +519,16 @@ impl ClusterScheduler for GandivaFair {
             return Vec::new();
         };
         // The user's effective priority is the best (lowest) stride pass
-        // among their jobs anywhere in the cluster.
-        let min_pass = self.planner.fold_min_passes();
+        // among their jobs anywhere in the cluster. Lazily-settled locals
+        // hold intentionally stale passes between settles, so passes are
+        // folded only for traced runs — where planning is always eager and
+        // they are exact. (0.0 is the schema's "no pass exposed" value, and
+        // auditing keys off tickets alone.)
+        let min_pass = if self.obs.tracing() {
+            self.planner.fold_min_passes()
+        } else {
+            BTreeMap::new()
+        };
         ent.users()
             .map(|user| UserShare {
                 user,

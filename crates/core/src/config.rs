@@ -104,6 +104,13 @@ pub struct GfairConfig {
     /// fast-forward"). Purely a performance knob: reports and traces are
     /// byte-identical either way, which the differential tests assert.
     pub fast_forward: bool,
+    /// Allow the round planner to settle servers lazily — re-plan only
+    /// servers whose residency, weights or quiescence span changed, serving
+    /// the rest from the cached selection. Purely a performance knob:
+    /// reports are byte-identical either way (asserted by the differential
+    /// tests), and traced runs always plan eagerly regardless of this flag
+    /// so per-round stride passes stay exact in the trace.
+    pub lazy_planning: bool,
     /// Themis lease length: how often the partial-allocation auction among
     /// the worst-ρ̂ users re-runs (only read by the `themis-ftf` policy).
     pub themis_lease: SimDuration,
@@ -129,6 +136,7 @@ impl Default for GfairConfig {
             max_migration_retries: 3,
             backoff_base: SimDuration::from_secs(60),
             fast_forward: true,
+            lazy_planning: true,
             themis_lease: SimDuration::from_mins(10),
             themis_filter: 0.5,
         }
@@ -192,6 +200,14 @@ impl GfairConfig {
         self.fast_forward = false;
         self
     }
+
+    /// Disables lazy plan settling (builder-style), forcing every server to
+    /// re-plan every round. Used by the differential tests (lazy vs eager
+    /// byte-equality) and by benchmarks that must isolate other costs.
+    pub fn without_lazy_planning(mut self) -> Self {
+        self.lazy_planning = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +258,8 @@ mod tests {
         assert!(GfairConfig::default().fast_forward);
         let c = GfairConfig::default().without_fast_forward();
         assert!(!c.fast_forward);
+        assert!(GfairConfig::default().lazy_planning);
+        let c = GfairConfig::default().without_lazy_planning();
+        assert!(!c.lazy_planning);
     }
 }

@@ -16,7 +16,6 @@ use crate::entitlement::Entitlements;
 use gfair_obs::{Candidate, Rejection};
 use gfair_sim::SimView;
 use gfair_types::{GenId, ServerId, ServerSpec, UserId};
-use std::collections::BTreeMap;
 
 /// Tie-break rule shared by every load-based server selection; quoted
 /// verbatim in [`gfair_obs::TraceEvent::Decision`] provenance.
@@ -52,6 +51,26 @@ pub(crate) struct Placer {
     /// candidate server on every placement, the hottest lookup in the
     /// arrival path.
     inflight: Vec<u32>,
+    /// Servers whose in-flight demand went `0 → nonzero` this round. Lets
+    /// [`Self::reset`] clear only the entries that changed — O(placements
+    /// this round), not O(servers).
+    touched: Vec<ServerId>,
+    /// The `(projected-load bits, id)` key each touched server currently
+    /// holds in its generation's set below, by `ServerId::index()`. Only
+    /// meaningful while `inflight > 0`.
+    touched_key: Vec<u64>,
+    /// Touched servers per generation, ordered by (projected load as
+    /// non-negative f64 bits, id) — the same total order `f64::total_cmp`
+    /// then id gives. Together with the residency index this answers
+    /// "least projected load in gen" without scanning the generation: the
+    /// index covers untouched servers (their projected load *is* their
+    /// resident load), these sets cover the rest.
+    touched_by_gen: Vec<std::collections::BTreeSet<(u64, ServerId)>>,
+    /// Consumed position in the sim index's residency dirty ring, used to
+    /// re-key touched servers whose *resident* demand changed (a finish or
+    /// migration mid-batch) so the set order stays equal to live projected
+    /// load.
+    dirty_cursor: u64,
 }
 
 impl Placer {
@@ -60,23 +79,101 @@ impl Placer {
         Placer::default()
     }
 
-    /// Grows the in-flight table to cover `servers` servers.
-    pub fn ensure_capacity(&mut self, servers: usize) {
+    /// Grows the in-flight table to cover the cluster's servers and the
+    /// per-generation touched sets to cover its generations.
+    pub fn ensure_capacity(&mut self, view: &SimView<'_>) {
+        let servers = view.cluster().servers.len();
         if self.inflight.len() < servers {
             self.inflight.resize(servers, 0);
+            self.touched_key.resize(servers, 0);
+        }
+        let gens = view.cluster().catalog.ids().count();
+        if self.touched_by_gen.len() < gens {
+            self.touched_by_gen
+                .resize_with(gens, std::collections::BTreeSet::new);
         }
     }
 
     /// Clears the in-flight book (queued placements were applied by the
     /// engine before the round boundary). Call once per `plan_round`.
+    /// O(servers that took a placement), not O(servers).
     pub fn reset(&mut self) {
-        self.inflight.fill(0);
+        for s in self.touched.drain(..) {
+            self.inflight[s.index()] = 0;
+        }
+        for set in &mut self.touched_by_gen {
+            set.clear();
+        }
+    }
+
+    /// The (projected-load bits, id) ordering key of `server` given its
+    /// current resident demand and in-flight placements.
+    fn key_of(&self, view: &SimView<'_>, server: ServerId) -> u64 {
+        let spec = view.cluster().server(server);
+        let pending = self.inflight[server.index()];
+        ((view.resident_demand(server) + pending) as f64 / spec.num_gpus as f64).to_bits()
+    }
+
+    /// Re-computes `server`'s key in its generation set after its resident
+    /// demand changed. No-op for servers with no in-flight placements (they
+    /// are not in any set).
+    fn rekey(&mut self, view: &SimView<'_>, server: ServerId) {
+        if self
+            .inflight
+            .get(server.index())
+            .is_none_or(|&pending| pending == 0)
+        {
+            return;
+        }
+        let gen = view.cluster().server(server).gen;
+        let set = &mut self.touched_by_gen[gen.index()];
+        set.remove(&(self.touched_key[server.index()], server));
+        let key = self.key_of(view, server);
+        self.touched_key[server.index()] = key;
+        self.touched_by_gen[gen.index()].insert((key, server));
+    }
+
+    /// Catches the touched-set keys up with residency changes (finishes and
+    /// migrations land immediately, mid-batch) by draining the sim index's
+    /// dirty ring. Amortized O(residency changes); on ring overflow every
+    /// touched server is re-keyed.
+    fn drain_dirty(&mut self, view: &SimView<'_>) {
+        let seq = view.residency_dirty_seq();
+        if seq == self.dirty_cursor {
+            return;
+        }
+        match view.residency_dirty_since(self.dirty_cursor) {
+            Some(dirty) => {
+                // The iterator borrows the view, not the placer.
+                let dirty: Vec<ServerId> = dirty.collect();
+                for s in dirty {
+                    self.rekey(view, s);
+                }
+            }
+            None => {
+                let touched = self.touched.clone();
+                for s in touched {
+                    self.rekey(view, s);
+                }
+            }
+        }
+        self.dirty_cursor = seq;
     }
 
     /// Records a placement issued this round, so later picks in the same
     /// round see the projected demand.
-    pub fn note_placement(&mut self, server: ServerId, gang: u32) {
-        self.inflight[server.index()] += gang;
+    pub fn note_placement(&mut self, view: &SimView<'_>, server: ServerId, gang: u32) {
+        let i = server.index();
+        let gen = view.cluster().server(server).gen;
+        if self.inflight[i] > 0 {
+            self.touched_by_gen[gen.index()].remove(&(self.touched_key[i], server));
+        } else {
+            self.touched.push(server);
+        }
+        self.inflight[i] += gang;
+        let key = self.key_of(view, server);
+        self.touched_key[i] = key;
+        self.touched_by_gen[gen.index()].insert((key, server));
     }
 
     /// Server load including placements issued this round but not yet
@@ -85,6 +182,61 @@ impl Placer {
         let gpus = view.cluster().server(server).num_gpus;
         let pending = self.inflight.get(server.index()).copied().unwrap_or(0);
         (view.resident_demand(server) + pending) as f64 / gpus as f64
+    }
+
+    /// Least-(projected load, id) reachable server of `gen` that fits
+    /// `gang`, via the residency index instead of a generation scan.
+    ///
+    /// `SimView::servers_by_load` iterates `gen`'s servers in exactly the
+    /// (resident load by `f64::total_cmp`, id) order, and a server with no
+    /// in-flight placements has a projected load bit-identical to its index
+    /// key — so the first reachable fitting server with an empty in-flight
+    /// slot is the minimum over all such servers. Touched servers are
+    /// covered by their generation's key-ordered set (kept equal to live
+    /// projected load by [`Self::drain_dirty`]), walked the same way. The
+    /// winner is the minimum of the two — exactly
+    /// [`Self::pick_least_loaded`]'s selection, in O(log touched + probe)
+    /// instead of O(servers of the generation). Callers must `drain_dirty`
+    /// first.
+    fn pick_in_gen_indexed(
+        &self,
+        view: &SimView<'_>,
+        gen: GenId,
+        gang: u32,
+    ) -> Option<(f64, ServerId)> {
+        let mut best: Option<(f64, ServerId)> = None;
+        for s in view.servers_by_load(gen) {
+            if !view.is_reachable(s) || view.cluster().server(s).num_gpus < gang {
+                continue;
+            }
+            if self.inflight.get(s.index()).copied().unwrap_or(0) > 0 {
+                continue; // covered by the touched set below
+            }
+            best = Some((view.server_load(s), s));
+            break;
+        }
+        if let Some(set) = self.touched_by_gen.get(gen.index()) {
+            for &(key, s) in set {
+                if !view.is_reachable(s) || view.cluster().server(s).num_gpus < gang {
+                    continue;
+                }
+                let load = f64::from_bits(key);
+                debug_assert_eq!(
+                    load.to_bits(),
+                    self.projected_load(view, s).to_bits(),
+                    "stale touched key for {s}"
+                );
+                let better = match best {
+                    None => true,
+                    Some((bl, bid)) => load.total_cmp(&bl).then(s.cmp(&bid)).is_lt(),
+                };
+                if better {
+                    best = Some((load, s));
+                }
+                break;
+            }
+        }
+        best
     }
 
     /// Scores every server in `scope` that fits the gang by projected load
@@ -156,36 +308,40 @@ impl Placer {
     /// Alongside the choice, returns the [`ChoiceWhy`] provenance the
     /// caller renders into a [`gfair_obs::TraceEvent::Decision`].
     pub fn choose_server_explained(
-        &self,
+        &mut self,
         view: &SimView<'_>,
         ent: Option<&Entitlements>,
         user: UserId,
         gang: u32,
         want_why: bool,
     ) -> (Option<ServerId>, Option<ChoiceWhy>) {
-        // Current per-gen usage of this user.
-        let mut used: BTreeMap<GenId, f64> = BTreeMap::new();
-        for j in view.jobs_of_user(user) {
-            if let Some(s) = j.server {
-                *used.entry(view.cluster().server(s).gen).or_insert(0.0) += j.gang as f64;
-            }
+        if !want_why {
+            // The index-backed picks below read the touched-set keys; bring
+            // them up to date with residency changes since the last pick.
+            self.drain_dirty(view);
         }
         let mut rejected: Vec<Rejection> = Vec::new();
         if let Some(ent) = ent {
             let mut gens_without_slack = 0u32;
             let mut best_gen: Option<(GenId, f64)> = None;
             for gen in view.cluster().catalog.ids() {
-                let slack = ent.get(user, gen) - used.get(&gen).copied().unwrap_or(0.0);
+                // The user's placed GPUs on this generation, from the
+                // residency index (migrating jobs count toward their
+                // destination, same as a scan over the user's jobs).
+                let used = view.user_gen_assigned(user, gen) as f64;
+                let slack = ent.get(user, gen) - used;
                 if slack <= 0.0 {
                     gens_without_slack += 1;
                     continue;
                 }
                 if best_gen.map(|(_, s)| slack > s).unwrap_or(true) {
                     // Only generations with an online server wide enough
-                    // for the gang.
+                    // for the gang. `servers_by_load` walks just this gen's
+                    // servers (usually stopping at the first), not the
+                    // whole cluster.
                     if view
-                        .reachable_servers_of_gen(gen)
-                        .any(|s| s.num_gpus >= gang)
+                        .servers_by_load(gen)
+                        .any(|s| view.is_reachable(s) && view.cluster().server(s).num_gpus >= gang)
                     {
                         best_gen = Some((gen, slack));
                     }
@@ -193,11 +349,18 @@ impl Placer {
             }
             if want_why && gens_without_slack > 0 {
                 rejected.push(Rejection {
-                    reason: "gen_without_slack".to_string(),
+                    reason: "gen_without_slack".into(),
                     count: gens_without_slack,
                 });
             }
             if let Some((gen, slack)) = best_gen {
+                if !want_why {
+                    // Index-backed pick: same server as the generation scan
+                    // below, without walking the generation.
+                    if let Some((_, server)) = self.pick_in_gen_indexed(view, gen, gang) {
+                        return (Some(server), None);
+                    }
+                }
                 let (target, considered, too_narrow, candidates) = self.pick_least_loaded(
                     view,
                     gang,
@@ -210,7 +373,7 @@ impl Placer {
                     }
                     if too_narrow > 0 {
                         rejected.push(Rejection {
-                            reason: "gang_too_wide_for_server".to_string(),
+                            reason: "gang_too_wide_for_server".into(),
                             count: too_narrow,
                         });
                     }
@@ -231,24 +394,37 @@ impl Placer {
             }
         }
         // Work conservation fallback: least-loaded fitting server anywhere.
-        if want_why {
-            let total = view.cluster().servers.len() as u32;
-            let reachable = view.reachable_servers().count() as u32;
-            if total > reachable {
-                rejected.push(Rejection {
-                    reason: "unreachable".to_string(),
-                    count: total - reachable,
-                });
+        if !want_why {
+            // Min over the per-generation index-backed picks — same winner
+            // as a full reachable-cluster scan, in O(gens + placements this
+            // round).
+            let mut best: Option<(f64, ServerId)> = None;
+            for gen in view.cluster().catalog.ids() {
+                if let Some((load, s)) = self.pick_in_gen_indexed(view, gen, gang) {
+                    let better = match best {
+                        None => true,
+                        Some((bl, bid)) => load.total_cmp(&bl).then(s.cmp(&bid)).is_lt(),
+                    };
+                    if better {
+                        best = Some((load, s));
+                    }
+                }
             }
+            return (best.map(|(_, s)| s), None);
+        }
+        let total = view.cluster().servers.len() as u32;
+        let reachable = view.reachable_count();
+        if total > reachable {
+            rejected.push(Rejection {
+                reason: "unreachable".into(),
+                count: total - reachable,
+            });
         }
         let (target, considered, too_narrow, candidates) =
             self.pick_least_loaded(view, gang, view.reachable_servers(), want_why);
-        if !want_why {
-            return (target, None);
-        }
         if too_narrow > 0 {
             rejected.push(Rejection {
-                reason: "gang_too_wide_for_server".to_string(),
+                reason: "gang_too_wide_for_server".into(),
                 count: too_narrow,
             });
         }

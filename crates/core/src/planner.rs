@@ -15,6 +15,37 @@
 //! - **quiescence fast-forward** — [`RoundPlanner::probe`] checks each
 //!   local scheduler's replay horizon and [`RoundPlanner::commit`] advances
 //!   stride state analytically.
+//!
+//! ## Lazy settling (O(dirty-servers) planning)
+//!
+//! When no trace sink is attached (and `GfairConfig::lazy_planning` is on),
+//! the planner switches to an incremental mode: instead of syncing and
+//! re-planning every server every round, it keeps the last selection per
+//! server (`cached_run`) and only *settles* — fast-forwards the lagging
+//! stride state, syncs, re-plans — servers that provably need it:
+//!
+//! * servers whose residency changed since the last round, discovered from
+//!   the sim index's bounded dirty ring ([`SimView::residency_dirty_since`]);
+//! * servers hosting a job departing this round (their selection must
+//!   exclude it, and they re-settle next round because the exclusion is
+//!   synthetic);
+//! * servers whose *quiescence span* expired: at each settle the planner
+//!   asks the local scheduler how many future rounds reproduce the fresh
+//!   selection verbatim ([`LocalScheduler::quiescent_rounds`], capped at
+//!   [`QUIESCENT_SPAN`]) and records `valid_until = round + span` in an
+//!   expiry queue. A cached selection is only ever reused strictly within
+//!   its span, so the replay is byte-identical to per-round planning — the
+//!   same differential guarantee quiescence fast-forward rests on, applied
+//!   per server instead of per cluster.
+//!
+//! Weight refreshes settle every server (the same cost the eager path pays
+//! every round), and an overflowed dirty ring falls back to a full settle.
+//! The span cap also bounds each settle's catch-up fast-forward, so no
+//! single round pays more than `O(span)` per touched server.
+//!
+//! Traced runs keep the eager path: `RoundPlanned` records each user's
+//! *current* minimum stride pass every round, and lazily-settled servers
+//! hold passes that are intentionally stale between settles.
 
 use crate::entitlement::Entitlements;
 use crate::local::LocalScheduler;
@@ -25,6 +56,22 @@ use gfair_stride::GangPolicy;
 use gfair_types::{JobId, ServerId, UserId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Cap on the per-settle quiescence probe, and therefore on how far any
+/// server's stride state may lag behind the current round. Stable servers
+/// (one client, or none) re-settle only this often — an O(span) float
+/// replay amortizing to O(1) per round — while contended servers break the
+/// probe early and settle at their natural reorder cadence.
+const QUIESCENT_SPAN: u64 = 4096;
+
+/// Floor for the adaptive per-settle probe budget (see
+/// [`RoundPlanner::plan_runs_lazy`]). The probe replays the stride scan
+/// round by round, so probing the full [`QUIESCENT_SPAN`] on a server that
+/// an arrival will dirty ten rounds later wastes the whole span's work; the
+/// planner instead probes about twice the server's observed settle-to-settle
+/// gap, clamped to `[QUIESCENT_MIN, QUIESCENT_SPAN]`, which grows
+/// geometrically on quiet servers and stays small on churning ones.
+const QUIESCENT_MIN: u64 = 16;
 
 /// Weight of `u` in an id-sorted per-server weight vec, if present.
 pub(crate) fn weight_lookup(weights: &[(UserId, f64)], u: UserId) -> Option<f64> {
@@ -75,6 +122,32 @@ pub(crate) struct RoundPlanner {
     /// `available_parallelism` re-reads cgroup state on every call, which is
     /// far too slow for the per-round path.
     workers: usize,
+    /// Whether this planner runs the lazy-settling path, decided once at the
+    /// first [`plan_runs`](Self::plan_runs) call (config allows it and no
+    /// trace sink is attached). `None` until then.
+    lazy: Option<bool>,
+    /// Rounds planned and committed so far (lazy mode only): `plan_runs`
+    /// advances it by one, [`commit`](Self::commit) by the fast-forward span.
+    cur_round: u64,
+    /// Per-server `(settled_round, valid_until)` by `ServerId::index()`
+    /// (lazy mode): the round the server's local state was last settled at,
+    /// and the last round its cached selection is proven to reproduce.
+    meta: Vec<(u64, u64)>,
+    /// `(valid_until, server)` expiry queue over `meta` — the next round any
+    /// server *must* settle is `expiry.first().0 + 1`.
+    expiry: BTreeSet<(u64, ServerId)>,
+    /// Consumed position in the sim index's residency dirty ring.
+    dirty_cursor: u64,
+    /// Last settled selection per server, nonempty selections only — the run
+    /// map lazy rounds return.
+    cached_run: BTreeMap<ServerId, Vec<JobId>>,
+    /// Which generations' weight vectors actually changed at the last
+    /// [`refresh_weights`](Self::refresh_weights), by `GenId::index()`.
+    /// Entitlements are re-derived every epoch but usually converge to the
+    /// exact same values, so a refresh round only needs to re-sync the
+    /// servers of generations whose vector really moved — bit-identical
+    /// weights make every downstream weight application a no-op.
+    changed_gens: Vec<bool>,
 }
 
 impl RoundPlanner {
@@ -92,6 +165,17 @@ impl RoundPlanner {
                 self.locals
                     .insert(s.id, LocalScheduler::new(s.id, s.num_gpus, gang_policy));
             }
+            // Lazy-settling state: every server starts unsettled (valid
+            // through round 0), so the first planned round settles them all.
+            let len = view
+                .cluster()
+                .servers
+                .iter()
+                .map(|s| s.id.index() + 1)
+                .max()
+                .unwrap_or(0);
+            self.meta = vec![(0, 0); len];
+            self.expiry = self.locals.keys().map(|&s| (0, s)).collect();
         }
         if self.workers == 0 {
             self.workers = planning_workers(configured, self.locals.len());
@@ -141,37 +225,55 @@ impl RoundPlanner {
                 .map(|u| (u, ent.get(u, gen).max(min_weight)))
                 .collect();
         }
+        self.changed_gens = gen_weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| self.gen_weights.get(i) != Some(w))
+            .collect();
         self.gen_weights = gen_weights;
     }
 
-    /// Syncs every local scheduler and collects the per-server run sets for
-    /// this quantum, excluding `departing` jobs (ones this round's actions
-    /// move or place). `refreshed` says whether the weight cache was rebuilt
-    /// since the last call.
+    /// Syncs local schedulers and collects the per-server run sets for this
+    /// quantum, excluding `departing` jobs (ones this round's actions move
+    /// or place). `refreshed` says whether the weight cache was rebuilt
+    /// since the last call; `lazy_cfg` is `GfairConfig::lazy_planning`.
     ///
-    /// Sequential (`workers == 1`) and parallel paths produce byte-identical
-    /// run maps: per-server planning commutes and the merge re-inserts in
-    /// server-id order.
+    /// Eager mode touches every server; lazy mode (see the module docs)
+    /// settles only dirty, departing-host and span-expired servers and
+    /// serves the rest from `cached_run`. Both modes, and the sequential
+    /// (`workers == 1`) and parallel eager paths, produce byte-identical run
+    /// maps: per-server planning commutes, merges re-insert in server-id
+    /// order, and a cached selection is only reused strictly within its
+    /// proven quiescence span.
     pub fn plan_runs(
         &mut self,
         view: &SimView<'_>,
         departing: &BTreeSet<JobId>,
         min_weight: f64,
         refreshed: bool,
+        lazy_cfg: bool,
         obs: &SharedObs,
     ) -> BTreeMap<ServerId, Vec<JobId>> {
+        // Decide the mode once: traced runs need exact per-round stride
+        // passes in `RoundPlanned`, so they keep the eager path.
+        let lazy = *self.lazy.get_or_insert(lazy_cfg && !obs.tracing());
         // A reachable server always plans on the current per-gen weights;
         // any stale snapshot it held while unreachable is dropped the round
         // it comes back (entitlements are re-refreshed on heal, so it
         // converges to the live economy immediately). A dropped snapshot
-        // changes that server's effective weights, so the round counts as
-        // weight-dirty just like an entitlement refresh.
-        let mut weights_dirty = refreshed;
+        // changes that server's effective weights, so that server counts as
+        // weight-dirty just like one whose generation vector moved.
+        let mut dropped: BTreeSet<ServerId> = BTreeSet::new();
         self.stale_weights.retain(|s, _| {
             let keep = !view.is_reachable(*s);
-            weights_dirty |= !keep;
+            if !keep {
+                dropped.insert(*s);
+            }
             keep
         });
+        if lazy {
+            return self.plan_runs_lazy(view, departing, min_weight, refreshed, &dropped, obs);
+        }
         let mut run: BTreeMap<ServerId, Vec<JobId>> = BTreeMap::new();
         let workers = self.workers.max(1);
         let pool = &mut self.pool;
@@ -181,6 +283,7 @@ impl RoundPlanner {
         let locals = &mut self.locals;
         let gen_weights = &self.gen_weights;
         let stale_weights = &self.stale_weights;
+        let changed_gens = &self.changed_gens;
         let cluster = view.cluster();
         // The weight vector a server plans on: its stale snapshot while
         // unreachable, the live per-gen vector otherwise.
@@ -195,6 +298,18 @@ impl RoundPlanner {
                         .unwrap_or(&[])
                 })
         };
+        // Whether this server's effective weights may differ from what its
+        // local scheduler last applied. Unchanged (bit-identical) vectors
+        // make the weight refresh inside `sync` a no-op, so such servers
+        // keep their version-check fast path even on refresh rounds.
+        let weight_dirty = |server: ServerId| -> bool {
+            (refreshed
+                && changed_gens
+                    .get(cluster.server(server).gen.index())
+                    .copied()
+                    .unwrap_or(true))
+                || dropped.contains(&server)
+        };
         let obs = Arc::clone(obs);
         obs.time(Phase::GangPacking, || {
             if workers <= 1 {
@@ -204,7 +319,7 @@ impl RoundPlanner {
                         view,
                         departing,
                         |u| weight_lookup(weights, u).unwrap_or(min_weight),
-                        weights_dirty,
+                        weight_dirty(server),
                     );
                     let selected = local.plan();
                     if !selected.is_empty() {
@@ -237,7 +352,7 @@ impl RoundPlanner {
                                     view,
                                     departing,
                                     |u| weight_lookup(weights, u).unwrap_or(min_weight),
-                                    weights_dirty,
+                                    weight_dirty(*server),
                                 );
                                 (*server, local.plan())
                             })
@@ -255,11 +370,168 @@ impl RoundPlanner {
         run
     }
 
+    /// The lazy-settling round: drain the residency dirty ring, settle the
+    /// union of dirty, weight-changed, departing-host and span-expired
+    /// servers (every server on ring overflow), and return the cached run
+    /// map. `refreshed` and `dropped` carry the weight-dirtiness inputs:
+    /// generations whose refreshed vector really changed, and servers whose
+    /// stale snapshot was just dropped.
+    fn plan_runs_lazy(
+        &mut self,
+        view: &SimView<'_>,
+        departing: &BTreeSet<JobId>,
+        min_weight: f64,
+        refreshed: bool,
+        dropped: &BTreeSet<ServerId>,
+        obs: &SharedObs,
+    ) -> BTreeMap<ServerId, Vec<JobId>> {
+        let r = self.cur_round + 1;
+        self.cur_round = r;
+        let mut settle_all = false;
+        let mut to_settle: BTreeSet<ServerId> = BTreeSet::new();
+        match view.residency_dirty_since(self.dirty_cursor) {
+            Some(dirty) => to_settle.extend(dirty),
+            None => settle_all = true,
+        }
+        self.dirty_cursor = view.residency_dirty_seq();
+        // Weight-dirty servers: every server of a generation whose refreshed
+        // weight vector actually changed, plus healed servers that just
+        // dropped a stale snapshot. Refreshes that converge to bit-identical
+        // vectors (the common case at steady state) dirty nothing here.
+        if refreshed && self.changed_gens.iter().any(|&c| c) {
+            for s in &view.cluster().servers {
+                if self
+                    .changed_gens
+                    .get(s.gen.index())
+                    .copied()
+                    .unwrap_or(true)
+                {
+                    to_settle.insert(s.id);
+                }
+            }
+        }
+        to_settle.extend(dropped.iter().copied());
+        // Hosts of departing jobs must exclude them from this round's
+        // selection. (A job being *placed* this round has no host yet; its
+        // target server turns dirty once the action applies.)
+        let mut departing_hosts: BTreeSet<ServerId> = BTreeSet::new();
+        for &j in departing {
+            if let Some(server) = view.job(j).and_then(|info| info.server) {
+                departing_hosts.insert(server);
+            }
+        }
+        to_settle.extend(departing_hosts.iter().copied());
+        while let Some(&(vu, server)) = self.expiry.first() {
+            if vu >= r {
+                break;
+            }
+            self.expiry.pop_first();
+            to_settle.insert(server);
+        }
+        let locals = &mut self.locals;
+        let meta = &mut self.meta;
+        let expiry = &mut self.expiry;
+        let cached = &mut self.cached_run;
+        let gen_weights = &self.gen_weights;
+        let stale_weights = &self.stale_weights;
+        let changed_gens = &self.changed_gens;
+        let cluster = view.cluster();
+        let weights_of = |server: ServerId| -> &[(UserId, f64)] {
+            stale_weights
+                .get(&server)
+                .map(Vec::as_slice)
+                .unwrap_or_else(|| {
+                    gen_weights
+                        .get(cluster.server(server).gen.index())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+        };
+        let weight_dirty = |server: ServerId| -> bool {
+            (refreshed
+                && changed_gens
+                    .get(cluster.server(server).gen.index())
+                    .copied()
+                    .unwrap_or(true))
+                || dropped.contains(&server)
+        };
+        let obs = Arc::clone(obs);
+        obs.time(Phase::GangPacking, || {
+            // Catch the local state up to the previous round (the cached
+            // selection replays verbatim across the lag by the quiescence
+            // guarantee), re-derive, and re-probe the new span.
+            let mut settle = |server: ServerId, local: &mut LocalScheduler| {
+                let m = &mut meta[server.index()];
+                let lag = (r - 1).saturating_sub(m.0);
+                if lag > 0 {
+                    local.fast_forward(lag);
+                }
+                let weights = weights_of(server);
+                local.sync(
+                    view,
+                    departing,
+                    |u| weight_lookup(weights, u).unwrap_or(min_weight),
+                    weight_dirty(server),
+                );
+                let selected = local.plan();
+                // Adaptive probe budget: ~2x the settle-to-settle gap (see
+                // `QUIESCENT_MIN`). The budget only decides how far ahead
+                // the replay guarantee is *sought*, never how it is used, so
+                // any budget schedule yields byte-identical plans.
+                let gap = r.saturating_sub(m.0).max(1);
+                let cap = (gap.saturating_mul(2)).clamp(QUIESCENT_MIN, QUIESCENT_SPAN);
+                let span = local.quiescent_rounds(&selected, cap);
+                let vu = r + span;
+                expiry.remove(&(m.1, server));
+                expiry.insert((vu, server));
+                *m = (r, vu);
+                if selected.is_empty() {
+                    cached.remove(&server);
+                } else {
+                    cached.insert(server, selected);
+                }
+            };
+            if settle_all {
+                for (&server, local) in locals.iter_mut() {
+                    settle(server, local);
+                }
+            } else {
+                for &server in &to_settle {
+                    if let Some(local) = locals.get_mut(&server) {
+                        settle(server, local);
+                    }
+                }
+            }
+            // A departing job's exclusion is synthetic: if the action is
+            // skipped (raced a fault), the job stays resident without a
+            // dirty mark, so its host's fresh span must not outlive this
+            // round — force a re-settle next round.
+            for &server in &departing_hosts {
+                let m = &mut meta[server.index()];
+                if m.1 > r {
+                    expiry.remove(&(m.1, server));
+                    expiry.insert((r, server));
+                    m.1 = r;
+                }
+            }
+        });
+        self.cached_run.clone()
+    }
+
     /// All-or-nothing fast-forward probe across servers: the replayable
     /// horizon is the minimum over every local scheduler's differential
     /// check against the cached plan (absent servers must reproduce an empty
     /// selection). Must not mutate state.
+    ///
+    /// Lazy mode answers from the expiry queue in O(1): every cached
+    /// selection is proven through its `valid_until` round, so the whole
+    /// cluster replays through the earliest one.
     pub fn probe(&self, run: &BTreeMap<ServerId, Vec<JobId>>, k: u64) -> u64 {
+        if self.lazy == Some(true) {
+            debug_assert_eq!(run, &self.cached_run, "probe against a stale plan");
+            let min_vu = self.expiry.first().map(|&(vu, _)| vu).unwrap_or(u64::MAX);
+            return k.min(min_vu.saturating_sub(self.cur_round));
+        }
         let mut j = k;
         for (&server, local) in self.locals.iter() {
             let expected = run.get(&server).map(Vec::as_slice).unwrap_or(&[]);
@@ -271,9 +543,15 @@ impl RoundPlanner {
         j
     }
 
-    /// Advances every local scheduler's stride state by `j` quanta in one
-    /// analytic step.
+    /// Advances stride state by `j` quanta in one analytic step. Lazy mode
+    /// only advances the round counter — each server's state catches up at
+    /// its next settle (the lag replay), and the probe guaranteed `j` stays
+    /// within every span.
     pub fn commit(&mut self, j: u64) {
+        if self.lazy == Some(true) {
+            self.cur_round += j;
+            return;
+        }
         for local in self.locals.values_mut() {
             local.fast_forward(j);
         }

@@ -52,18 +52,19 @@ pub(crate) fn active_signature(view: &SimView<'_>) -> Vec<(UserId, u64)> {
         .collect()
 }
 
-/// Per-user total GPU demand (sum of active gang sizes).
+/// Per-user total GPU demand (sum of active gang sizes), read straight
+/// from the engine's materialized per-user aggregates.
 pub(crate) fn demands(view: &SimView<'_>) -> BTreeMap<UserId, f64> {
-    let mut d = BTreeMap::new();
-    for j in view.active_jobs() {
-        *d.entry(j.user).or_insert(0.0) += j.gang as f64;
-    }
-    d
+    view.user_demands().map(|(u, d)| (u, d as f64)).collect()
 }
 
 /// Per-user, per-generation speedup estimates: the demand-weighted mean
 /// of the profiled speedups of the user's active jobs' models. `None`
 /// where no job of the user is profiled on that generation.
+///
+/// Folds over the index's (user, model) demand aggregates, so each model
+/// is looked up in the profiler once per user holding it — not once per
+/// job — and the cost scales with distinct (user, model) pairs.
 pub(crate) fn user_speedups(
     profiler: &Profiler,
     view: &SimView<'_>,
@@ -73,12 +74,12 @@ pub(crate) fn user_speedups(
     let mut out: BTreeMap<UserId, Vec<Option<f64>>> = BTreeMap::new();
     let mut weights: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
     let mut sums: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
-    for j in view.active_jobs() {
+    for (user, model, demand) in view.user_model_demands() {
         for g in 0..num_gens {
             let gen = GenId::new(g as u32);
-            if let Some(s) = profiler.speedup(&j.model, gen, base) {
-                *weights.entry((j.user, g)).or_insert(0.0) += j.gang as f64;
-                *sums.entry((j.user, g)).or_insert(0.0) += s * j.gang as f64;
+            if let Some(s) = profiler.speedup(model, gen, base) {
+                *weights.entry((user, g)).or_insert(0.0) += demand as f64;
+                *sums.entry((user, g)).or_insert(0.0) += s * demand as f64;
             }
         }
     }
@@ -352,7 +353,7 @@ impl<P: AllocPolicy> PolicyScheduler<P> {
         }
         self.planner
             .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
-        self.placer.ensure_capacity(view.cluster().servers.len());
+        self.placer.ensure_capacity(view);
         if self.quantum_micros == 0 {
             self.quantum_micros = view.config().quantum.as_micros();
         }
@@ -443,7 +444,7 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
         }
         match target {
             Some(server) => {
-                self.placer.note_placement(server, info.gang);
+                self.placer.note_placement(view, server, info.gang);
                 vec![Action::Place { job, server }]
             }
             // Unplaceable gangs are rejected at simulation construction, so
@@ -552,9 +553,14 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
                 Action::Migrate { job, .. } | Action::Place { job, .. } => *job,
             })
             .collect();
-        let run =
-            self.planner
-                .plan_runs(view, &departing, self.cfg.min_weight, refreshed, &self.obs);
+        let run = self.planner.plan_runs(
+            view,
+            &departing,
+            self.cfg.min_weight,
+            refreshed,
+            self.cfg.lazy_planning,
+            &self.obs,
+        );
 
         // 5. Service accounting for ρ̂: every scheduled job accrues one
         // quantum (integer micros, replayed exactly on fast-forward).
@@ -628,8 +634,16 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
             return Vec::new();
         };
         // The user's effective priority is the best (lowest) stride pass
-        // among their jobs anywhere in the cluster.
-        let min_pass = self.planner.fold_min_passes();
+        // among their jobs anywhere in the cluster. Lazily-settled locals
+        // hold intentionally stale passes between settles, so passes are
+        // folded only for traced runs — where planning is always eager and
+        // they are exact. (0.0 is the schema's "no pass exposed" value, and
+        // auditing keys off tickets alone.)
+        let min_pass = if self.obs.tracing() {
+            self.planner.fold_min_passes()
+        } else {
+            BTreeMap::new()
+        };
         ent.users()
             .map(|user| UserShare {
                 user,

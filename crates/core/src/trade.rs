@@ -153,7 +153,7 @@ pub fn run_market_traced(
             ],
             rejected: if users_total > considered {
                 vec![Rejection {
-                    reason: "idle_or_unprofiled".to_string(),
+                    reason: "idle_or_unprofiled".into(),
                     count: users_total - considered,
                 }]
             } else {

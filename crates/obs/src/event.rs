@@ -52,8 +52,10 @@ pub struct Candidate {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rejection {
     /// Why the alternatives were not eligible, e.g. `unreachable` or
-    /// `does_not_fit`.
-    pub reason: String,
+    /// `does_not_fit`. A `Cow` so the (fixed) vocabulary of reason strings
+    /// can be borrowed `'static` literals — hot rejection paths then never
+    /// allocate — while deserialized traces still own their strings.
+    pub reason: std::borrow::Cow<'static, str>,
     /// How many alternatives were rejected for this reason.
     pub count: u32,
 }
@@ -837,7 +839,7 @@ impl TraceEvent {
                     .iter()
                     .map(|r| {
                         Ok(Rejection {
-                            reason: get_str(r, k, "reason")?,
+                            reason: get_str(r, k, "reason")?.into(),
                             count: get_u32(r, k, "count")?,
                         })
                     })
@@ -1264,7 +1266,7 @@ mod tests {
                 },
             ],
             rejected: vec![Rejection {
-                reason: "does_not_fit".to_string(),
+                reason: "does_not_fit".into(),
                 count: 2,
             }],
         };
@@ -1411,7 +1413,7 @@ mod tests {
                     score: 0.125,
                 }],
                 rejected: vec![Rejection {
-                    reason: "unreachable".to_string(),
+                    reason: "unreachable".into(),
                     count: 1,
                 }],
             },

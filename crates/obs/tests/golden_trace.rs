@@ -164,7 +164,7 @@ fn golden_events() -> Vec<TraceEvent> {
                 },
             ],
             rejected: vec![Rejection {
-                reason: "gang_too_wide_for_server".to_string(),
+                reason: "gang_too_wide_for_server".into(),
                 count: 4,
             }],
         },

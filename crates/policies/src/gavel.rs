@@ -197,7 +197,7 @@ impl AllocPolicy for GavelHetero {
             let mut rejected = Vec::new();
             if static_total > reachable {
                 rejected.push(Rejection {
-                    reason: "unreachable_capacity".to_string(),
+                    reason: "unreachable_capacity".into(),
                     count: (static_total - reachable) as u32,
                 });
             }

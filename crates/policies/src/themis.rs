@@ -108,7 +108,7 @@ impl AllocPolicy for ThemisFtf {
             let mut rejected = Vec::new();
             if n > w {
                 rejected.push(Rejection {
-                    reason: "below_rho_filter".to_string(),
+                    reason: "below_rho_filter".into(),
                     count: (n - w) as u32,
                 });
             }

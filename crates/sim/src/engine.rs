@@ -58,6 +58,11 @@ pub struct Simulation {
     /// Servers whose local scheduler the central scheduler cannot currently
     /// reach (they keep running, but decisions targeting them are dropped).
     partitioned: BTreeSet<ServerId>,
+    /// |down ∪ partitioned|, maintained across failure/recovery/partition
+    /// transitions so the view's reachable count is O(1).
+    unreachable: u32,
+    /// Total GPUs on online servers, maintained across fail/recover.
+    gpus_up: u32,
     /// Fault injector, when a [`FaultPlan`] was attached; `None` keeps the
     /// fault machinery entirely off the hot path.
     faults: Option<FaultInjector>,
@@ -101,6 +106,11 @@ pub struct Simulation {
     /// at 1 so the vector's default of zero never reads as warm.
     warm_stamp: Vec<u64>,
     warm_serial: u64,
+    /// Round-stamp per job (by `JobId::index()`) for duplicate-grant
+    /// detection while validating a plan's run sets: a job stamped with the
+    /// current round number has already been granted this round. Rounds
+    /// start at 1, so the vector's default of zero never collides.
+    dup_stamp: Vec<u64>,
     round_limit: u64,
     /// Observability pipeline: every lifecycle and scheduling decision is
     /// emitted through it, and its online auditor can abort the run.
@@ -178,9 +188,10 @@ impl Simulation {
             .iter()
             .map(|s| (s.id, BTreeSet::new()))
             .collect();
-        let index = ClusterIndex::new(residents.keys().copied());
+        let index = ClusterIndex::new(&cluster);
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let num_gens = cluster.catalog.len().max(1);
+        let gpus_up = cluster.servers.iter().map(|s| s.num_gpus).sum();
         Ok(Simulation {
             cluster,
             users,
@@ -190,6 +201,8 @@ impl Simulation {
             index,
             down: BTreeSet::new(),
             partitioned: BTreeSet::new(),
+            unreachable: 0,
+            gpus_up,
             faults: None,
             pending_fault_notices: Vec::new(),
             queue,
@@ -215,6 +228,7 @@ impl Simulation {
             acct_server_gpu_secs: Vec::new(),
             num_gens,
             warm_stamp: Vec::new(),
+            dup_stamp: Vec::new(),
             warm_serial: 1,
             round_limit: MAX_ROUNDS,
             obs: Arc::new(Obs::new()),
@@ -417,6 +431,8 @@ impl Simulation {
             down: &self.down,
             partitioned: &self.partitioned,
             config: &self.config,
+            unreachable: self.unreachable,
+            gpus_up: self.gpus_up,
         }
     }
 
@@ -430,7 +446,8 @@ impl Simulation {
     fn on_arrival(&mut self, scheduler: &mut dyn ClusterScheduler, job: JobId) {
         {
             let j = &self.jobs[job];
-            self.index.on_arrive(job, j.info.user);
+            self.index
+                .on_arrive(job, j.info.user, j.info.gang, &j.info.model);
             self.obs.emit(TraceEvent::JobArrive {
                 t: self.now,
                 job,
@@ -456,9 +473,11 @@ impl Simulation {
                         self.index.sub_demand(server, j.info.gang);
                     }
                 }
+                self.index.unassign(j.info.user, server, j.info.gang);
             }
             j.info.server = None;
-            self.index.on_finish(job, j.info.user);
+            self.index
+                .on_finish(job, j.info.user, j.info.gang, &j.info.model);
             j.info.user
         };
         self.obs.emit(TraceEvent::JobFinish {
@@ -487,6 +506,7 @@ impl Simulation {
                 j.restore_fail = false;
                 j.info.state = JobState::Pending;
                 j.info.server = None;
+                self.index.unassign(j.info.user, dst, j.info.gang);
                 self.index.on_evict(job);
                 Outcome::Failed(from, dst, MigrationFailReason::TargetDown, attempt)
             } else if j.restore_fail {
@@ -496,6 +516,7 @@ impl Simulation {
                 j.restore_fail = false;
                 j.info.state = JobState::Pending;
                 j.info.server = None;
+                self.index.unassign(j.info.user, dst, j.info.gang);
                 self.index.on_evict(job);
                 Outcome::Failed(from, dst, MigrationFailReason::Restore, attempt)
             } else {
@@ -539,6 +560,10 @@ impl Simulation {
         if !self.down.insert(server) {
             return; // already down
         }
+        if !self.partitioned.contains(&server) {
+            self.unreachable += 1;
+        }
+        self.gpus_up -= self.cluster.server(server).num_gpus;
         let evicted: Vec<JobId> = self
             .residents
             .get_mut(&server)
@@ -550,6 +575,7 @@ impl Simulation {
             let j = self.jobs.get_mut(job).expect("resident job is known");
             j.info.state = JobState::Pending;
             j.info.server = None;
+            self.index.unassign(j.info.user, server, j.info.gang);
             self.index.on_evict(job);
             // Jobs with a pending Finish event (they banked their last
             // service before the failure instant) stay pending and simply
@@ -600,7 +626,11 @@ impl Simulation {
         if !self.down.remove(&server) {
             return; // was not down
         }
+        if !self.partitioned.contains(&server) {
+            self.unreachable -= 1;
+        }
         let srv = self.cluster.server(server);
+        self.gpus_up += srv.num_gpus;
         self.obs.emit(TraceEvent::ServerUp {
             t: self.now,
             server,
@@ -614,6 +644,9 @@ impl Simulation {
     fn on_partition_start(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
         if !self.partitioned.insert(server) {
             return; // already partitioned
+        }
+        if !self.down.contains(&server) {
+            self.unreachable += 1;
         }
         // The server itself keeps running: residents stay resident and keep
         // making progress on the last-received stride state. Only the
@@ -630,6 +663,9 @@ impl Simulation {
     fn on_partition_end(&mut self, scheduler: &mut dyn ClusterScheduler, server: ServerId) {
         if !self.partitioned.remove(&server) {
             return; // was not partitioned
+        }
+        if !self.down.contains(&server) {
+            self.unreachable -= 1;
         }
         self.obs.emit(TraceEvent::PartitionEnd {
             t: self.now,
@@ -708,6 +744,7 @@ impl Simulation {
                     .expect("server exists")
                     .insert(job);
                 self.index.on_place(job, server, gang);
+                self.index.assign(j.info.user, server, gang);
                 self.obs.emit(TraceEvent::Placement {
                     t: self.now,
                     job,
@@ -817,6 +854,8 @@ impl Simulation {
                     .expect("source exists")
                     .remove(&job);
                 self.index.sub_demand(src, j.info.gang);
+                self.index.unassign(j.info.user, src, j.info.gang);
+                self.index.assign(j.info.user, to, j.info.gang);
                 j.info.state = JobState::Migrating;
                 j.info.server = Some(to);
                 j.migrations += 1;
@@ -893,12 +932,14 @@ impl Simulation {
         // 4. Validate and execute the run sets. Each grant is emitted as a
         // GangPacked event so the auditor independently re-checks the same
         // invariants the inline validation enforces.
-        let mut seen: BTreeSet<JobId> = BTreeSet::new();
+        //
+        // Duplicate detection stamps each granted job with the round number
+        // (`dup_stamp` defaults to 0, rounds start at 1), and per-user grant
+        // totals accumulate into a user-indexed vec — both O(1) per gang
+        // where a set insert / linear user probe would grow with the plan.
         let mut scheduled = 0u32;
         let mut gpus_used = 0u32;
-        // Per-user grant totals for the round summary. User counts are small,
-        // so a linear-probed vec beats a map on this per-gang path.
-        let mut per_user: Vec<(gfair_types::UserId, u32)> = Vec::new();
+        let mut grant_by_user: Vec<u32> = vec![0; self.users.len()];
         for (&server, run) in &plan.run {
             let srv = self
                 .cluster
@@ -910,19 +951,22 @@ impl Simulation {
             }
             let mut requested = 0u32;
             for &job in run {
-                if !seen.insert(job) {
+                let stamp = slot_u64(&mut self.dup_stamp, job.index());
+                if *stamp == self.rounds {
                     return Err(GfairError::DuplicateJobInPlan(job));
                 }
+                *stamp = self.rounds;
                 let j = self.jobs.get(job).ok_or(GfairError::UnknownJob(job))?;
                 if j.info.state != JobState::Resident || j.info.server != Some(server) {
                     return Err(GfairError::JobNotResident { job, server });
                 }
                 requested += j.info.gang;
                 let (user, gang) = (j.info.user, j.info.gang);
-                match per_user.iter_mut().find(|(u, _)| *u == user) {
-                    Some((_, g)) => *g += gang,
-                    None => per_user.push((user, gang)),
+                let slot = user.index();
+                if grant_by_user.len() <= slot {
+                    grant_by_user.resize(slot + 1, 0);
                 }
+                grant_by_user[slot] += gang;
                 self.obs.emit(TraceEvent::GangPacked {
                     t: self.now,
                     round: self.rounds,
@@ -947,13 +991,7 @@ impl Simulation {
         // Round summary: who got what, the queue depth, and the per-user
         // ticket/pass state backing the decision. The auditor checks ticket
         // conservation against the cluster's physical supply.
-        let gpus_up: u32 = self
-            .cluster
-            .servers
-            .iter()
-            .filter(|s| !self.down.contains(&s.id))
-            .map(|s| s.num_gpus)
-            .sum();
+        let gpus_up = self.gpus_up;
         let pending = self
             .index
             .pending
@@ -961,10 +999,14 @@ impl Simulation {
             .filter(|&&id| !self.jobs[id].finishing)
             .count() as u32;
         let users = scheduler.user_shares(&self.view());
-        per_user.sort_unstable_by_key(|&(u, _)| u);
-        let user_gpus = per_user
+        let user_gpus = grant_by_user
             .into_iter()
-            .map(|(user, gpus)| gfair_obs::UserGrant { user, gpus })
+            .enumerate()
+            .filter(|&(_, gpus)| gpus > 0)
+            .map(|(u, gpus)| gfair_obs::UserGrant {
+                user: gfair_types::UserId::new(u as u32),
+                gpus,
+            })
             .collect();
         self.obs.emit(TraceEvent::RoundPlanned {
             t: self.now,
@@ -980,7 +1022,6 @@ impl Simulation {
         if let Some(v) = self.obs.take_fatal() {
             return Err(violation_to_error(v));
         }
-
         // 5. Accrue progress for this quantum.
         let quantum = self.config.quantum;
         let budget = match horizon {
@@ -1178,13 +1219,7 @@ impl Simulation {
             .into_iter()
             .map(|(user, gpus)| gfair_obs::UserGrant { user, gpus })
             .collect();
-        let gpus_up: u32 = self
-            .cluster
-            .servers
-            .iter()
-            .filter(|s| !self.down.contains(&s.id))
-            .map(|s| s.num_gpus)
-            .sum();
+        let gpus_up = self.gpus_up;
         let pending = self
             .index
             .pending

@@ -49,7 +49,29 @@ impl EventKind {
             EventKind::Round => 8,
         }
     }
+
+    /// The shard a runtime push lands in. Kinds that share event-rate
+    /// behavior share a heap: job completions (the bulk of runtime pushes)
+    /// get their own, migrations their own, the rare control-plane kinds
+    /// (failures, recoveries, partitions, ticket changes) one, arrivals one,
+    /// and the round timer one.
+    fn shard(self) -> usize {
+        match self {
+            EventKind::Finish(_) => 0,
+            EventKind::MigrationDone(_) => 1,
+            EventKind::ServerFail(_)
+            | EventKind::ServerRecover(_)
+            | EventKind::PartitionStart(_)
+            | EventKind::PartitionEnd(_)
+            | EventKind::TicketChange(_, _) => 2,
+            EventKind::Arrival(_) => 3,
+            EventKind::Round => 4,
+        }
+    }
 }
+
+/// Number of per-class heaps in the sharded queue.
+const NUM_SHARDS: usize = 5;
 
 /// A scheduled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,18 +101,24 @@ impl PartialOrd for Event {
     }
 }
 
-/// Deterministic event queue.
+/// Deterministic event queue, sharded by event class.
 ///
-/// Runtime events (finishes, migrations, rounds) live in a binary heap. The
-/// trace's arrivals — known in full before the run starts — are *staged* in
-/// a sorted side list instead of being front-loaded into the heap: the heap
-/// then only ever holds the near-future working set, so its operations stay
-/// logarithmic in live events rather than in the whole remaining trace.
-/// `pop`/`peek` merge the two sources under the same total order, so the
-/// delivery sequence is identical to a single heap holding everything.
+/// Runtime events live in per-class binary heaps (completions, migrations,
+/// control-plane events, arrivals, the round timer), so a push or pop costs
+/// `log` of the *local* working set — a burst of mid-round completions never
+/// inflates the cost of scheduling the next round tick. The trace's arrivals
+/// — known in full before the run starts — are *staged* in a sorted side
+/// list instead of being front-loaded into any heap, so the heaps only ever
+/// hold the near-future working set.
+///
+/// `pop`/`peek` take the lazy max across the shard tops and the staged tail
+/// under the same inverted (time, kind-priority, seq) total order, so the
+/// delivery sequence is identical to a single heap holding everything —
+/// asserted by a differential proptest against exactly that oracle.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Per-class heaps; see [`EventKind::shard`] for the class map.
+    shards: [BinaryHeap<Event>; NUM_SHARDS],
     /// Staged events, sorted with the earliest-firing event **last** so the
     /// next one pops in O(1).
     staged: Vec<Event>,
@@ -107,51 +135,90 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.shards[kind.shard()].push(Event { time, seq, kind });
     }
 
-    /// Stages a batch of events without touching the heap (used for the
+    /// Stages a batch of events without touching the heaps (used for the
     /// full arrival trace at simulation construction). Sequence numbers are
     /// assigned in iteration order, exactly as a `push` loop would, so the
     /// global delivery order is unchanged.
+    ///
+    /// Only the new batch is sorted; it is then merged with the
+    /// already-sorted staged list, so a second `stage()` call costs
+    /// O(new·log new + total) instead of re-sorting everything.
     pub fn stage(&mut self, batch: impl IntoIterator<Item = (SimTime, EventKind)>) {
+        let start = self.staged.len();
         for (time, kind) in batch {
             let seq = self.next_seq;
             self.next_seq += 1;
             self.staged.push(Event { time, seq, kind });
         }
         // `Event`'s Ord is inverted (min-first for the max-heap), so an
-        // ascending sort puts the earliest-firing event last.
-        self.staged.sort();
+        // ascending sort puts the earliest-firing event last. Seqs are
+        // unique, so the order is total and `sort_unstable` is safe.
+        self.staged[start..].sort_unstable();
+        if start > 0 {
+            // Merge the two sorted runs (both ascending under the inverted
+            // order) instead of re-sorting the whole staged list.
+            let mut merged = Vec::with_capacity(self.staged.len());
+            let (old, new) = self.staged.split_at(start);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old.len() && j < new.len() {
+                if old[i] <= new[j] {
+                    merged.push(old[i]);
+                    i += 1;
+                } else {
+                    merged.push(new[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&old[i..]);
+            merged.extend_from_slice(&new[j..]);
+            self.staged = merged;
+        }
     }
 
     /// Pops the next event in deterministic order.
     pub fn pop(&mut self) -> Option<Event> {
-        match (self.heap.peek(), self.staged.last()) {
-            // Inverted Ord: "greater" means "fires earlier".
-            (Some(h), Some(s)) if h > s => self.heap.pop(),
-            (Some(_), None) => self.heap.pop(),
-            _ => self.staged.pop(),
+        // Inverted Ord: "greater" means "fires earlier". Seqs are unique, so
+        // the max across shard tops and the staged tail is unambiguous.
+        let mut best: Option<(usize, Event)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(&e) = shard.peek() {
+                if best.is_none_or(|(_, b)| e > b) {
+                    best = Some((i, e));
+                }
+            }
         }
+        if let Some(&s) = self.staged.last() {
+            if best.is_none_or(|(_, b)| s > b) {
+                return self.staged.pop();
+            }
+        }
+        best.and_then(|(i, _)| self.shards[i].pop())
     }
 
     /// Peeks at the next event without removing it.
     pub fn peek(&self) -> Option<&Event> {
-        match (self.heap.peek(), self.staged.last()) {
-            (Some(h), Some(s)) => Some(if h > s { h } else { s }),
-            (Some(h), None) => Some(h),
-            (None, s) => s,
+        let mut best: Option<&Event> = self.staged.last();
+        for shard in &self.shards {
+            if let Some(e) = shard.peek() {
+                if best.is_none_or(|b| e > b) {
+                    best = Some(e);
+                }
+            }
         }
+        best
     }
 
     /// Number of pending events (staged ones included).
     pub fn len(&self) -> usize {
-        self.heap.len() + self.staged.len()
+        self.shards.iter().map(BinaryHeap::len).sum::<usize>() + self.staged.len()
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.staged.is_empty()
+        self.shards.iter().all(BinaryHeap::is_empty) && self.staged.is_empty()
     }
 }
 
@@ -252,5 +319,133 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.peek().is_none());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn second_stage_batch_merges_with_first() {
+        // A later stage() batch interleaves with the first one under the
+        // global order (the merge path, not the initial sort path).
+        let mut q = EventQueue::new();
+        q.stage(vec![
+            (SimTime::from_secs(10), EventKind::Arrival(JobId::new(1))),
+            (SimTime::from_secs(30), EventKind::Arrival(JobId::new(2))),
+        ]);
+        q.stage(vec![
+            (SimTime::from_secs(5), EventKind::Arrival(JobId::new(3))),
+            (SimTime::from_secs(30), EventKind::Arrival(JobId::new(4))),
+            (SimTime::from_secs(40), EventKind::Arrival(JobId::new(5))),
+        ]);
+        let order: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::Arrival(JobId::new(3)),
+                EventKind::Arrival(JobId::new(1)),
+                // t=30 tie: the first batch's event staged first.
+                EventKind::Arrival(JobId::new(2)),
+                EventKind::Arrival(JobId::new(4)),
+                EventKind::Arrival(JobId::new(5)),
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes a (time, kind-selector) pair into an event, covering every
+    /// `EventKind` priority.
+    fn decode(time: u64, sel: u8) -> (SimTime, EventKind) {
+        let id = u32::from(sel);
+        let kind = match sel % 9 {
+            0 => EventKind::Finish(JobId::new(id)),
+            1 => EventKind::MigrationDone(JobId::new(id)),
+            2 => EventKind::ServerFail(ServerId::new(id)),
+            3 => EventKind::ServerRecover(ServerId::new(id)),
+            4 => EventKind::PartitionStart(ServerId::new(id)),
+            5 => EventKind::PartitionEnd(ServerId::new(id)),
+            6 => EventKind::TicketChange(UserId::new(id), u64::from(sel)),
+            7 => EventKind::Arrival(JobId::new(id)),
+            _ => EventKind::Round,
+        };
+        (SimTime::from_secs(time), kind)
+    }
+
+    /// Single-heap oracle: the pre-sharding implementation — one
+    /// `BinaryHeap` holding everything, seqs assigned in submission order.
+    #[derive(Default)]
+    struct OracleQueue {
+        heap: BinaryHeap<Event>,
+        next_seq: u64,
+    }
+
+    impl OracleQueue {
+        fn push(&mut self, time: SimTime, kind: EventKind) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Event { time, seq, kind });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any mix of staged batches, runtime pushes and interleaved
+        /// pops/peeks delivers exactly the sequence a single global heap
+        /// would. Each op is (selector, batch, pop-count): selector 0 pushes
+        /// the batch, 1 stages it, 2 pops `pop-count` events. Timestamps are
+        /// drawn from a small range so simultaneous events across all kind
+        /// priorities (the tie-break cases) are common.
+        #[test]
+        fn sharded_queue_matches_single_heap_oracle(
+            ops in collection::vec(
+                (
+                    0u8..3,
+                    collection::vec((0u64..16, 0u8..=255), 0..12),
+                    1usize..24,
+                ),
+                1..24,
+            ),
+        ) {
+            let mut q = EventQueue::new();
+            let mut oracle = OracleQueue::default();
+            for (sel, batch, pops) in ops {
+                match sel {
+                    0 => {
+                        for (t, s) in batch {
+                            let (time, kind) = decode(t, s);
+                            q.push(time, kind);
+                            oracle.push(time, kind);
+                        }
+                    }
+                    1 => {
+                        let decoded: Vec<_> =
+                            batch.iter().map(|&(t, s)| decode(t, s)).collect();
+                        q.stage(decoded.clone());
+                        for (time, kind) in decoded {
+                            oracle.push(time, kind);
+                        }
+                    }
+                    _ => {
+                        for _ in 0..pops {
+                            prop_assert_eq!(q.len(), oracle.heap.len());
+                            let expect = oracle.heap.pop();
+                            prop_assert_eq!(q.peek().copied(), expect);
+                            prop_assert_eq!(q.pop(), expect);
+                            if expect.is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain the rest: full delivery sequences must match.
+            while let Some(expect) = oracle.heap.pop() {
+                prop_assert_eq!(q.pop(), Some(expect));
+            }
+            prop_assert!(q.is_empty());
+        }
     }
 }

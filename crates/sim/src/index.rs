@@ -18,13 +18,44 @@
 //! * `by_user[u]` — `{ j ∈ active : J[j].user == u }`; users with no active
 //!   job carry no entry, so the key set *is* the active-user set.
 //! * `demand[s]` — `Σ gang(j) for j ∈ R[s]`; every server has an entry.
+//! * `user_demand[u]` — `Σ gang(j) for j ∈ by_user[u]`; entries are removed
+//!   at zero, so the key set matches `by_user`'s.
+//! * `user_model_gang[(u, m)]` — `Σ gang(j)` over active jobs of user `u`
+//!   running model `m`; removed at zero.
+//! * `model_active[m]` — active jobs running model `m`; removed when empty.
+//! * `user_gen_assigned[(u, g)]` / `user_server_assigned[(u, s)]` —
+//!   `Σ gang(j)` over active jobs of `u` with `J[j].server` set, grouped by
+//!   the server's generation / the server itself. A migrating job counts
+//!   toward its *destination* (its `server` field), mirroring what
+//!   schedulers see; removed at zero.
+//! * `gen_load[g]` — the servers of generation `g` ordered by
+//!   (resident-load, id) ascending, where the load key is the exact f64
+//!   bits of `demand/gpus` (non-negative f64 bits order like the values),
+//!   so an ordered scan visits servers in the same order a least-loaded
+//!   min-scan with `f64::total_cmp` would.
 //!
 //! [`ClusterIndex::verify`] re-derives all of this from scratch and is the
 //! oracle for the differential property tests.
+//!
+//! The index also keeps a bounded *dirty ring* of residency changes: every
+//! demand bump appends the server to a fixed-capacity ring, and consumers
+//! (the round planner) read the suffix since their last cursor to learn
+//! which servers changed — or fall back to a full pass if the ring lapped
+//! them. It records changes rather than deriving state, so `verify` has no
+//! oracle for it (same as `res_version`).
 
 use crate::job::JobTable;
-use gfair_types::{JobId, JobState, ServerId, UserId};
+use gfair_types::{ClusterSpec, GenId, JobId, JobState, ServerId, UserId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The (load, id) ordering key for one server in [`ClusterIndex::gen_load`]:
+/// non-negative f64 bit patterns sort identically to the values, so a
+/// `BTreeSet` of these keys iterates in exactly `f64::total_cmp` order.
+fn load_key(demand: u32, gpus: u32) -> u64 {
+    debug_assert!(gpus > 0, "server with zero GPUs");
+    (demand as f64 / gpus as f64).to_bits()
+}
 
 /// Incrementally maintained indexes over jobs and residency.
 #[derive(Debug, Default)]
@@ -50,40 +81,109 @@ pub(crate) struct ClusterIndex {
     /// changes rather than deriving state, so [`ClusterIndex::verify`] has
     /// no oracle for it.
     pub(crate) res_version: Vec<u64>,
+    /// Total GPUs demanded per active user (sum of active gang widths).
+    pub(crate) user_demand: BTreeMap<UserId, u64>,
+    /// GPUs demanded per (user, model) over active jobs.
+    pub(crate) user_model_gang: BTreeMap<(UserId, Arc<str>), u64>,
+    /// Active jobs per model.
+    pub(crate) model_active: BTreeMap<Arc<str>, BTreeSet<JobId>>,
+    /// GPUs of `user`'s placed jobs per generation (placed = `server` set,
+    /// so a migrating job counts toward its destination's generation).
+    pub(crate) user_gen_assigned: BTreeMap<(UserId, GenId), u64>,
+    /// GPUs of `user`'s placed jobs per server.
+    pub(crate) user_server_assigned: BTreeMap<(UserId, ServerId), u64>,
+    /// Servers of each generation ordered by (resident load, id), indexed
+    /// by `GenId::index()`; each element is `(load_key, server)`.
+    pub(crate) gen_load: Vec<BTreeSet<(u64, ServerId)>>,
+    /// Each server's generation, indexed by `ServerId::index()`.
+    pub(crate) server_gen: Vec<GenId>,
+    /// Each server's GPU count, indexed by `ServerId::index()`.
+    pub(crate) server_gpus: Vec<u32>,
+    /// Bounded ring of servers whose residency changed, written at
+    /// `dirty_seq % capacity`; consumers track their own cursor.
+    pub(crate) dirty_ring: Vec<ServerId>,
+    /// Total residency changes ever recorded (monotone ring write cursor).
+    pub(crate) dirty_seq: u64,
 }
 
 impl ClusterIndex {
-    /// Creates an index for a cluster with the given servers, all empty.
-    pub(crate) fn new(servers: impl IntoIterator<Item = ServerId>) -> Self {
-        let len = servers
-            .into_iter()
-            .map(|s| s.index() + 1)
+    /// Creates an index for `cluster`, all empty.
+    pub(crate) fn new(cluster: &ClusterSpec) -> Self {
+        let len = cluster
+            .servers
+            .iter()
+            .map(|s| s.id.index() + 1)
             .max()
             .unwrap_or(0);
+        let mut server_gen = vec![GenId::new(0); len];
+        // Zero GPUs marks an id gap (server ids are normally dense).
+        let mut server_gpus = vec![0u32; len];
+        let num_gens = cluster.catalog.ids().count();
+        let mut gen_load = vec![BTreeSet::new(); num_gens];
+        for s in &cluster.servers {
+            server_gen[s.id.index()] = s.gen;
+            server_gpus[s.id.index()] = s.num_gpus;
+            gen_load[s.gen.index()].insert((load_key(0, s.num_gpus), s.id));
+        }
         ClusterIndex {
             demand: vec![0; len],
             res_version: vec![0; len],
+            gen_load,
+            server_gen,
+            server_gpus,
+            // Sized so the changes accumulating between two consecutive
+            // planner drains (one round's worth of finishes plus applied
+            // placements) fit without lapping the consumer even at
+            // million-job arrival rates.
+            dirty_ring: vec![ServerId::new(0); (len * 8).max(8192)],
             ..ClusterIndex::default()
         }
     }
 
     /// A job's arrival event fired: it becomes visible and starts pending.
-    pub(crate) fn on_arrive(&mut self, job: JobId, user: UserId) {
+    pub(crate) fn on_arrive(&mut self, job: JobId, user: UserId, gang: u32, model: &Arc<str>) {
         self.arrived.insert(job);
         self.active.insert(job);
         self.pending.insert(job);
         self.by_user.entry(user).or_default().insert(job);
+        *self.user_demand.entry(user).or_insert(0) += u64::from(gang);
+        *self
+            .user_model_gang
+            .entry((user, Arc::clone(model)))
+            .or_insert(0) += u64::from(gang);
+        self.model_active
+            .entry(Arc::clone(model))
+            .or_default()
+            .insert(job);
     }
 
     /// A job finished (from any active state; evicted jobs can finish while
     /// pending).
-    pub(crate) fn on_finish(&mut self, job: JobId, user: UserId) {
+    pub(crate) fn on_finish(&mut self, job: JobId, user: UserId, gang: u32, model: &Arc<str>) {
         self.active.remove(&job);
         self.pending.remove(&job);
         if let Some(set) = self.by_user.get_mut(&user) {
             set.remove(&job);
             if set.is_empty() {
                 self.by_user.remove(&user);
+            }
+        }
+        if let Some(d) = self.user_demand.get_mut(&user) {
+            *d = d.saturating_sub(u64::from(gang));
+            if *d == 0 {
+                self.user_demand.remove(&user);
+            }
+        }
+        if let Some(d) = self.user_model_gang.get_mut(&(user, Arc::clone(model))) {
+            *d = d.saturating_sub(u64::from(gang));
+            if *d == 0 {
+                self.user_model_gang.remove(&(user, Arc::clone(model)));
+            }
+        }
+        if let Some(set) = self.model_active.get_mut(model) {
+            set.remove(&job);
+            if set.is_empty() {
+                self.model_active.remove(model);
             }
         }
     }
@@ -100,24 +200,75 @@ impl ClusterIndex {
         self.pending.insert(job);
     }
 
+    /// A job's `server` field was set to `server` (placement, or a migration
+    /// departure pointing it at the destination).
+    pub(crate) fn assign(&mut self, user: UserId, server: ServerId, gang: u32) {
+        let gen = self.server_gen[server.index()];
+        *self.user_gen_assigned.entry((user, gen)).or_insert(0) += u64::from(gang);
+        *self.user_server_assigned.entry((user, server)).or_insert(0) += u64::from(gang);
+    }
+
+    /// A job's `server` field stopped pointing at `server` (finish, eviction
+    /// or migration departure).
+    pub(crate) fn unassign(&mut self, user: UserId, server: ServerId, gang: u32) {
+        let gen = self.server_gen[server.index()];
+        if let Some(d) = self.user_gen_assigned.get_mut(&(user, gen)) {
+            *d = d.saturating_sub(u64::from(gang));
+            if *d == 0 {
+                self.user_gen_assigned.remove(&(user, gen));
+            }
+        }
+        if let Some(d) = self.user_server_assigned.get_mut(&(user, server)) {
+            *d = d.saturating_sub(u64::from(gang));
+            if *d == 0 {
+                self.user_server_assigned.remove(&(user, server));
+            }
+        }
+    }
+
+    /// Records a residency change on `server` in the dirty ring.
+    fn note_dirty(&mut self, server: ServerId) {
+        let cap = self.dirty_ring.len();
+        if cap > 0 {
+            self.dirty_ring[(self.dirty_seq % cap as u64) as usize] = server;
+        }
+        self.dirty_seq += 1;
+    }
+
+    /// Moves `server` between load-ordered positions after a demand change.
+    fn rekey_load(&mut self, server: ServerId, old: u32, new: u32) {
+        let gpus = self.server_gpus[server.index()];
+        let set = &mut self.gen_load[self.server_gen[server.index()].index()];
+        set.remove(&(load_key(old, gpus), server));
+        set.insert((load_key(new, gpus), server));
+    }
+
     /// Adds a resident gang's GPUs to a server's demand.
     pub(crate) fn add_demand(&mut self, server: ServerId, gang: u32) {
-        self.demand[server.index()] += gang;
+        let old = self.demand[server.index()];
+        self.demand[server.index()] = old + gang;
         self.res_version[server.index()] += 1;
+        self.rekey_load(server, old, old + gang);
+        self.note_dirty(server);
     }
 
     /// Removes a resident gang's GPUs from a server's demand.
     pub(crate) fn sub_demand(&mut self, server: ServerId, gang: u32) {
-        let d = &mut self.demand[server.index()];
-        debug_assert!(*d >= gang, "demand underflow on {server}");
-        *d -= gang;
+        let old = self.demand[server.index()];
+        debug_assert!(old >= gang, "demand underflow on {server}");
+        self.demand[server.index()] = old - gang;
         self.res_version[server.index()] += 1;
+        self.rekey_load(server, old, old - gang);
+        self.note_dirty(server);
     }
 
     /// A server failed and its residents were all evicted at once.
     pub(crate) fn clear_demand(&mut self, server: ServerId) {
+        let old = self.demand[server.index()];
         self.demand[server.index()] = 0;
         self.res_version[server.index()] += 1;
+        self.rekey_load(server, old, 0);
+        self.note_dirty(server);
     }
 
     /// Recomputes every index from scratch and compares: the differential
@@ -145,11 +296,31 @@ impl ClusterIndex {
         let mut active = BTreeSet::new();
         let mut pending = BTreeSet::new();
         let mut by_user: BTreeMap<UserId, BTreeSet<JobId>> = BTreeMap::new();
+        let mut user_demand: BTreeMap<UserId, u64> = BTreeMap::new();
+        let mut user_model_gang: BTreeMap<(UserId, Arc<str>), u64> = BTreeMap::new();
+        let mut model_active: BTreeMap<Arc<str>, BTreeSet<JobId>> = BTreeMap::new();
+        let mut user_gen_assigned: BTreeMap<(UserId, GenId), u64> = BTreeMap::new();
+        let mut user_server_assigned: BTreeMap<(UserId, ServerId), u64> = BTreeMap::new();
         for &id in &self.arrived {
             let j = jobs.get(id).ok_or_else(|| format!("unknown job {id}"))?;
             if j.info.state.is_active() {
                 active.insert(id);
                 by_user.entry(j.info.user).or_default().insert(id);
+                *user_demand.entry(j.info.user).or_insert(0) += u64::from(j.info.gang);
+                *user_model_gang
+                    .entry((j.info.user, Arc::clone(&j.info.model)))
+                    .or_insert(0) += u64::from(j.info.gang);
+                model_active
+                    .entry(Arc::clone(&j.info.model))
+                    .or_default()
+                    .insert(id);
+                if let Some(s) = j.info.server {
+                    let gen = self.server_gen[s.index()];
+                    *user_gen_assigned.entry((j.info.user, gen)).or_insert(0) +=
+                        u64::from(j.info.gang);
+                    *user_server_assigned.entry((j.info.user, s)).or_insert(0) +=
+                        u64::from(j.info.gang);
+                }
             }
             if j.info.state == JobState::Pending {
                 pending.insert(id);
@@ -173,6 +344,36 @@ impl ClusterIndex {
                 self.by_user
             ));
         }
+        if user_demand != self.user_demand {
+            return Err(format!(
+                "user_demand index diverged: naive {user_demand:?} vs index {:?}",
+                self.user_demand
+            ));
+        }
+        if user_model_gang != self.user_model_gang {
+            return Err(format!(
+                "user_model_gang index diverged: naive {user_model_gang:?} vs index {:?}",
+                self.user_model_gang
+            ));
+        }
+        if model_active != self.model_active {
+            return Err(format!(
+                "model_active index diverged: naive {model_active:?} vs index {:?}",
+                self.model_active
+            ));
+        }
+        if user_gen_assigned != self.user_gen_assigned {
+            return Err(format!(
+                "user_gen_assigned index diverged: naive {user_gen_assigned:?} vs index {:?}",
+                self.user_gen_assigned
+            ));
+        }
+        if user_server_assigned != self.user_server_assigned {
+            return Err(format!(
+                "user_server_assigned diverged: naive {user_server_assigned:?} vs index {:?}",
+                self.user_server_assigned
+            ));
+        }
         let mut demand = vec![0u32; self.demand.len()];
         for (&s, set) in residents {
             demand[s.index()] = set.iter().map(|&id| jobs[id].info.gang).sum::<u32>();
@@ -182,6 +383,23 @@ impl ClusterIndex {
                 "demand index diverged: naive {demand:?} vs index {:?}",
                 self.demand
             ));
+        }
+        // The load-ordered sets must hold every server exactly once, keyed
+        // by its current demand.
+        let total: usize = self.gen_load.iter().map(BTreeSet::len).sum();
+        let real = self.server_gpus.iter().filter(|&&g| g > 0).count();
+        if total != real {
+            return Err(format!("gen_load holds {total} entries for {real} servers"));
+        }
+        for (i, &d) in demand.iter().enumerate() {
+            if self.server_gpus[i] == 0 {
+                continue;
+            }
+            let s = ServerId::new(i as u32);
+            let key = (load_key(d, self.server_gpus[i]), s);
+            if !self.gen_load[self.server_gen[i].index()].contains(&key) {
+                return Err(format!("gen_load misses server {s} at demand {d}"));
+            }
         }
         Ok(())
     }

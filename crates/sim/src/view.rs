@@ -6,8 +6,11 @@
 
 use crate::index::ClusterIndex;
 use crate::job::{JobInfo, JobTable};
-use gfair_types::{ClusterSpec, JobId, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec};
+use gfair_types::{
+    ClusterSpec, GenId, JobId, ServerId, ServerSpec, SimConfig, SimTime, UserId, UserSpec,
+};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Read-only snapshot of simulation state at a callback.
 ///
@@ -24,6 +27,11 @@ pub struct SimView<'a> {
     pub(crate) down: &'a BTreeSet<ServerId>,
     pub(crate) partitioned: &'a BTreeSet<ServerId>,
     pub(crate) config: &'a SimConfig,
+    /// Servers that are down or partitioned (|down ∪ partitioned|),
+    /// maintained by the engine so `reachable_count` is O(1).
+    pub(crate) unreachable: u32,
+    /// Total GPUs on online servers, maintained by the engine.
+    pub(crate) gpus_up: u32,
 }
 
 impl<'a> SimView<'a> {
@@ -166,6 +174,113 @@ impl<'a> SimView<'a> {
             .get(&user)
             .into_iter()
             .flat_map(move |set| set.iter().map(move |&id| &jobs[id].info))
+    }
+
+    /// Number of online, reachable servers, in O(1) (maintained by the
+    /// engine across failure/recovery/partition events).
+    pub fn reachable_count(&self) -> u32 {
+        self.cluster.servers.len() as u32 - self.unreachable
+    }
+
+    /// Total GPUs on online servers, in O(1).
+    pub fn gpus_up(&self) -> u32 {
+        self.gpus_up
+    }
+
+    /// Total GPUs demanded by `user`'s active jobs (sum of gang widths).
+    pub fn user_gpu_demand(&self, user: UserId) -> u64 {
+        self.index.user_demand.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Per-user total GPU demand over active jobs, in user-id order. Users
+    /// with no active job are absent.
+    pub fn user_demands(&self) -> impl Iterator<Item = (UserId, u64)> + 'a {
+        self.index.user_demand.iter().map(|(&u, &d)| (u, d))
+    }
+
+    /// Per-(user, model) GPU demand over active jobs, in (user-id, model)
+    /// order. Zero entries are absent.
+    pub fn user_model_demands(&self) -> impl Iterator<Item = (UserId, &'a Arc<str>, u64)> + 'a {
+        self.index
+            .user_model_gang
+            .iter()
+            .map(|((u, m), &d)| (*u, m, d))
+    }
+
+    /// GPUs of `user`'s placed jobs (jobs with a server assigned, including
+    /// in-flight migrations toward their destination) on generation `gen`.
+    pub fn user_gen_assigned(&self, user: UserId, gen: GenId) -> u64 {
+        self.index
+            .user_gen_assigned
+            .get(&(user, gen))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// GPUs of `user`'s placed jobs on `server`.
+    pub fn user_server_assigned(&self, user: UserId, server: ServerId) -> u64 {
+        self.index
+            .user_server_assigned
+            .get(&(user, server))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All `(server, gpus)` pairs where `user` has placed jobs, in ascending
+    /// server order. Sparse companion to
+    /// [`user_server_assigned`](Self::user_server_assigned): a user touches
+    /// only a handful of servers, so scans over this beat scans over the
+    /// cluster.
+    pub fn user_server_assignments(
+        &self,
+        user: UserId,
+    ) -> impl Iterator<Item = (ServerId, u64)> + 'a {
+        self.index
+            .user_server_assigned
+            .range((user, ServerId::new(0))..=(user, ServerId::new(u32::MAX)))
+            .map(|(&(_, s), &d)| (s, d))
+    }
+
+    /// Models with at least one active job and those jobs' ids, in model
+    /// order.
+    pub fn active_models(&self) -> impl Iterator<Item = (&'a Arc<str>, &'a BTreeSet<JobId>)> + 'a {
+        self.index.model_active.iter()
+    }
+
+    /// Servers of `gen` in ascending (resident load, id) order — the order a
+    /// least-loaded scan with `f64::total_cmp` ties broken by lowest id
+    /// would visit them. Reverse for a most-loaded-first scan.
+    pub fn servers_by_load(&self, gen: GenId) -> impl DoubleEndedIterator<Item = ServerId> + 'a {
+        self.index
+            .gen_load
+            .get(gen.index())
+            .into_iter()
+            .flat_map(|set| set.iter().map(|&(_, s)| s))
+    }
+
+    /// Monotone counter of residency changes across the whole cluster; pair
+    /// with [`residency_dirty_since`](Self::residency_dirty_since) to learn
+    /// which servers changed between two cursor values.
+    pub fn residency_dirty_seq(&self) -> u64 {
+        self.index.dirty_seq
+    }
+
+    /// Servers whose residency changed since `cursor` (a previously observed
+    /// [`residency_dirty_seq`](Self::residency_dirty_seq) value), possibly
+    /// with duplicates, in change order. Returns `None` when the bounded
+    /// change ring has lapped the cursor — the caller must fall back to a
+    /// full pass.
+    pub fn residency_dirty_since(
+        &self,
+        cursor: u64,
+    ) -> Option<impl Iterator<Item = ServerId> + 'a> {
+        let seq = self.index.dirty_seq;
+        let cap = self.index.dirty_ring.len() as u64;
+        if seq.saturating_sub(cursor) > cap {
+            return None;
+        }
+        let ring = &self.index.dirty_ring;
+        Some((cursor..seq).map(move |i| ring[(i % cap) as usize]))
     }
 
     /// Re-derives every materialized index from the raw job/residency tables

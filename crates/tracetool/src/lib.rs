@@ -364,7 +364,7 @@ mod tests {
                     score: 0.25,
                 }],
                 rejected: vec![Rejection {
-                    reason: "gang_too_wide_for_server".to_string(),
+                    reason: "gang_too_wide_for_server".into(),
                     count: 2,
                 }],
             },

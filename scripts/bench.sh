@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the tracked simulator benchmark baseline (BENCH_sim.json).
-# Full mode runs the four scales on long traces and takes ~5-30s depending
-# on the machine; pass extra args (e.g. --seed 7 --out /tmp/b.json) through.
+# Full mode runs the six scales (32 → 50000 GPUs plus the million-job
+# trace) on long traces and takes ~30-60s depending on the machine; pass
+# extra args (e.g. --seed 7 --out /tmp/b.json) through.
 # Usage: scripts/bench.sh [bench_sim args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
