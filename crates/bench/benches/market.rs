@@ -2,18 +2,11 @@
 //! user population grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gfair_core::{run_market, Entitlements};
+use gfair_core::{run_market, Entitlements, PolicyInputs};
 use gfair_types::{GenId, PriceStrategy, UserId};
 use std::collections::BTreeMap;
 
-#[allow(clippy::type_complexity)]
-fn market_inputs(
-    users: usize,
-) -> (
-    Entitlements,
-    BTreeMap<UserId, Vec<Option<f64>>>,
-    BTreeMap<UserId, f64>,
-) {
+fn market_inputs(users: usize) -> (Entitlements, PolicyInputs) {
     let gpus = BTreeMap::from([
         (GenId::new(0), 1024u32),
         (GenId::new(1), 256),
@@ -32,17 +25,18 @@ fn market_inputs(
         })
         .collect();
     let demand: BTreeMap<UserId, f64> = (0..users as u32).map(|u| (UserId::new(u), 64.0)).collect();
-    (ent, speedups, demand)
+    let inputs = PolicyInputs::from_maps(3, &demand, &speedups, &BTreeMap::new());
+    (ent, inputs)
 }
 
 fn bench_market(c: &mut Criterion) {
     let mut group = c.benchmark_group("run_market");
     for users in [10usize, 100, 1000] {
         group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
-            let (ent, speedups, demand) = market_inputs(users);
+            let (ent, inputs) = market_inputs(users);
             b.iter(|| {
                 let mut e = ent.clone();
-                run_market(&mut e, &speedups, &demand, PriceStrategy::MaxSpeedup, 0.2)
+                run_market(&mut e, &inputs, PriceStrategy::MaxSpeedup, 0.2)
             });
         });
     }

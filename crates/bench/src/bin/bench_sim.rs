@@ -33,18 +33,28 @@
 //!
 //! `--best-of N` runs each scale N times and keeps the fastest run ("best"
 //! is the right estimator for a cost floor: noise only ever slows a run
-//! down). `--check-against PATH` compares each measured scale's per-GPU
-//! throughput (`gpu_hours_per_wall_sec`) to the same scale in a previously
-//! committed report and fails if any regresses by more than 10%; CI runs
-//! `--best-of 3 --check-against BENCH_sim.json --only 5000gpu` as the
-//! scaling-regression gate.
+//! down). `--check-against PATH` compares each measured row's per-GPU
+//! throughput (`gpu_hours_per_wall_sec`) to the same `(scale, policy)` row
+//! in a previously committed report and fails if any regresses by more than
+//! 10%; CI runs `--best-of 3 --check-against BENCH_sim.json --only 5000gpu`
+//! as the scaling-regression gate.
+//!
+//! `--policy NAME` restricts every mode to one allocation policy (any
+//! `PolicyId` name: `gfair`, `gavel-hetero`, `themis-ftf`). Without it, the
+//! measurement run benches `gfair` at every scale plus the other registry
+//! policies at the 5000- and 50000-GPU scales (so `BENCH_sim.json` tracks a
+//! per-policy scaling row for each competitor), and `--verify` checks the
+//! same set — every policy must be byte-identical between optimized and
+//! naive engine configurations, clean and fault-injected.
 //!
 //! Usage: `bench_sim [--quick] [--no-fast-forward] [--verify]
-//!                   [--obs-overhead] [--only SCALE] [--out PATH] [--seed N]
-//!                   [--best-of N] [--check-against PATH]`
+//!                   [--obs-overhead] [--only SCALE] [--policy NAME]
+//!                   [--out PATH] [--seed N] [--best-of N]
+//!                   [--check-against PATH]`
 
-use gfair_core::{GandivaFair, GfairConfig};
+use gfair_core::{GfairConfig, PolicyId};
 use gfair_faults::FaultPlan;
+use gfair_policies::build_policy;
 use gfair_sim::Simulation;
 use gfair_types::{ClusterSpec, GenCatalog, ServerId, SimConfig, SimDuration, SimTime, UserSpec};
 use gfair_workloads::{PhillyParams, TraceBuilder};
@@ -198,10 +208,37 @@ fn verify_faults(seed: u64) -> FaultPlan {
         )
 }
 
+/// The scales at which every registry policy (not just `gfair`) gets its
+/// own benchmark row and verify pass: the two sizes where solver scaling
+/// differences actually show, so the artifact tracks each competitor's
+/// large-cluster trajectory without tripling the whole ladder's runtime.
+const PER_POLICY_SCALES: [&str; 2] = ["5000gpu", "50000gpu"];
+
+/// The policies to run at one scale: the explicit `--policy` selection if
+/// given, otherwise `gfair` everywhere plus the other registry policies at
+/// the [`PER_POLICY_SCALES`] sizes.
+fn policies_for_scale(scale: &str, selected: Option<PolicyId>) -> Vec<PolicyId> {
+    match selected {
+        Some(p) => vec![p],
+        None if PER_POLICY_SCALES.contains(&scale) => PolicyId::ALL.to_vec(),
+        None => vec![PolicyId::Gfair],
+    }
+}
+
+/// Serde default for [`ScaleResult::policy`]: reports written before the
+/// field existed were all single-policy `gfair` runs. (Only referenced from
+/// the `Deserialize` derive, which the dead-code lint does not traverse.)
+#[allow(dead_code)]
+fn gfair_policy_name() -> String {
+    PolicyId::Gfair.name().to_string()
+}
+
 /// Per-scale benchmark result, serialized into `BENCH_sim.json`.
 #[derive(Serialize, Deserialize)]
 struct ScaleResult {
     name: String,
+    #[serde(default = "gfair_policy_name")]
+    policy: String,
     gpus: u32,
     trace_jobs: usize,
     horizon_hours: u64,
@@ -229,6 +266,7 @@ struct BenchReport {
 /// (the obs-overhead gate compares throughput with and without this).
 fn run_scale(
     s: &Scale,
+    policy: PolicyId,
     seed: u64,
     fast_forward: bool,
     lazy_planning: bool,
@@ -250,7 +288,7 @@ fn run_scale(
     if let Some(plan) = faults {
         sim = sim.with_faults(plan);
     }
-    let mut cfg = GfairConfig::default();
+    let mut cfg = GfairConfig::default().with_policy(policy);
     if !fast_forward {
         cfg = cfg.without_fast_forward();
     }
@@ -264,10 +302,10 @@ fn run_scale(
     // Share the sim's pipeline with the scheduler (the CLI does the same):
     // scheduler-side events land in the same trace, and the scheduler's
     // decision provenance sees the sink via `Obs::tracing`.
-    let mut sched = GandivaFair::new(cfg).with_obs(std::sync::Arc::clone(&obs_handle));
+    let mut sched = build_policy(cfg, std::sync::Arc::clone(&obs_handle));
     let start = Instant::now();
     let report = sim
-        .run_until(&mut sched, SimTime::from_secs(s.horizon_hours * 3600))
+        .run_until(sched.as_mut(), SimTime::from_secs(s.horizon_hours * 3600))
         .expect("valid benchmark run");
     for p in obs_handle.phase_stats() {
         eprintln!(
@@ -283,6 +321,7 @@ fn run_scale(
     let sim_gpu_hours = report.gpu_secs_used / 3600.0;
     let result = ScaleResult {
         name: s.name.to_string(),
+        policy: policy.name().to_string(),
         gpus,
         trace_jobs: s.num_jobs,
         horizon_hours: s.horizon_hours,
@@ -297,33 +336,36 @@ fn run_scale(
     (result, json)
 }
 
-/// The equivalence gate: every scale (or just `only`), faultless and
-/// fault-injected, must produce byte-identical `SimReport`s between the
-/// fully-optimized configuration (fast-forward + lazy settling, the
-/// default) and the fully-naive one (both off, every quantum stepped and
-/// every server re-planned). One comparison gates both mechanisms: if
-/// either ever diverged, the pair would mismatch. Returns the number of
-/// mismatching configurations.
-fn run_verify(quick: bool, seed: u64, only: Option<&str>) -> u32 {
+/// The equivalence gate: every scale (or just `only`) and every policy that
+/// scale benches (or just `policy`), faultless and fault-injected, must
+/// produce byte-identical `SimReport`s between the fully-optimized
+/// configuration (fast-forward + lazy settling, the default) and the
+/// fully-naive one (both off, every quantum stepped and every server
+/// re-planned). One comparison gates both mechanisms: if either ever
+/// diverged, the pair would mismatch. Returns the number of mismatching
+/// configurations.
+fn run_verify(quick: bool, seed: u64, only: Option<&str>, policy: Option<PolicyId>) -> u32 {
     let mut failures = 0u32;
     for s in scales(quick)
         .into_iter()
         .filter(|s| only.is_none_or(|o| o == s.name))
     {
-        for (label, faults) in [("clean", None), ("faulted", Some(verify_faults(seed)))] {
-            let (on, on_json) = run_scale(&s, seed, true, true, faults.clone(), None);
-            let (off, off_json) = run_scale(&s, seed, false, false, faults, None);
-            let ok = on_json == off_json;
-            eprintln!(
-                "  {} [{label}] ff-on {:.2}s / ff-off {:.2}s / {} rounds: {}",
-                s.name,
-                on.wall_secs,
-                off.wall_secs,
-                on.rounds,
-                if ok { "identical" } else { "MISMATCH" }
-            );
-            if !ok {
-                failures += 1;
+        for p in policies_for_scale(s.name, policy) {
+            for (label, faults) in [("clean", None), ("faulted", Some(verify_faults(seed)))] {
+                let (on, on_json) = run_scale(&s, p, seed, true, true, faults.clone(), None);
+                let (off, off_json) = run_scale(&s, p, seed, false, false, faults, None);
+                let ok = on_json == off_json;
+                eprintln!(
+                    "  {} [{p}/{label}] ff-on {:.2}s / ff-off {:.2}s / {} rounds: {}",
+                    s.name,
+                    on.wall_secs,
+                    off.wall_secs,
+                    on.rounds,
+                    if ok { "identical" } else { "MISMATCH" }
+                );
+                if !ok {
+                    failures += 1;
+                }
             }
         }
     }
@@ -364,13 +406,27 @@ fn main() {
         .position(|a| a == "--check-against")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let policy: Option<PolicyId> = match args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(name) => match PolicyId::parse(name) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!("bench_sim: unknown policy `{name}`");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
 
     if verify {
         eprintln!(
             "bench_sim: verify mode={} seed={seed}",
             if quick { "quick" } else { "full" }
         );
-        let failures = run_verify(quick, seed, only.as_deref());
+        let failures = run_verify(quick, seed, only.as_deref(), policy);
         if failures > 0 {
             eprintln!("bench_sim: {failures} optimized-vs-naive equivalence failure(s)");
             std::process::exit(1);
@@ -397,12 +453,13 @@ fn main() {
         let mut off_best = 0.0_f64;
         let mut on_best = 0.0_f64;
         let mut trace_bytes = 0;
+        let p = policy.unwrap_or(PolicyId::Gfair);
         for _ in 0..3 {
             // Lazy settling off on BOTH arms: tracing disables it anyway,
             // so only an eager/eager pair isolates the tracing cost.
-            let (off, _) = run_scale(s, seed, true, false, None, None);
+            let (off, _) = run_scale(s, p, seed, true, false, None, None);
             off_best = off_best.max(off.gpu_hours_per_wall_sec);
-            let (on, _) = run_scale(s, seed, true, false, None, trace_path.to_str());
+            let (on, _) = run_scale(s, p, seed, true, false, None, trace_path.to_str());
             on_best = on_best.max(on.gpu_hours_per_wall_sec);
             trace_bytes = std::fs::metadata(&trace_path).map(|m| m.len()).unwrap_or(0);
             let _ = std::fs::remove_file(&trace_path);
@@ -429,25 +486,27 @@ fn main() {
         .into_iter()
         .filter(|s| only.as_deref().is_none_or(|o| o == s.name))
     {
-        eprintln!(
-            "  {} ({} jobs, {}h horizon) ...",
-            s.name, s.num_jobs, s.horizon_hours
-        );
-        let mut best: Option<ScaleResult> = None;
-        for _ in 0..best_of {
-            let (r, _) = run_scale(&s, seed, fast_forward, true, None, None);
+        for p in policies_for_scale(s.name, policy) {
             eprintln!(
-                "    {:.1} sim GPU-hours in {:.2}s wall = {:.1} GPU-h/s, {:.0} rounds/s",
-                r.sim_gpu_hours, r.wall_secs, r.gpu_hours_per_wall_sec, r.rounds_per_sec
+                "  {} [{p}] ({} jobs, {}h horizon) ...",
+                s.name, s.num_jobs, s.horizon_hours
             );
-            if best
-                .as_ref()
-                .is_none_or(|b| r.gpu_hours_per_wall_sec > b.gpu_hours_per_wall_sec)
-            {
-                best = Some(r);
+            let mut best: Option<ScaleResult> = None;
+            for _ in 0..best_of {
+                let (r, _) = run_scale(&s, p, seed, fast_forward, true, None, None);
+                eprintln!(
+                    "    {:.1} sim GPU-hours in {:.2}s wall = {:.1} GPU-h/s, {:.0} rounds/s",
+                    r.sim_gpu_hours, r.wall_secs, r.gpu_hours_per_wall_sec, r.rounds_per_sec
+                );
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.gpu_hours_per_wall_sec > b.gpu_hours_per_wall_sec)
+                {
+                    best = Some(r);
+                }
             }
+            results.push(best.expect("best_of >= 1"));
         }
-        results.push(best.expect("best_of >= 1"));
     }
     if let Some(path) = &check_against {
         let baseline: BenchReport = serde_json::from_str(
@@ -456,15 +515,23 @@ fn main() {
         .expect("parseable --check-against baseline");
         let mut regressions = 0u32;
         for r in &results {
-            let Some(b) = baseline.scales.iter().find(|b| b.name == r.name) else {
-                eprintln!("  {}: no baseline scale in {path}, skipping", r.name);
+            let Some(b) = baseline
+                .scales
+                .iter()
+                .find(|b| b.name == r.name && b.policy == r.policy)
+            else {
+                eprintln!(
+                    "  {} [{}]: no baseline row in {path}, skipping",
+                    r.name, r.policy
+                );
                 continue;
             };
             let ratio = r.gpu_hours_per_wall_sec / b.gpu_hours_per_wall_sec;
             let ok = ratio >= 0.9;
             eprintln!(
-                "  {}: {:.1} GPU-h/s vs baseline {:.1} ({:.1}%): {}",
+                "  {} [{}]: {:.1} GPU-h/s vs baseline {:.1} ({:.1}%): {}",
                 r.name,
+                r.policy,
                 r.gpu_hours_per_wall_sec,
                 b.gpu_hours_per_wall_sec,
                 ratio * 100.0,

@@ -24,12 +24,10 @@
 use crate::balance::plan_migrations_traced;
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
+use crate::inputs::PolicyInputs;
 use crate::placement::{Placer, TIE_BREAK_LOAD};
 use crate::planner::RoundPlanner;
-use crate::policy::{
-    active_signature, record_profile_report, AllocPolicy, PolicyRound, TicketTrading,
-};
-use crate::policy::{demands, user_speedups};
+use crate::policy::{record_profile_report, AllocPolicy, PolicyRound, TicketTrading};
 use crate::profiler::Profiler;
 use crate::trade::Trade;
 use gfair_obs::{Obs, Rejection, SharedObs, TraceEvent, UserShare};
@@ -86,6 +84,9 @@ pub struct GandivaFair {
     policy: TicketTrading,
     /// Jobs whose migration failed and is being retried with backoff.
     retry: BTreeMap<JobId, RetryState>,
+    /// Dense per-user policy inputs (demand, speedups), refreshed
+    /// incrementally from the cluster-index aggregates each epoch.
+    inputs: PolicyInputs,
     /// Observability pipeline: trade and profile-convergence events plus
     /// self-profiling spans for the hot phases. Share the simulation's
     /// instance via [`GandivaFair::with_obs`] to get one unified trace.
@@ -107,6 +108,7 @@ impl GandivaFair {
             next_balance: SimTime::ZERO,
             policy: TicketTrading::new(&cfg),
             retry: BTreeMap::new(),
+            inputs: PolicyInputs::new(),
             obs: Arc::new(Obs::new()),
         }
     }
@@ -151,22 +153,27 @@ impl GandivaFair {
         self.planner
             .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
         self.placer.ensure_capacity(view);
+        self.inputs.ensure_init(view);
     }
 
     /// Recomputes base entitlements, re-runs the market and pushes the
     /// derived weights into the planner.
+    ///
+    /// The dense inputs are refreshed incrementally from the cluster-index
+    /// aggregates; in debug builds every refresh is differential-checked
+    /// against the from-scratch map builders ([`PolicyInputs::audit`]).
     fn refresh_entitlements(&mut self, view: &SimView<'_>, active: Vec<(UserId, u64)>) {
         let profiler = self.profiler.as_ref().expect("initialized");
-        let speedups = user_speedups(profiler, view);
-        let demand = demands(view);
-        let rho = BTreeMap::new();
+        self.inputs.refresh(view, profiler);
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.inputs.audit(view, profiler, None) {
+            panic!("dense policy inputs diverged from from-scratch oracle: {e}");
+        }
         let round = PolicyRound {
             view,
             now: view.now(),
             active: &active,
-            demands: &demand,
-            speedups: &speedups,
-            rho: &rho,
+            inputs: &self.inputs,
             obs: &self.obs,
         };
         let ent = self.policy.allocate(&round);
@@ -385,7 +392,7 @@ impl ClusterScheduler for GandivaFair {
         let now = view.now();
 
         // 1. Entitlements: refresh on churn or on the trade timer.
-        let active = active_signature(view);
+        let active = self.inputs.active_signature(view);
         let trade_due = now >= self.next_trade;
         let refreshed = trade_due || active != self.active_sig || self.ent.is_none();
         if refreshed {

@@ -39,6 +39,7 @@ pub mod balance;
 pub mod central;
 pub mod config;
 pub mod entitlement;
+pub mod inputs;
 pub mod local;
 mod placement;
 mod planner;
@@ -50,6 +51,7 @@ pub mod trade;
 pub use central::GandivaFair;
 pub use config::{GfairConfig, PolicyId};
 pub use entitlement::Entitlements;
+pub use inputs::PolicyInputs;
 pub use policy::{AllocPolicy, PolicyRound, PolicyScheduler, TicketTrading};
 pub use profiler::Profiler;
 pub use trade::{run_market, Trade};

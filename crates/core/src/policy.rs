@@ -33,70 +33,16 @@
 use crate::balance::plan_migrations_traced;
 use crate::config::GfairConfig;
 use crate::entitlement::Entitlements;
+use crate::inputs::PolicyInputs;
 use crate::placement::Placer;
 use crate::planner::RoundPlanner;
 use crate::profiler::Profiler;
 use crate::trade::{run_market_traced, Trade};
 use gfair_obs::{Obs, SharedObs, TraceEvent, UserShare};
 use gfair_sim::{Action, ClusterScheduler, ProfileReport, RoundPlan, SimView};
-use gfair_types::{GenId, JobId, ServerId, SimConfig, SimDuration, SimTime, UserId};
+use gfair_types::{JobId, MigrationFailReason, ServerId, SimConfig, SimDuration, SimTime, UserId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-
-/// The active-user signature: (user, tickets) for users with active jobs.
-pub(crate) fn active_signature(view: &SimView<'_>) -> Vec<(UserId, u64)> {
-    let tickets: BTreeMap<UserId, u64> = view.users().iter().map(|u| (u.id, u.tickets)).collect();
-    view.active_users()
-        .into_iter()
-        .map(|u| (u, tickets.get(&u).copied().unwrap_or(1)))
-        .collect()
-}
-
-/// Per-user total GPU demand (sum of active gang sizes), read straight
-/// from the engine's materialized per-user aggregates.
-pub(crate) fn demands(view: &SimView<'_>) -> BTreeMap<UserId, f64> {
-    view.user_demands().map(|(u, d)| (u, d as f64)).collect()
-}
-
-/// Per-user, per-generation speedup estimates: the demand-weighted mean
-/// of the profiled speedups of the user's active jobs' models. `None`
-/// where no job of the user is profiled on that generation.
-///
-/// Folds over the index's (user, model) demand aggregates, so each model
-/// is looked up in the profiler once per user holding it — not once per
-/// job — and the cost scales with distinct (user, model) pairs.
-pub(crate) fn user_speedups(
-    profiler: &Profiler,
-    view: &SimView<'_>,
-) -> BTreeMap<UserId, Vec<Option<f64>>> {
-    let base = GenId::new(0);
-    let num_gens = view.cluster().catalog.len();
-    let mut out: BTreeMap<UserId, Vec<Option<f64>>> = BTreeMap::new();
-    let mut weights: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
-    let mut sums: BTreeMap<(UserId, usize), f64> = BTreeMap::new();
-    for (user, model, demand) in view.user_model_demands() {
-        for g in 0..num_gens {
-            let gen = GenId::new(g as u32);
-            if let Some(s) = profiler.speedup(model, gen, base) {
-                *weights.entry((user, g)).or_insert(0.0) += demand as f64;
-                *sums.entry((user, g)).or_insert(0.0) += s * demand as f64;
-            }
-        }
-    }
-    for u in view.active_users() {
-        let mut row = vec![None; num_gens];
-        row[0] = Some(1.0);
-        for (g, slot) in row.iter_mut().enumerate().skip(1) {
-            if let (Some(&w), Some(&s)) = (weights.get(&(u, g)), sums.get(&(u, g))) {
-                if w > 0.0 {
-                    *slot = Some(s / w);
-                }
-            }
-        }
-        out.insert(u, row);
-    }
-    out
-}
 
 /// Feeds a profile observation into the estimator, announcing the inferred
 /// rate once per (model, generation) when the estimate first crosses the
@@ -127,8 +73,8 @@ pub(crate) fn record_profile_report(
 
 /// Everything an allocation policy may consult for one epoch decision.
 ///
-/// All collections are id-ordered (`BTreeMap`, id-sorted slices), so any
-/// iteration a policy performs over them is deterministic.
+/// The `active` slice is id-ordered and the [`PolicyInputs`] accessors are
+/// pure lookups, so any iteration a policy performs is deterministic.
 pub struct PolicyRound<'a> {
     /// Read-only cluster state (topology, jobs, reachability).
     pub view: &'a SimView<'a>,
@@ -136,15 +82,12 @@ pub struct PolicyRound<'a> {
     pub now: SimTime,
     /// Active users and their configured tickets, in user-id order.
     pub active: &'a [(UserId, u64)],
-    /// Per-user total GPU demand (sum of active gang sizes).
-    pub demands: &'a BTreeMap<UserId, f64>,
-    /// Per-user, per-generation speedup estimates from the online profiler;
-    /// `None` where unprofiled (policies should assume the base rate 1.0).
-    pub speedups: &'a BTreeMap<UserId, Vec<Option<f64>>>,
-    /// Per-user online finish-time-fairness estimate ρ̂ (worst active job).
-    /// Populated only for policies that return `true` from
-    /// [`AllocPolicy::wants_rho`]; empty otherwise.
-    pub rho: &'a BTreeMap<UserId, f64>,
+    /// Dense per-user inputs: demand, per-generation speedup estimates from
+    /// the online profiler (`None` where unprofiled — policies should
+    /// assume the base rate 1.0), and — for policies that return `true`
+    /// from [`AllocPolicy::wants_rho`] — the online finish-time-fairness
+    /// estimate ρ̂ (1.0 where not maintained).
+    pub inputs: &'a PolicyInputs,
     /// Observability pipeline for policy-side trace events (trades,
     /// auction outcomes).
     pub obs: &'a SharedObs,
@@ -179,7 +122,7 @@ pub trait AllocPolicy {
     }
 
     /// Whether the driver should maintain online per-user ρ̂ estimates and
-    /// pass them in [`PolicyRound::rho`]. Defaults to `false` (the
+    /// serve them via [`PolicyInputs::rho`]. Defaults to `false` (the
     /// accounting costs a per-round sweep over the scheduled jobs).
     fn wants_rho(&self) -> bool {
         false
@@ -228,8 +171,7 @@ impl AllocPolicy for TicketTrading {
                 round.obs,
                 round.now,
                 &mut ent,
-                round.speedups,
-                round.demands,
+                round.inputs,
                 round.view.config().price_strategy,
                 self.margin,
             );
@@ -300,6 +242,9 @@ pub struct PolicyScheduler<P: AllocPolicy> {
     /// Jobs scheduled by the most recent plan, for fast-forward service
     /// accounting (a skipped span replays exactly this run set).
     last_plan_jobs: Vec<JobId>,
+    /// Dense per-user policy inputs (demand, speedups, ρ̂), refreshed
+    /// incrementally from the cluster-index aggregates each epoch.
+    inputs: PolicyInputs,
     /// Observability pipeline; share the simulation's instance via
     /// [`PolicyScheduler::with_obs`] to get one unified trace.
     obs: SharedObs,
@@ -321,6 +266,7 @@ impl<P: AllocPolicy> PolicyScheduler<P> {
             quantum_micros: 0,
             sched_micros: Vec::new(),
             last_plan_jobs: Vec::new(),
+            inputs: PolicyInputs::new(),
             obs: Arc::new(Obs::new()),
         }
     }
@@ -354,55 +300,46 @@ impl<P: AllocPolicy> PolicyScheduler<P> {
         self.planner
             .ensure_init(view, self.cfg.gang_policy, self.cfg.planning_workers);
         self.placer.ensure_capacity(view);
+        self.inputs.ensure_init(view);
         if self.quantum_micros == 0 {
             self.quantum_micros = view.config().quantum.as_micros();
         }
     }
 
-    /// Online finish-time-fairness estimate per user: the worst ratio of
-    /// time-in-system to time-served over the user's active jobs,
-    /// quantum-smoothed so brand-new jobs start at ρ̂ = 1 instead of ∞.
-    ///
-    /// Both numerator and denominator are integer microseconds, so the
-    /// estimate is exact and replay-stable; T_ideal is approximated by the
-    /// job's attained service (a job that was never descheduled has ρ̂ = 1).
-    fn online_rho(&self, view: &SimView<'_>, now: SimTime) -> BTreeMap<UserId, f64> {
-        let q = self.quantum_micros;
-        let mut rho: BTreeMap<UserId, f64> = BTreeMap::new();
-        for j in view.active_jobs() {
-            let attained = self.sched_micros.get(j.id.index()).copied().unwrap_or(0);
-            let elapsed = now.as_micros().saturating_sub(j.arrival.as_micros());
-            let r = (elapsed + q) as f64 / (attained + q) as f64;
-            rho.entry(j.user)
-                .and_modify(|m| {
-                    if r > *m {
-                        *m = r;
-                    }
-                })
-                .or_insert(r);
-        }
-        rho
-    }
-
     /// Recomputes the allocation through the policy and pushes the derived
     /// weights into the planner.
+    ///
+    /// The dense inputs are refreshed incrementally from the cluster-index
+    /// aggregates; in debug builds every refresh is differential-checked
+    /// against the from-scratch map builders ([`PolicyInputs::audit`]).
     fn refresh_allocation(&mut self, view: &SimView<'_>, active: Vec<(UserId, u64)>) {
         let now = view.now();
         let profiler = self.profiler.as_ref().expect("initialized");
-        let speedups = user_speedups(profiler, view);
-        let demand = demands(view);
-        let rho = if self.policy.wants_rho() {
-            self.online_rho(view, now)
-        } else {
-            BTreeMap::new()
-        };
+        self.inputs.refresh(view, profiler);
+        if self.policy.wants_rho() {
+            // ρ̂ per user: the worst ratio of time-in-system to time-served
+            // over the user's active jobs, quantum-smoothed so brand-new
+            // jobs start at ρ̂ = 1 instead of ∞. Both sides are integer
+            // microseconds, so the estimate is exact and replay-stable.
+            self.inputs
+                .refresh_rho(view, &self.sched_micros, self.quantum_micros, now);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let ledger = self.policy.wants_rho().then_some((
+                self.sched_micros.as_slice(),
+                self.quantum_micros,
+                now,
+            ));
+            if let Err(e) = self.inputs.audit(view, profiler, ledger) {
+                panic!("dense policy inputs diverged from from-scratch oracle: {e}");
+            }
+        }
         let round = PolicyRound {
             view,
             now,
             active: &active,
-            demands: &demand,
-            speedups: &speedups,
-            rho: &rho,
+            inputs: &self.inputs,
             obs: &self.obs,
         };
         let ent = self.policy.allocate(&round);
@@ -460,6 +397,24 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
         Vec::new()
     }
 
+    fn on_migration_failed(
+        &mut self,
+        _view: &SimView<'_>,
+        _job: JobId,
+        _to: ServerId,
+        _reason: MigrationFailReason,
+    ) -> Vec<Action> {
+        // No immediate retry: `plan_round` re-places every pending job each
+        // round, so a job stranded by a failed move is picked up there. The
+        // trait default (re-dispatch through `on_job_arrival`) would queue a
+        // second placement that races the round plan's — whichever lands
+        // first leaves the other targeting a now-resident job, which the
+        // engine rejects as a scheduler bug. Still-resident jobs (checkpoint
+        // failure, unreachable target) are re-examined by the next balancing
+        // pass.
+        Vec::new()
+    }
+
     fn on_partition_heal(&mut self, view: &SimView<'_>, server: ServerId) -> Vec<Action> {
         self.ensure_init(view);
         // Reconcile: clearing the active signature forces an allocation
@@ -493,7 +448,7 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
         let now = view.now();
 
         // 1. Allocation: refresh on churn or on the epoch timer.
-        let active = active_signature(view);
+        let active = self.inputs.active_signature(view);
         let epoch_due = now >= self.next_epoch;
         let refreshed = epoch_due || active != self.active_sig || self.ent.is_none();
         if refreshed {
@@ -563,17 +518,24 @@ impl<P: AllocPolicy> ClusterScheduler for PolicyScheduler<P> {
         );
 
         // 5. Service accounting for ρ̂: every scheduled job accrues one
-        // quantum (integer micros, replayed exactly on fast-forward).
+        // quantum (integer micros, replayed exactly on fast-forward). One
+        // resize to the round's max job index, not one per job.
         if self.policy.wants_rho() {
             self.last_plan_jobs.clear();
             let q = self.quantum_micros;
+            let max_idx = run
+                .values()
+                .flat_map(|jobs| jobs.iter())
+                .map(|job| job.index())
+                .max();
+            if let Some(max_idx) = max_idx {
+                if self.sched_micros.len() <= max_idx {
+                    self.sched_micros.resize(max_idx + 1, 0);
+                }
+            }
             for jobs in run.values() {
                 for &job in jobs {
-                    let idx = job.index();
-                    if self.sched_micros.len() <= idx {
-                        self.sched_micros.resize(idx + 1, 0);
-                    }
-                    self.sched_micros[idx] += q;
+                    self.sched_micros[job.index()] += q;
                     self.last_plan_jobs.push(job);
                 }
             }

@@ -23,6 +23,7 @@
 //! market never trades on guesses.
 
 use crate::entitlement::Entitlements;
+use crate::inputs::PolicyInputs;
 use gfair_obs::{Candidate, Obs, Phase, Rejection, TraceEvent};
 use gfair_types::{GenId, PriceStrategy, SimTime, UserId};
 use std::collections::BTreeMap;
@@ -53,22 +54,22 @@ pub struct Trade {
 
 /// Runs the market over `ent`, mutating allocations in place.
 ///
-/// * `speedups[u][g]` — user `u`'s profiled speedup on generation `g`
-///   relative to the base generation; `None` means unprofiled (user sits
-///   out for that generation).
-/// * `demand[u]` — total GPUs the user's active jobs can consume
-///   simultaneously (sum of gang sizes).
+/// * `inputs` — the dense per-user policy inputs:
+///   [`PolicyInputs::speedup`] gives user `u`'s profiled speedup on a
+///   generation relative to the base (`None` means unprofiled — the user
+///   sits out for that generation) and [`PolicyInputs::demand`] the total
+///   GPUs the user's active jobs can consume simultaneously (sum of gang
+///   sizes).
 /// * `margin` — minimum buyer-minus-seller speedup gap for a trade.
 ///
 /// Returns the executed trades in execution order.
 pub fn run_market(
     ent: &mut Entitlements,
-    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
-    demand: &BTreeMap<UserId, f64>,
+    inputs: &PolicyInputs,
     strategy: PriceStrategy,
     margin: f64,
 ) -> Vec<Trade> {
-    run_market_inner(ent, speedups, demand, strategy, margin)
+    run_market_inner(ent, inputs, strategy, margin)
 }
 
 /// Observed [`run_market`]: the matching pass is timed as a
@@ -78,13 +79,12 @@ pub fn run_market_traced(
     obs: &Obs,
     now: SimTime,
     ent: &mut Entitlements,
-    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
-    demand: &BTreeMap<UserId, f64>,
+    inputs: &PolicyInputs,
     strategy: PriceStrategy,
     margin: f64,
 ) -> Vec<Trade> {
     let trades = obs.time(Phase::TradeMatching, || {
-        run_market_inner(ent, speedups, demand, strategy, margin)
+        run_market_inner(ent, inputs, strategy, margin)
     });
     // Provenance: per-generation participant counts, re-derived with the
     // market's own eligibility filter (active demand + profiled speedup).
@@ -98,13 +98,8 @@ pub fn run_market_traced(
             .map(|gen_idx| {
                 let n = ent
                     .users()
-                    .filter(|u| demand.get(u).copied().unwrap_or(0.0) > EPS)
-                    .filter(|u| {
-                        speedups
-                            .get(u)
-                            .and_then(|v| v.get(gen_idx).copied().flatten())
-                            .is_some()
-                    })
+                    .filter(|&u| inputs.demand(u) > EPS)
+                    .filter(|&u| inputs.speedup(u, gen_idx).is_some())
                     .count() as u32;
                 (GenId::new(gen_idx as u32), n)
             })
@@ -166,8 +161,7 @@ pub fn run_market_traced(
 
 fn run_market_inner(
     ent: &mut Entitlements,
-    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
-    demand: &BTreeMap<UserId, f64>,
+    inputs: &PolicyInputs,
     strategy: PriceStrategy,
     margin: f64,
 ) -> Vec<Trade> {
@@ -179,11 +173,8 @@ fn run_market_inner(
         // Participants: active demand and a profiled speedup on `gen`.
         let mut ranked: Vec<(UserId, f64)> = ent
             .users()
-            .filter(|u| demand.get(u).copied().unwrap_or(0.0) > EPS)
-            .filter_map(|u| {
-                let s = speedups.get(&u)?.get(gen_idx).copied().flatten()?;
-                Some((u, s))
-            })
+            .filter(|&u| inputs.demand(u) > EPS)
+            .filter_map(|u| Some((u, inputs.speedup(u, gen_idx)?)))
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         if ranked.len() < 2 {
@@ -209,16 +200,14 @@ fn run_market_inner(
                 continue;
             }
             let buyer_budget = ent.get(buyer, base) / price;
-            let buyer_room =
-                (demand.get(&buyer).copied().unwrap_or(0.0) - ent.get(buyer, gen)).max(0.0);
+            let buyer_room = (inputs.demand(buyer) - ent.get(buyer, gen)).max(0.0);
             if buyer_budget <= EPS || buyer_room <= EPS {
                 j -= 1;
                 continue;
             }
             // The seller only accepts base-GPU volume their jobs can use:
             // after the swap their total grows by (price - 1) * delta.
-            let seller_headroom =
-                (demand.get(&seller).copied().unwrap_or(0.0) - ent.gpus_of(seller)).max(0.0);
+            let seller_headroom = (inputs.demand(seller) - ent.gpus_of(seller)).max(0.0);
             let seller_room = seller_headroom / (price - 1.0);
             if seller_room <= EPS {
                 i += 1;
@@ -264,6 +253,18 @@ fn run_market_inner(
     trades
 }
 
+/// Test-only adapter: packs explicit speedup/demand maps into the dense
+/// [`PolicyInputs`] the market consumes (generation count inferred from the
+/// widest speedup row).
+#[cfg(test)]
+fn market_inputs(
+    speedups: &BTreeMap<UserId, Vec<Option<f64>>>,
+    demand: &BTreeMap<UserId, f64>,
+) -> PolicyInputs {
+    let num_gens = speedups.values().map(|r| r.len()).max().unwrap_or(1);
+    PolicyInputs::from_maps(num_gens, demand, speedups, &BTreeMap::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,7 +306,12 @@ mod tests {
     #[test]
     fn low_speedup_user_sells_fast_gpus_to_high() {
         let (mut ent, sp, dm) = canonical();
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!(!trades.is_empty());
         let t = &trades[0];
         assert_eq!(t.seller, UserId::new(0));
@@ -323,7 +329,12 @@ mod tests {
     #[test]
     fn physical_gpus_are_conserved() {
         let (mut ent, sp, dm) = canonical();
-        let _ = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let _ = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!((ent.total_of_gen(GenId::new(0)) - 16.0).abs() < 1e-6);
         assert!((ent.total_of_gen(GenId::new(1)) - 8.0).abs() < 1e-6);
     }
@@ -335,7 +346,12 @@ mod tests {
             .iter()
             .map(|&u| ent.valuation(UserId::new(u), &[Some(1.0), sp[&UserId::new(u)][1]]))
             .collect();
-        let _ = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let _ = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         for (k, &u) in [0u32, 1].iter().enumerate() {
             let after = ent.valuation(UserId::new(u), &[Some(1.0), sp[&UserId::new(u)][1]]);
             assert!(
@@ -350,7 +366,12 @@ mod tests {
     fn seller_strictly_gains_under_max_price() {
         let (mut ent, sp, dm) = canonical();
         let before = ent.valuation(UserId::new(0), &[Some(1.0), Some(1.25)]);
-        let _ = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let _ = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         let after = ent.valuation(UserId::new(0), &[Some(1.0), Some(1.25)]);
         assert!(
             after > before + 1.0,
@@ -363,7 +384,12 @@ mod tests {
         let (mut ent, sp, dm) = canonical();
         let b0 = ent.valuation(UserId::new(0), &[Some(1.0), Some(1.25)]);
         let b1 = ent.valuation(UserId::new(1), &[Some(1.0), Some(5.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::Midpoint, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::Midpoint,
+            0.2,
+        );
         assert!(!trades.is_empty());
         assert!((trades[0].price - 3.125).abs() < 1e-9);
         let a0 = ent.valuation(UserId::new(0), &[Some(1.0), Some(1.25)]);
@@ -379,7 +405,12 @@ mod tests {
             .iter()
             .map(|&u| ent.valuation(UserId::new(u), &[Some(1.0), sp[&UserId::new(u)][1]]))
             .sum();
-        let _ = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let _ = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         let total_after: f64 = [0u32, 1]
             .iter()
             .map(|&u| ent.valuation(UserId::new(u), &[Some(1.0), sp[&UserId::new(u)][1]]))
@@ -398,7 +429,12 @@ mod tests {
         );
         let sp = speedups(&[(0, None), (1, Some(5.0))]);
         let dm = demands(&[(0, 100.0), (1, 100.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!(trades.is_empty());
     }
 
@@ -410,7 +446,12 @@ mod tests {
         );
         let sp = speedups(&[(0, Some(2.0)), (1, Some(2.1))]);
         let dm = demands(&[(0, 100.0), (1, 100.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!(trades.is_empty());
     }
 
@@ -423,7 +464,12 @@ mod tests {
         let sp = speedups(&[(0, Some(1.25)), (1, Some(5.0))]);
         // The high-speedup user has no jobs: nothing to buy for.
         let dm = demands(&[(0, 100.0), (1, 0.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!(trades.is_empty());
     }
 
@@ -436,7 +482,12 @@ mod tests {
         let sp = speedups(&[(0, Some(1.25)), (1, Some(5.0))]);
         // Buyer can use at most 4.5 GPUs total; they already hold 4 fast.
         let dm = demands(&[(0, 100.0), (1, 4.5)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         let bought: f64 = trades.iter().map(|t| t.fast_gpus).sum();
         assert!(bought <= 0.5 + 1e-9, "bought {bought} beyond demand room");
     }
@@ -451,7 +502,12 @@ mod tests {
         // Seller's demand (13) barely exceeds their 12-GPU entitlement:
         // headroom 1 GPU, so at price 5 they accept at most 1/(5-1) fast.
         let dm = demands(&[(0, 13.0), (1, 100.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         let sold: f64 = trades.iter().map(|t| t.fast_gpus).sum();
         assert!(sold <= 0.25 + 1e-9, "sold {sold} beyond usable headroom");
     }
@@ -469,7 +525,12 @@ mod tests {
             (UserId::new(1), vec![Some(1.0), Some(2.5), Some(5.0)]),
         ]);
         let dm = demands(&[(0, 200.0), (1, 200.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         // Both the V100 (gen 2) and P100 (gen 1) markets fire, fastest first.
         assert!(trades.iter().any(|t| t.gen == GenId::new(2)));
         assert!(trades.iter().any(|t| t.gen == GenId::new(1)));
@@ -502,7 +563,12 @@ mod tests {
             (3, Some(5.0)),
         ]);
         let dm = demands(&[(0, 100.0), (1, 100.0), (2, 100.0), (3, 100.0)]);
-        let trades = run_market(&mut ent, &sp, &dm, PriceStrategy::MaxSpeedup, 0.2);
+        let trades = run_market(
+            &mut ent,
+            &market_inputs(&sp, &dm),
+            PriceStrategy::MaxSpeedup,
+            0.2,
+        );
         assert!(!trades.is_empty());
         // The first trade pairs the extreme speedups.
         assert_eq!(trades[0].seller, UserId::new(0));
@@ -578,7 +644,7 @@ mod proptests {
             let before: Vec<f64> = (0..3)
                 .map(|g| ent.total_of_gen(GenId::new(g)))
                 .collect();
-            let _ = run_market(&mut ent, &speedups, &demand, strategy, 0.2);
+            let _ = run_market(&mut ent, &market_inputs(&speedups, &demand), strategy, 0.2);
             for g in 0..3u32 {
                 let after = ent.total_of_gen(GenId::new(g));
                 prop_assert!(
@@ -611,7 +677,7 @@ mod proptests {
                 .iter()
                 .map(|&u| ent.valuation(u, &speedups[&u]))
                 .collect();
-            let trades = run_market(&mut ent, &speedups, &demand, strategy, 0.2);
+            let trades = run_market(&mut ent, &market_inputs(&speedups, &demand), strategy, 0.2);
             for (i, &u) in users.iter().enumerate() {
                 let after = ent.valuation(u, &speedups[&u]);
                 prop_assert!(
@@ -641,8 +707,7 @@ mod proptests {
                 .sum();
             let trades = run_market(
                 &mut ent,
-                &speedups,
-                &demand,
+                &market_inputs(&speedups, &demand),
                 PriceStrategy::MaxSpeedup,
                 0.2,
             );

@@ -6,16 +6,33 @@
 //! ticket-normalized effective throughput* across users is maximized, using
 //! each user's estimated per-generation speedups. Where Gavel solves an LP
 //! per round, this implementation uses a deterministic discrete
-//! water-filling solver (one GPU per iteration, fixed iteration bound), so
-//! allocations are integral, replayable and byte-stable — a requirement of
-//! this workspace's determinism contract that an off-the-shelf LP solver
-//! would not meet.
+//! water-filling solver, so allocations are integral, replayable and
+//! byte-stable — a requirement of this workspace's determinism contract
+//! that an off-the-shelf LP solver would not meet.
+//!
+//! ## The batched solver
+//!
+//! The reference formulation grants one GPU per iteration to the globally
+//! poorest user — `O(total GPUs × users × generations)` per epoch, the last
+//! per-round cost in the workspace that scaled with the whole cluster.
+//! [`water_fill`] keeps those exact semantics (same grant order, bit-stable
+//! `tput` accumulation) but runs level-batched: a min-heap keyed on
+//! (ticket-normalized throughput, user id) yields the poorest user, who
+//! then absorbs a whole run of grants — bounded by their remaining demand,
+//! the capacity of their current best generation, and the throughput level
+//! at which they would overtake the next-poorest user — before the heap is
+//! touched again. Each grant still performs the same
+//! `rates[g] / tickets` addition in the same order, so the allocation
+//! matrix *and* the float throughputs are byte-identical to the one-at-a-
+//! time loop, which is retained as [`water_fill_naive`] and differentially
+//! checked in debug builds and under proptest.
 
 use gfair_core::policy::{AllocPolicy, PolicyRound};
 use gfair_core::Entitlements;
 use gfair_obs::{Candidate, Rejection, TraceEvent};
 use gfair_types::{SimConfig, SimDuration, UserId};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One user's input to the water-filling solver.
 #[derive(Debug, Clone)]
@@ -33,26 +50,161 @@ pub struct WfUser {
     pub rates: Vec<f64>,
 }
 
-/// Deterministic discrete water-filling: repeatedly grant one GPU to the
-/// user with the lowest ticket-normalized effective throughput (ties to the
-/// lowest user id), who takes it from their highest-rate generation with
-/// remaining capacity (ties to the lowest generation id). Users stop
-/// receiving once their demand is met; the loop runs at most
-/// `sum(capacity)` iterations.
+/// A water-filling solution: the integral per-user, per-generation grant
+/// matrix plus each user's final ticket-normalized effective throughput
+/// (row order matches the `users` input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfSolve {
+    /// Integral grants: `alloc[user][gen]` GPUs of each generation.
+    pub alloc: Vec<Vec<u32>>,
+    /// Final accumulated ticket-normalized throughput per user, bit-stable
+    /// across solver implementations (the accumulation order is part of the
+    /// semantics).
+    pub tput: Vec<f64>,
+}
+
+/// Heap key for the batched solver: (ticket-normalized throughput, user
+/// index) under IEEE total order — exactly the comparison the reference
+/// loop's argmin scan performs, with the index making every key distinct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WfKey(f64, usize);
+
+impl Eq for WfKey {}
+
+impl Ord for WfKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for WfKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic discrete water-filling: semantically, repeatedly grant one
+/// GPU to the user with the lowest ticket-normalized effective throughput
+/// (ties to the lowest user id), who takes it from their highest-rate
+/// generation with remaining capacity (ties to the lowest generation id),
+/// until every user's demand is met or capacity runs out.
 ///
-/// Returns the integral per-user, per-generation grant matrix (row order
-/// matches `users`). The greedy is max-min fair in the discrete sense: a
-/// granted GPU can never be re-assigned to an unsaturated user without
-/// taking it from someone whose (last-grant-adjusted) throughput is already
-/// no higher — the water-filling property test asserts exactly this.
+/// Runs level-batched (see the module docs): the poorest user is popped
+/// from a min-heap once per *run* of grants instead of being re-discovered
+/// by a full scan per GPU, so the cost is `O(batches × log users)` plus one
+/// flop per grant rather than `O(total GPUs × users × generations)`. The
+/// grant order — and therefore both the allocation matrix and the
+/// bit-stable `tput` accumulation — is identical to the one-at-a-time
+/// reference loop ([`water_fill_naive`]); debug builds assert this on every
+/// call. `rates` must not contain NaN (profiler speedups never are).
+///
+/// Returns the integral grant matrix. The greedy is max-min fair in the
+/// discrete sense: a granted GPU can never be re-assigned to an unsaturated
+/// user without taking it from someone whose (last-grant-adjusted)
+/// throughput is already no higher — the water-filling property test
+/// asserts exactly this.
 pub fn water_fill(capacity: &[u32], users: &[WfUser]) -> Vec<Vec<u32>> {
+    water_fill_solve(capacity, users).alloc
+}
+
+/// [`water_fill`] returning the full [`WfSolve`] (grants plus final
+/// throughputs) — the differential tests compare both fields against the
+/// reference solver bit-for-bit.
+pub fn water_fill_solve(capacity: &[u32], users: &[WfUser]) -> WfSolve {
+    let num_gens = capacity.len();
+    let mut cap = capacity.to_vec();
+    let mut alloc = vec![vec![0u32; num_gens]; users.len()];
+    let mut got = vec![0u32; users.len()];
+    // Ticket-normalized effective throughput accumulated per user. Each
+    // grant adds the same `rates[g] / tickets` term in the same order as
+    // the reference loop, so the float results are bit-stable.
+    let mut tput = vec![0.0f64; users.len()];
+    // Per-user generation preference: highest rate first, ties to the
+    // lowest generation id — the order the reference loop's strict-`>`
+    // capacity scan realizes. Capacity only ever decreases, so a cursor
+    // that advances past exhausted generations never has to back up.
+    let pref: Vec<Vec<u32>> = users
+        .iter()
+        .map(|u| {
+            debug_assert!(u.rates.iter().all(|r| !r.is_nan()), "NaN water-fill rate");
+            let mut order: Vec<u32> = (0..num_gens as u32).collect();
+            order.sort_by(|&a, &b| {
+                u.rates[b as usize]
+                    .total_cmp(&u.rates[a as usize])
+                    .then(a.cmp(&b))
+            });
+            order
+        })
+        .collect();
+    let mut cursor = vec![0usize; users.len()];
+    // Min-heap over (tput, user). Keys are never stale: only the popped
+    // user's throughput changes while they hold the floor.
+    let mut heap: BinaryHeap<Reverse<WfKey>> = users
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.demand > 0)
+        .map(|(i, _)| Reverse(WfKey(0.0, i)))
+        .collect();
+    'outer: while let Some(Reverse(WfKey(_, i))) = heap.pop() {
+        // The level the next-poorest user sits at: this user keeps
+        // absorbing grants while strictly below it (the reference argmin
+        // would keep re-selecting them).
+        let next = heap.peek().map(|&Reverse(k)| k);
+        let u = &users[i];
+        loop {
+            if got[i] >= u.demand {
+                break; // saturated: the user leaves the fill for good
+            }
+            // Best remaining generation for this user.
+            while cursor[i] < num_gens && cap[pref[i][cursor[i]] as usize] == 0 {
+                cursor[i] += 1;
+            }
+            if cursor[i] == num_gens {
+                break 'outer; // cluster capacity exhausted
+            }
+            let g = pref[i][cursor[i]] as usize;
+            cap[g] -= 1;
+            alloc[i][g] += 1;
+            got[i] += 1;
+            tput[i] += u.rates[g] / u.tickets as f64;
+            if let Some(next) = next {
+                if WfKey(tput[i], i) >= next {
+                    // No longer the poorest: back into the heap; the batch
+                    // ends exactly where the reference loop would have
+                    // switched users.
+                    heap.push(Reverse(WfKey(tput[i], i)));
+                    break;
+                }
+            }
+        }
+    }
+    let solved = WfSolve { alloc, tput };
+    #[cfg(debug_assertions)]
+    {
+        let oracle = water_fill_naive(capacity, users);
+        debug_assert!(
+            solved.alloc == oracle.alloc
+                && solved.tput.len() == oracle.tput.len()
+                && solved
+                    .tput
+                    .iter()
+                    .zip(&oracle.tput)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "batched water-fill diverged from the reference loop"
+        );
+    }
+    solved
+}
+
+/// The one-GPU-at-a-time reference water-filling loop, retained as the
+/// differential oracle for the batched solver: full argmin scan over users
+/// per grant, full capacity scan per pick. `O(total GPUs × users ×
+/// generations)` — use [`water_fill`] everywhere except tests.
+pub fn water_fill_naive(capacity: &[u32], users: &[WfUser]) -> WfSolve {
     let total_cap: u64 = capacity.iter().map(|&c| c as u64).sum();
     let mut cap = capacity.to_vec();
     let mut alloc = vec![vec![0u32; capacity.len()]; users.len()];
     let mut got = vec![0u32; users.len()];
-    // Ticket-normalized effective throughput accumulated per user. The
-    // accumulation order is fixed by the deterministic grant order, so the
-    // float results are bit-stable.
     let mut tput = vec![0.0f64; users.len()];
     // Fixed iteration bound: every pass either grants exactly one GPU or
     // terminates the loop.
@@ -96,7 +248,7 @@ pub fn water_fill(capacity: &[u32], users: &[WfUser]) -> Vec<Vec<u32>> {
         got[i] += 1;
         tput[i] += users[i].rates[g] / users[i].tickets as f64;
     }
-    alloc
+    WfSolve { alloc, tput }
 }
 
 /// Heterogeneity-aware max-min fairness via water-filling over estimated
@@ -138,15 +290,9 @@ impl AllocPolicy for GavelHetero {
             .map(|&(user, tickets)| WfUser {
                 user,
                 tickets,
-                demand: round.demands.get(&user).copied().unwrap_or(0.0).round() as u32,
+                demand: round.inputs.demand(user).round() as u32,
                 rates: (0..num_gens)
-                    .map(|g| {
-                        round
-                            .speedups
-                            .get(&user)
-                            .and_then(|row| row[g])
-                            .unwrap_or(1.0)
-                    })
+                    .map(|g| round.inputs.speedup(user, g).unwrap_or(1.0))
                     .collect(),
             })
             .collect();

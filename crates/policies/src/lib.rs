@@ -25,7 +25,7 @@
 mod gavel;
 mod themis;
 
-pub use gavel::{water_fill, GavelHetero, WfUser};
+pub use gavel::{water_fill, water_fill_naive, water_fill_solve, GavelHetero, WfSolve, WfUser};
 pub use themis::ThemisFtf;
 
 use gfair_core::{GandivaFair, GfairConfig, PolicyId, PolicyScheduler};

@@ -25,6 +25,13 @@ use gfair_types::{SimConfig, SimDuration, UserId};
 pub struct ThemisFtf {
     lease: SimDuration,
     filter: f64,
+    /// Scratch: (user, tickets, ρ̂) triples, reused across leases so the
+    /// per-epoch auction allocates nothing after the first.
+    scored: Vec<(UserId, u64, f64)>,
+    /// Scratch: discounted winner weights, id-sorted.
+    weights: Vec<(UserId, f64)>,
+    /// Scratch: effective tickets handed to the entitlement computation.
+    eff: Vec<(UserId, u64)>,
 }
 
 impl ThemisFtf {
@@ -32,8 +39,22 @@ impl ThemisFtf {
     /// fraction of active users admitted to each auction, taken from the
     /// worst-ρ̂ end (clamped to at least one user).
     pub fn new(lease: SimDuration, filter: f64) -> Self {
-        ThemisFtf { lease, filter }
+        ThemisFtf {
+            lease,
+            filter,
+            scored: Vec::new(),
+            weights: Vec::new(),
+            eff: Vec::new(),
+        }
     }
+}
+
+/// Auction admission order: worst ρ̂ first, ties toward the lowest user id.
+/// User ids are unique, so this is a strict total order — the top-`w` set
+/// (and its sorted order) is unique, which is what lets the partial
+/// selection below reproduce a full sort's prefix exactly.
+fn rank(a: &(UserId, u64, f64), b: &(UserId, u64, f64)) -> std::cmp::Ordering {
+    b.2.total_cmp(&a.2).then(a.0.cmp(&b.0))
 }
 
 impl AllocPolicy for ThemisFtf {
@@ -49,53 +70,59 @@ impl AllocPolicy for ThemisFtf {
         let n = round.active.len();
         let w = ((self.filter * n as f64).ceil() as usize).clamp(1, n);
         // Rank users worst-ρ̂ first; ties break toward the lowest id so the
-        // admitted set is deterministic.
-        let mut scored: Vec<(UserId, u64, f64)> = round
-            .active
-            .iter()
-            .map(|&(u, t)| (u, t, round.rho.get(&u).copied().unwrap_or(1.0)))
-            .collect();
-        scored.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
-        let winners = &scored[..w];
+        // admitted set is deterministic. Deterministic partial selection:
+        // `select_nth_unstable_by` puts the top-w set (unique under the
+        // strict total order) in the prefix in O(n); only those w are then
+        // sorted — same prefix a full sort would produce, without paying
+        // O(n log n) for the users the filter rejects anyway.
+        self.scored.clear();
+        self.scored.extend(
+            round
+                .active
+                .iter()
+                .map(|&(u, t)| (u, t, round.inputs.rho(u))),
+        );
+        if w < n {
+            self.scored.select_nth_unstable_by(w - 1, rank);
+        }
+        self.scored[..w].sort_unstable_by(rank);
+        let winners = &self.scored[..w];
         // Partial-allocation discount: winner i's weight is their bid
         // (ρ̂ × tickets — how far behind they are, ticket-scaled) times
         // ((sum − bid_i) / sum)^(w−1), the share of the auction the others
         // could have claimed without them. With one winner the discount
         // degenerates to 1.
         let bid_sum: f64 = winners.iter().map(|&(_, t, r)| r * t as f64).sum();
-        let mut weights: Vec<(UserId, f64)> = winners
-            .iter()
-            .map(|&(u, t, r)| {
-                let bid = r * t as f64;
-                let discount = if w > 1 && bid_sum > 0.0 {
-                    ((bid_sum - bid) / bid_sum).powi((w - 1) as i32)
-                } else {
-                    1.0
-                };
-                (u, bid * discount)
-            })
-            .collect();
-        let max_weight = weights
+        self.weights.clear();
+        self.weights.extend(winners.iter().map(|&(u, t, r)| {
+            let bid = r * t as f64;
+            let discount = if w > 1 && bid_sum > 0.0 {
+                ((bid_sum - bid) / bid_sum).powi((w - 1) as i32)
+            } else {
+                1.0
+            };
+            (u, bid * discount)
+        }));
+        let max_weight = self
+            .weights
             .iter()
             .map(|&(_, x)| x)
             .fold(0.0f64, f64::max)
             .max(1.0);
-        weights.sort_by_key(|&(u, _)| u);
+        self.weights.sort_unstable_by_key(|&(u, _)| u);
+        let weights = &self.weights;
         // Effective tickets: winners scaled to a fixed-point range, losers
         // held at the floor of 1 so nobody's stride weight vanishes
         // entirely. Entitlements::base renormalizes per generation, which
         // conserves static capacity by construction.
-        let eff: Vec<(UserId, u64)> = round
-            .active
-            .iter()
-            .map(|&(u, _)| {
-                let t = match weights.binary_search_by_key(&u, |&(w, _)| w) {
-                    Ok(i) => ((weights[i].1 / max_weight * 1e6).round() as u64).max(1),
-                    Err(_) => 1,
-                };
-                (u, t)
-            })
-            .collect();
+        self.eff.clear();
+        self.eff.extend(round.active.iter().map(|&(u, _)| {
+            let t = match weights.binary_search_by_key(&u, |&(w, _)| w) {
+                Ok(i) => ((weights[i].1 / max_weight * 1e6).round() as u64).max(1),
+                Err(_) => 1,
+            };
+            (u, t)
+        }));
         if round.obs.why() {
             let mut candidates: Vec<Candidate> = winners
                 .iter()
@@ -124,7 +151,7 @@ impl AllocPolicy for ThemisFtf {
                 rejected,
             });
         }
-        Entitlements::base(&gpus, &eff)
+        Entitlements::base(&gpus, &self.eff)
     }
 
     fn epoch(&self, _config: &SimConfig) -> SimDuration {

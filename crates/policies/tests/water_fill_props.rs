@@ -1,8 +1,10 @@
 //! Differential properties of the Gavel water-filling solver: for random
 //! capacities, demands, tickets and rate matrices, the greedy's output is
-//! feasible, work-conserving and max-min fair in the discrete sense.
+//! feasible, work-conserving and max-min fair in the discrete sense, and
+//! the level-batched solver is byte-identical to the one-GPU-at-a-time
+//! reference loop it replaced.
 
-use gfair_policies::{water_fill, WfUser};
+use gfair_policies::{water_fill, water_fill_naive, water_fill_solve, WfUser};
 use gfair_types::UserId;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -18,6 +20,26 @@ fn random_instance(seed: u64, num_gens: usize, num_users: usize) -> (Vec<u32>, V
             demand: rng.gen_range(0u32..20),
             rates: (0..num_gens)
                 .map(|_| rng.gen_range(1u32..50) as f64 / 10.0)
+                .collect(),
+        })
+        .collect();
+    (capacity, users)
+}
+
+/// Larger instances with deliberately coarse rates: equal rates (and equal
+/// tickets) force ties everywhere, which degenerates the batched solver to
+/// one-grant batches — the worst case for order-equivalence with the naive
+/// loop.
+fn tie_heavy_instance(seed: u64, num_gens: usize, num_users: usize) -> (Vec<u32>, Vec<WfUser>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let capacity: Vec<u32> = (0..num_gens).map(|_| rng.gen_range(0u32..64)).collect();
+    let users = (0..num_users)
+        .map(|i| WfUser {
+            user: UserId::new(i as u32),
+            tickets: rng.gen_range(1u64..3),
+            demand: rng.gen_range(0u32..100),
+            rates: (0..num_gens)
+                .map(|_| rng.gen_range(1u32..4) as f64)
                 .collect(),
         })
         .collect();
@@ -116,5 +138,77 @@ proptest! {
     ) {
         let (capacity, users) = random_instance(seed, num_gens, num_users);
         prop_assert_eq!(water_fill(&capacity, &users), water_fill(&capacity, &users));
+    }
+
+    /// Differential oracle: the level-batched solver reproduces the
+    /// one-GPU-at-a-time reference loop exactly — the same allocation
+    /// matrix AND bit-identical `tput` floats (the accumulation order is
+    /// part of the byte-determinism contract, so approximate equality is
+    /// not good enough). Runs both on fine-rate and tie-heavy instances;
+    /// the latter degenerates batches to single grants.
+    #[test]
+    fn batched_water_fill_matches_naive_oracle(
+        seed in 0u64..10_000,
+        num_gens in 1usize..5,
+        num_users in 1usize..17,
+        ties in proptest::bool::ANY,
+    ) {
+        let (capacity, users) = if ties {
+            tie_heavy_instance(seed, num_gens, num_users)
+        } else {
+            random_instance(seed, num_gens, num_users)
+        };
+        let batched = water_fill_solve(&capacity, &users);
+        let naive = water_fill_naive(&capacity, &users);
+        prop_assert_eq!(&batched.alloc, &naive.alloc, "allocation matrices differ");
+        prop_assert_eq!(batched.tput.len(), naive.tput.len());
+        for (i, (a, b)) in batched.tput.iter().zip(&naive.tput).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "user {} tput not bit-identical: batched {} vs naive {}", i, a, b
+            );
+        }
+    }
+
+    /// Batching never weakens the max-min transfer property: the batched
+    /// solver's output (including its returned throughputs) satisfies the
+    /// same discrete max-min criterion the reference greedy guarantees —
+    /// no granted GPU can move to an unsaturated user without leaving its
+    /// holder no better off.
+    #[test]
+    fn batching_preserves_max_min_transfer(
+        seed in 0u64..10_000,
+        num_gens in 1usize..4,
+        num_users in 2usize..10,
+        ties in proptest::bool::ANY,
+    ) {
+        let (capacity, users) = if ties {
+            tie_heavy_instance(seed, num_gens, num_users)
+        } else {
+            random_instance(seed, num_gens, num_users)
+        };
+        let solved = water_fill_solve(&capacity, &users);
+        for (i, u) in users.iter().enumerate() {
+            let got: u32 = solved.alloc[i].iter().sum();
+            if got >= u.demand {
+                continue; // saturated users have no claim
+            }
+            for (v, row) in solved.alloc.iter().enumerate() {
+                let min_held: Option<f64> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &x)| x > 0)
+                    .map(|(g, _)| users[v].rates[g] / users[v].tickets as f64)
+                    .min_by(|a, b| a.total_cmp(b));
+                if let Some(m) = min_held {
+                    prop_assert!(
+                        solved.tput[v] - m <= solved.tput[i] + 1e-9,
+                        "user {} (tput {}) could yield a grant to unsaturated \
+                         user {} (tput {}) and still be no worse off",
+                        users[v].user, solved.tput[v], u.user, solved.tput[i]
+                    );
+                }
+            }
+        }
     }
 }

@@ -44,7 +44,7 @@ echo "### policy zoo smoke (P1 faceoff, 2h horizon)"
 # the full 8-hour P1 run.
 cargo run --release -p gfair-bench --bin exp_p1_policy_faceoff -- --horizon-hours 2
 
-echo "### equivalence gate (5000 GPUs)"
+echo "### equivalence gate (5000 GPUs, gfair)"
 # Runs the 5000-GPU scale twice — fully optimized (fast-forward + lazy
 # settling) and fully naive (both off, every quantum stepped, every server
 # re-planned) — both clean and under a fault plan, and byte-compares the
@@ -52,15 +52,28 @@ echo "### equivalence gate (5000 GPUs)"
 # one fails the gate. 5000 GPUs (not 1000) so the incremental balancer,
 # sharded event queue, and lazy settling are exercised at a scale where
 # they actually engage.
-cargo run --release -p gfair-bench --bin bench_sim -- --verify --only 5000gpu
+cargo run --release -p gfair-bench --bin bench_sim -- \
+    --verify --only 5000gpu --policy gfair
 
-echo "### throughput regression gate (5000 GPUs, best of 3)"
-# Re-measures the 5000-GPU scale three times, keeps the fastest run, and
-# fails if per-GPU throughput (gpu_hours_per_wall_sec) fell more than 10%
-# below the committed BENCH_sim.json baseline — the scaling work's
-# guardrail. Best-of-three because single runs on shared runners jitter by
-# more than the margin this gate polices; the JSON goes under target/ so
-# the tracked baseline stays clean (regenerate it with scripts/bench.sh).
+echo "### equivalence gate (5000 GPUs, policy zoo)"
+# The same optimized-vs-naive byte comparison for the competitor policies
+# behind the PolicyScheduler driver: the batched water-filler and the
+# partial-selection Themis auction must be exactly the algorithms they
+# replaced, under faults included.
+cargo run --release -p gfair-bench --bin bench_sim -- \
+    --verify --only 5000gpu --policy gavel-hetero
+cargo run --release -p gfair-bench --bin bench_sim -- \
+    --verify --only 5000gpu --policy themis-ftf
+
+echo "### throughput regression gate (5000 GPUs, best of 3, all policies)"
+# Re-measures the 5000-GPU scale three times per policy (gfair plus the
+# zoo — 5000 GPUs is a per-policy scale), keeps each policy's fastest run,
+# and fails if any per-GPU throughput (gpu_hours_per_wall_sec) fell more
+# than 10% below the matching (scale, policy) row of the committed
+# BENCH_sim.json baseline — the scaling work's guardrail. Best-of-three
+# because single runs on shared runners jitter by more than the margin this
+# gate polices; the JSON goes under target/ so the tracked baseline stays
+# clean (regenerate it with scripts/bench.sh).
 cargo run --release -p gfair-bench --bin bench_sim -- \
     --only 5000gpu --best-of 3 --check-against BENCH_sim.json \
     --out target/BENCH_sim.check.json

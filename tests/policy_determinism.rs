@@ -29,10 +29,24 @@ fn run(policy: PolicyId, seed: u64, workers: usize, ff: bool, tag: &str) -> (Str
     let trace = TraceBuilder::new(params, seed).build(&users);
     let obs: SharedObs = Arc::new(Obs::new());
     obs.jsonl(&path).expect("trace file");
+    // Checkpoint/restore failures and a partition window on top of the
+    // outage: a failed or undeliverable placement must flow through the
+    // driver's round-plan re-placement path exactly once. (A queued
+    // per-notice retry used to race that path and place an already-resident
+    // job — a hard engine error, so any regression fails this test loudly.)
+    let faults = FaultPlan::none()
+        .with_seed(seed)
+        .with_migration_fail_rates(0.05, 0.05)
+        .with_partition(
+            ServerId::new(1),
+            SimTime::from_secs(3600),
+            SimTime::from_secs(3 * 3600),
+        );
     let sim = Simulation::new(cluster, users, trace, SimConfig::default().with_seed(seed))
         .unwrap()
         .with_server_failure(ServerId::new(2), SimTime::from_secs(2 * 3600))
         .with_server_recovery(ServerId::new(2), SimTime::from_secs(4 * 3600))
+        .with_faults(faults)
         .with_obs(Arc::clone(&obs));
     let mut cfg = GfairConfig::default()
         .with_policy(policy)
